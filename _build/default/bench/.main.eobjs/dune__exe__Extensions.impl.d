@@ -1,0 +1,1 @@
+bench/extensions.ml: Array Float Fmt Icc Knowledge List Mach Mira Mlkit Passes Printf Random Search String Util Workloads

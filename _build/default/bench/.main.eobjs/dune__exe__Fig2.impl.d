@@ -1,0 +1,1 @@
+bench/fig2.ml: Array Fmt Hashtbl Icc Knowledge List Mach Passes Printf Random Search String Util Workloads

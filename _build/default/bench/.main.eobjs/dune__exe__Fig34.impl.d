@@ -1,0 +1,1 @@
+bench/fig34.ml: Float Fmt Icc Knowledge List Mach Passes Printf String Util Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Extensions Fig2 Fig34 Fmt List Micro String Sys Tables Unix Util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Icc Instance List Mach Measure Mira Mlkit Passes Printf Random Staged Test Time Toolkit Util Workloads

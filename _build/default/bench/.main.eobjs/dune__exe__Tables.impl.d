@@ -1,0 +1,1 @@
+bench/tables.ml: Array Fmt Icc List Mach Mira Mlkit Passes Printf Search String Util Workloads

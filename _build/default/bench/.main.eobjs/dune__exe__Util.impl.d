@@ -1,0 +1,1 @@
+bench/util.ml: Array Fmt Icc Knowledge List Mach Printf String Sys Unix Workloads

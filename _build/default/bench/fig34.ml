@@ -1,0 +1,128 @@
+(* Figures 3 and 4 of the paper: performance-counter characterization and
+   the counter-based optimization model (PCModel), on the AMD-like machine.
+
+   Fig 3: the counter values of the mcf analogue at -O0, relative to the
+   per-counter average over the rest of the suite (events normalized per
+   instruction).  The paper's headline: up to 38x more L2 store misses
+   than average.
+
+   Fig 4: counters and speedup of mcf under -Ofast and under the sequence
+   selected by the performance-counter model (trained leave-one-out),
+   both relative to -O0.  Paper: -Ofast 1.24x with no effect on the cache
+   counters; PCModel 2.33x with ~20% fewer L1 misses. *)
+
+let config = Mach.Config.default (* amd-like *)
+let target_name = "mcf_spars"
+
+let interesting_counters =
+  [ "L1_TCM"; "L1_TCA"; "L2_TCM"; "L2_TCA"; "L2_STM"; "L2_LDM"; "BR_MSP";
+    "LD_INS"; "SR_INS"; "DIV_INS"; "FP_INS" ]
+
+let fig3 () =
+  Util.header
+    "Fig 3: counter values of mcf_spars at -O0 relative to the suite average";
+  let kb = Util.kb_for config in
+  let arch = config.Mach.Config.name in
+  let char_of prog =
+    match Knowledge.Kb.characterization kb ~prog ~arch with
+    | Some c -> c.Knowledge.Kb.counters
+    | None -> failwith ("missing characterization for " ^ prog)
+  in
+  let mcf = char_of target_name in
+  let others =
+    List.filter (fun w -> w.Workloads.name <> target_name) Workloads.all
+    |> List.map (fun w -> char_of w.Workloads.name)
+  in
+  let avg name =
+    let vals = List.map (fun c -> List.assoc name c) others in
+    List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let m = List.assoc name mcf in
+        let a = avg name in
+        let ratio = if a < 1e-12 then Float.nan else m /. a in
+        [
+          name;
+          Printf.sprintf "%.5f" m;
+          Printf.sprintf "%.5f" a;
+          (if Float.is_nan ratio then "-" else Printf.sprintf "%.1fx" ratio);
+        ])
+      interesting_counters
+  in
+  Util.print_table
+    [ "counter"; "mcf (/ins)"; "suite avg (/ins)"; "ratio" ]
+    rows;
+  let l2stm_ratio =
+    List.assoc "L2_STM" mcf /. max 1e-12 (avg "L2_STM")
+  in
+  Fmt.pr
+    "@.headline: mcf_spars has %.0fx more L2 store misses per instruction \
+     than the suite average (paper: up to 38x)@."
+    l2stm_ratio
+
+let fig4 () =
+  Util.header
+    "Fig 4: mcf_spars under -Ofast vs the performance-counter model (PCModel)";
+  let kb = Util.kb_for config in
+  let arch = config.Mach.Config.name in
+  (* leave-one-out: the model must not have seen mcf *)
+  let kb_loo = Knowledge.Kb.without_program kb ~prog:target_name in
+  let target = Workloads.program (Workloads.by_name_exn target_name) in
+  match Icc.Pcmodel.train kb_loo ~arch with
+  | None -> Fmt.epr "PCModel training failed (empty knowledge base?)@."
+  | Some model ->
+    (* one -O0 profiling run characterizes the new program *)
+    let profile = Mach.Sim.run ~config target in
+    let counters = Icc.Characterize.counter_assoc profile.Mach.Sim.counters in
+    let nbs = Icc.Pcmodel.neighbors model counters in
+    Fmt.pr "nearest programs by counter signature: %s@."
+      (String.concat ", "
+         (List.map (fun (p, _, _) -> p) (List.filteri (fun i _ -> i < 3) nbs)));
+    let seq = Icc.Pcmodel.predict model counters in
+    Fmt.pr "PCModel selects: %s@." (Passes.Pass.sequence_to_string seq);
+
+    let run_with tag sequence =
+      let p' = Passes.Pass.apply_sequence sequence target in
+      let r = Mach.Sim.run ~config p' in
+      (tag, r)
+    in
+    let _, r0 = run_with "O0" [] in
+    let _, rfast = run_with "FAST" Passes.Pass.ofast in
+    let _, rpc = run_with "PCModel" seq in
+    let counter_ratio (r : Mach.Sim.result) name =
+      (* events per instruction relative to O0, as the paper plots *)
+      let rate (res : Mach.Sim.result) =
+        let c =
+          match Mach.Counters.of_name name with
+          | Some c -> c
+          | None -> failwith name
+        in
+        float_of_int (Mach.Counters.get res.Mach.Sim.counters c)
+        /. float_of_int
+             (max 1 (Mach.Counters.get res.Mach.Sim.counters Mach.Counters.TOT_INS))
+      in
+      let base = rate r0 in
+      if base < 1e-12 then Float.nan else rate r /. base
+    in
+    Util.subheader "counter rates relative to -O0 (1.00 = unchanged)";
+    Util.print_table
+      [ "counter"; "FAST"; "PCModel" ]
+      (List.map
+         (fun name ->
+           let f v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v in
+           [ name; f (counter_ratio rfast name); f (counter_ratio rpc name) ])
+         [ "L1_TCM"; "L1_TCA"; "L2_TCA"; "L2_TCM"; "L2_STM"; "BR_MSP" ]);
+    let s_fast = Mach.Sim.speedup ~base:r0 ~opt:rfast in
+    let s_pc = Mach.Sim.speedup ~base:r0 ~opt:rpc in
+    Fmt.pr "@.cycles: O0 %d | FAST %d | PCModel %d@." r0.Mach.Sim.cycles
+      rfast.Mach.Sim.cycles rpc.Mach.Sim.cycles;
+    Fmt.pr
+      "speedup over O0: FAST %.2fx, PCModel %.2fx (PCModel %.2fx over FAST)@."
+      s_fast s_pc (s_pc /. s_fast);
+    Fmt.pr "(paper: FAST 1.24x, PCModel 2.33x, i.e. 1.88x over FAST)@."
+
+let run () =
+  fig3 ();
+  fig4 ()

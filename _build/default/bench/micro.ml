@@ -1,0 +1,82 @@
+(* Bechamel microbenchmarks of the hot paths: front end, pass application,
+   simulation, feature extraction, model queries.  One Test.make per
+   component; throughput sanity rather than paper reproduction. *)
+
+open Bechamel
+open Toolkit
+
+let adpcm_src = (Workloads.by_name_exn "adpcm").Workloads.source
+
+let small_src =
+  {|fn main() -> int {
+      var s: int = 0;
+      for i = 0 to 64 { s = s + i * 3; }
+      return s;
+    }|}
+
+let small_prog = Mira.Lower.compile_source_exn small_src
+let adpcm_prog = Workloads.program (Workloads.by_name_exn "adpcm")
+
+let knn_model =
+  let rng = Random.State.make [| 4 |] in
+  let xs =
+    Array.init 64 (fun _ -> Array.init 32 (fun _ -> Random.State.float rng 1.0))
+  in
+  let ys = Array.init 64 (fun i -> i mod 3) in
+  Mlkit.Knn.fit ~k:3 (Mlkit.Dataset.make xs ys)
+
+let probe = Array.init 32 (fun i -> float_of_int i /. 32.0)
+
+let tests =
+  [
+    Test.make ~name:"frontend: parse+typecheck+lower adpcm"
+      (Staged.stage (fun () -> Mira.Lower.compile_source_exn adpcm_src));
+    Test.make ~name:"passes: O2 pipeline on adpcm"
+      (Staged.stage (fun () -> Passes.Pass.apply_sequence Passes.Pass.o2 adpcm_prog));
+    Test.make ~name:"passes: unroll4 on adpcm"
+      (Staged.stage (fun () ->
+           Passes.Pass.apply_sequence
+             Passes.Pass.[ Const_prop; Unroll4 ]
+             adpcm_prog));
+    Test.make ~name:"interp: small loop (~500 steps)"
+      (Staged.stage (fun () -> Mira.Interp.run small_prog));
+    Test.make ~name:"sim: small loop with caches+predictor"
+      (Staged.stage (fun () -> Mach.Sim.run small_prog));
+    Test.make ~name:"features: extract from adpcm"
+      (Staged.stage (fun () -> Icc.Features.extract adpcm_prog));
+    Test.make ~name:"mlkit: knn predict (64x32)"
+      (Staged.stage (fun () -> Mlkit.Knn.predict knn_model probe));
+  ]
+
+let run () =
+  Util.header "Microbenchmarks (bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let test = Test.make_grouped ~name:"icc" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+        let ns = est in
+        let human =
+          if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        in
+        rows := [ name; human ] :: !rows
+      | _ -> rows := [ name; "-" ] :: !rows)
+    clock;
+  Util.print_table [ "benchmark"; "time/run" ]
+    (List.sort compare !rows)

@@ -1,0 +1,84 @@
+(* Shared infrastructure for the experiment harness: scale settings, disk
+   caching of knowledge bases (they are the expensive artifact), and table
+   formatting. *)
+
+type scale = Fast | Full
+
+let scale = ref Fast
+
+let per_program () = match !scale with Fast -> 60 | Full -> 120
+
+let data_dir = "bench_data"
+
+let ensure_dir () =
+  if not (Sys.file_exists data_dir) then Sys.mkdir data_dir 0o755
+
+(* One knowledge base per (arch, per_program); built over the full workload
+   suite and cached on disk.  Experiments requiring leave-one-out use
+   Kb.without_program on the loaded KB. *)
+let kb_for (config : Mach.Config.t) : Knowledge.Kb.t =
+  ensure_dir ();
+  let path =
+    Printf.sprintf "%s/suite-%s-pp%d.kb" data_dir config.Mach.Config.name
+      (per_program ())
+  in
+  if Sys.file_exists path then Knowledge.Kb.load path
+  else begin
+    Fmt.pr "  [building knowledge base for %s: %d programs x %d sequences...]@."
+      config.Mach.Config.name
+      (List.length Workloads.all)
+      (per_program ());
+    let t0 = Unix.gettimeofday () in
+    let programs =
+      List.map (fun w -> (w.Workloads.name, Workloads.program w)) Workloads.all
+    in
+    let kb =
+      Icc.Characterize.build_kb ~config ~per_program:(per_program ()) programs
+    in
+    Knowledge.Kb.save kb path;
+    Fmt.pr "  [knowledge base ready: %d experiments in %.0fs, cached at %s]@."
+      (Knowledge.Kb.size kb)
+      (Unix.gettimeofday () -. t0)
+      path;
+    kb
+  end
+
+let header title =
+  Fmt.pr "@.============================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "============================================================@."
+
+let subheader t = Fmt.pr "@.--- %s ---@." t
+
+let geomean xs =
+  match xs with
+  | [] -> 1.0
+  | _ ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+         /. float_of_int (List.length xs))
+
+(* simple aligned table printer *)
+let print_table (headers : string list) (rows : string list list) =
+  let cols = List.length headers in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) headers;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i < cols then Fmt.pr "%s%s  " cell (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Fmt.pr "@."
+  in
+  print_row headers;
+  print_row (List.map (fun _ -> "") headers |> List.mapi (fun i _ -> String.make widths.(i) '-'));
+  List.iter print_row rows
+
+let pct x = Printf.sprintf "%.1f%%" x
+let f2 x = Printf.sprintf "%.2f" x
+let f0 x = Printf.sprintf "%.0f" x

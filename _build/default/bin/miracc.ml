@@ -1,0 +1,316 @@
+(* miracc — the intelligent-compiler command-line driver.
+
+   Subcommands:
+     compile    parse/typecheck/optimize a Mira file, print the IR
+     run        compile and execute on the machine simulator
+     features   print the static feature vector
+     counters   print the -O0 performance-counter characterization
+     train      build a knowledge base from the built-in workload suite
+     predict    one-shot optimization prediction from a knowledge base
+     search     iterative search for a good sequence (random/hill/genetic/focused)
+     workloads  list the built-in benchmark suite
+     dynamic    demo the dynamic optimizer on a phased workload *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program path =
+  match Mira.Lower.compile_source (read_file path) with
+  | Ok p -> p
+  | Error e ->
+    Fmt.epr "%s: %s@." path e;
+    exit 1
+
+let arch_of_name name =
+  match Mach.Config.by_name name with
+  | Some c -> c
+  | None ->
+    Fmt.epr "unknown architecture %S (available: %s)@." name
+      (String.concat ", " (List.map (fun c -> c.Mach.Config.name) Mach.Config.all));
+    exit 1
+
+let parse_seq ~level ~seq =
+  match (level, seq) with
+  | Some l, _ -> (
+    match Passes.Pass.level_of_string l with
+    | Some s -> s
+    | None ->
+      Fmt.epr "unknown optimization level %S@." l;
+      exit 1)
+  | None, Some s -> (
+    match Passes.Pass.sequence_of_string s with
+    | Ok s -> s
+    | Error e ->
+      Fmt.epr "bad sequence: %s@." e;
+      exit 1)
+  | None, None -> []
+
+(* common args *)
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mira")
+
+let arch_arg =
+  Arg.(value & opt string "amd-like" & info [ "arch" ] ~docv:"ARCH"
+         ~doc:"Target machine model (amd-like, c6713-like, embedded).")
+
+let level_arg =
+  Arg.(value & opt (some string) None & info [ "O" ] ~docv:"LEVEL"
+         ~doc:"Fixed pipeline: O0, O1, O2, Ofast.")
+
+let seq_arg =
+  Arg.(value & opt (some string) None & info [ "seq" ] ~docv:"P1,P2,..."
+         ~doc:"Explicit optimization sequence (pass names, comma separated).")
+
+let kb_arg =
+  Arg.(required & opt (some string) None & info [ "kb" ] ~docv:"FILE"
+         ~doc:"Knowledge-base file.")
+
+(* --- compile ------------------------------------------------------- *)
+
+let compile_cmd =
+  let doc = "Compile a Mira program and print its IR." in
+  let run file level seq stats =
+    let p = load_program file in
+    let passes = parse_seq ~level ~seq in
+    let p' = Passes.Pass.apply_sequence passes p in
+    if stats then
+      Fmt.pr "passes: %s@.size: %d -> %d instrs@."
+        (Passes.Pass.sequence_to_string passes)
+        (Mira.Ir.program_size p) (Mira.Ir.program_size p')
+    else Fmt.pr "%s" (Mira.Ir.to_string p')
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print size stats instead of IR.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ level_arg $ seq_arg $ stats_arg)
+
+(* --- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Compile and execute on the cycle-level machine simulator." in
+  let run file arch level seq show_counters =
+    let p = load_program file in
+    let config = arch_of_name arch in
+    let p' = Passes.Pass.apply_sequence (parse_seq ~level ~seq) p in
+    match Mach.Sim.run ~config p' with
+    | r ->
+      print_string r.Mach.Sim.output;
+      Fmt.pr "return: %s@." (Mira.Interp.value_to_string r.Mach.Sim.ret);
+      Fmt.pr "cycles: %d  instructions: %d  CPI: %.2f@." r.Mach.Sim.cycles
+        r.Mach.Sim.steps
+        (float_of_int r.Mach.Sim.cycles /. float_of_int (max 1 r.Mach.Sim.steps));
+      if show_counters then Fmt.pr "%a" Mach.Counters.pp r.Mach.Sim.counters
+    | exception Mira.Interp.Trap m ->
+      Fmt.epr "trap: %s@." m;
+      exit 2
+    | exception Mira.Interp.Out_of_fuel ->
+      Fmt.epr "out of fuel (program too long or diverging)@.";
+      exit 3
+  in
+  let counters_flag =
+    Arg.(value & flag & info [ "counters" ] ~doc:"Dump the raw counter bank.")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ file_arg $ arch_arg $ level_arg $ seq_arg $ counters_flag)
+
+(* --- features ------------------------------------------------------ *)
+
+let features_cmd =
+  let doc = "Print the static feature vector of a program." in
+  let run file =
+    let p = load_program file in
+    List.iter (fun (n, v) -> Fmt.pr "%-22s %g@." n v) (Icc.Features.extract p)
+  in
+  Cmd.v (Cmd.info "features" ~doc) Term.(const run $ file_arg)
+
+(* --- counters ------------------------------------------------------ *)
+
+let counters_cmd =
+  let doc = "Profile at -O0 and print per-instruction counter rates." in
+  let run file arch =
+    let p = load_program file in
+    let config = arch_of_name arch in
+    let r = Mach.Sim.run ~config p in
+    List.iter
+      (fun (n, v) -> Fmt.pr "%-10s %.6f@." n v)
+      (Icc.Characterize.counter_assoc r.Mach.Sim.counters)
+  in
+  Cmd.v (Cmd.info "counters" ~doc) Term.(const run $ file_arg $ arch_arg)
+
+(* --- workloads ----------------------------------------------------- *)
+
+let workloads_cmd =
+  let doc = "List the built-in benchmark suite." in
+  let run () =
+    List.iter
+      (fun w ->
+        Fmt.pr "%-10s %-10s %s@." w.Workloads.name
+          (Workloads.family_name w.Workloads.family)
+          w.Workloads.descr)
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ const ())
+
+(* --- train --------------------------------------------------------- *)
+
+let train_cmd =
+  let doc =
+    "Build a knowledge base by exploring the built-in workload suite."
+  in
+  let run out arch per_program exclude =
+    let config = arch_of_name arch in
+    let programs =
+      Workloads.all
+      |> List.filter (fun w -> not (List.mem w.Workloads.name exclude))
+      |> List.map (fun w -> (w.Workloads.name, Workloads.program w))
+    in
+    Fmt.pr "training on %d programs, %d sequences each (%s)...@."
+      (List.length programs) per_program config.Mach.Config.name;
+    let kb = Icc.Characterize.build_kb ~config ~per_program programs in
+    Knowledge.Kb.save kb out;
+    Fmt.pr "wrote %s: %d experiments, %d programs@." out (Knowledge.Kb.size kb)
+      (List.length (Knowledge.Kb.programs kb))
+  in
+  let out_arg =
+    Arg.(value & opt string "suite.kb" & info [ "out"; "o" ] ~docv:"FILE")
+  in
+  let pp_arg =
+    Arg.(value & opt int 40 & info [ "per-program" ] ~docv:"N"
+           ~doc:"Random sequences evaluated per training program.")
+  in
+  let excl_arg =
+    Arg.(value & opt_all string [] & info [ "exclude" ] ~docv:"NAME"
+           ~doc:"Hold a workload out of training (repeatable).")
+  in
+  Cmd.v (Cmd.info "train" ~doc)
+    Term.(const run $ out_arg $ arch_arg $ pp_arg $ excl_arg)
+
+(* --- predict ------------------------------------------------------- *)
+
+let predict_cmd =
+  let doc = "One-shot optimization prediction from a knowledge base." in
+  let run file arch kb_path use_counters trials =
+    let p = load_program file in
+    let config = arch_of_name arch in
+    let kb = Knowledge.Kb.load kb_path in
+    let compiled =
+      if use_counters then
+        Icc.Controller.one_shot_counters ~config ~trials kb p
+      else Icc.Controller.one_shot ~config kb p
+    in
+    let d = compiled.Icc.Controller.decision in
+    Fmt.pr "predicted sequence: %s@."
+      (Passes.Pass.sequence_to_string d.Icc.Controller.sequence);
+    Fmt.pr "based on: %s@."
+      (String.concat ", " d.Icc.Controller.predicted_from);
+    Fmt.pr "target-system runs spent: %d@." d.Icc.Controller.evaluations;
+    let c0 = Icc.Characterize.eval_sequence ~config p [] in
+    let c1 =
+      Icc.Characterize.eval_sequence ~config p d.Icc.Controller.sequence
+    in
+    Fmt.pr "cycles: %.0f -> %.0f (speedup %.2fx)@." c0 c1 (c0 /. c1)
+  in
+  let counters_flag =
+    Arg.(value & flag & info [ "counters" ]
+           ~doc:"Use the performance-counter model (one -O0 profiling run).")
+  in
+  let trials_arg =
+    Arg.(value & opt int 1 & info [ "trials" ] ~docv:"N"
+           ~doc:"Evaluate the top N counter-model candidates online.")
+  in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(const run $ file_arg $ arch_arg $ kb_arg $ counters_flag $ trials_arg)
+
+(* --- search -------------------------------------------------------- *)
+
+let search_cmd =
+  let doc = "Search the optimization space for a program." in
+  let run file arch strategy budget seed kb_path =
+    let p = load_program file in
+    let config = arch_of_name arch in
+    let eval = Icc.Characterize.eval_sequence ~config p in
+    let result =
+      match strategy with
+      | "random" -> Search.Strategies.random ~seed ~budget eval
+      | "hill" -> Search.Strategies.hill_climb ~seed ~budget eval
+      | "genetic" -> Search.Strategies.genetic ~seed eval
+      | "focused" -> begin
+        match kb_path with
+        | None ->
+          Fmt.epr "focused search needs --kb@.";
+          exit 1
+        | Some path ->
+          let kb = Knowledge.Kb.load path in
+          let feats =
+            Icc.Features.restrict_to_similarity (Icc.Features.extract p)
+          in
+          let model =
+            Search.Focused.fit_model kb ~arch:config.Mach.Config.name
+              ~params:Search.Focused.default_params ~target_features:feats
+          in
+          Search.Focused.search ~seed ~budget model eval
+      end
+      | s ->
+        Fmt.epr "unknown strategy %S (random|hill|genetic|focused)@." s;
+        exit 1
+    in
+    let o0 = eval [] in
+    Fmt.pr "evaluations: %d@." result.Search.Strategies.evals;
+    Fmt.pr "best sequence: %s@."
+      (Passes.Pass.sequence_to_string result.Search.Strategies.best_seq);
+    Fmt.pr "cycles: %.0f -> %.0f (speedup %.2fx)@." o0
+      result.Search.Strategies.best_cost
+      (o0 /. result.Search.Strategies.best_cost)
+  in
+  let strategy_arg =
+    Arg.(value & opt string "focused" & info [ "strategy" ] ~docv:"S")
+  in
+  let budget_arg =
+    Arg.(value & opt int 20 & info [ "budget" ] ~docv:"N")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let kb_opt =
+    Arg.(value & opt (some string) None & info [ "kb" ] ~docv:"FILE")
+  in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(
+      const run $ file_arg $ arch_arg $ strategy_arg $ budget_arg $ seed_arg
+      $ kb_opt)
+
+(* --- dynamic ------------------------------------------------------- *)
+
+let dynamic_cmd =
+  let doc = "Demo the dynamic optimizer on a phase-changing workload." in
+  let run phases per_phase =
+    let intervals = Icc.Dynamic.phased_intervals ~phases ~per_phase () in
+    let r = Icc.Dynamic.run Icc.Dynamic.default_config intervals in
+    Fmt.pr "intervals: %d, phase changes detected: %d, audited intervals: %d@."
+      (List.length intervals) r.Icc.Dynamic.phase_changes_detected
+      r.Icc.Dynamic.audits;
+    Fmt.pr "O0 everywhere      : %d cycles@." r.Icc.Dynamic.o0_cycles;
+    Fmt.pr "static best (%-6s): %d cycles@." r.Icc.Dynamic.static_best_name
+      r.Icc.Dynamic.static_best_cycles;
+    Fmt.pr "dynamic optimizer  : %d cycles (overhead %d)@."
+      r.Icc.Dynamic.total_cycles r.Icc.Dynamic.overhead_cycles;
+    Fmt.pr "oracle             : %d cycles@." r.Icc.Dynamic.oracle_cycles
+  in
+  let phases_arg = Arg.(value & opt int 6 & info [ "phases" ] ~docv:"N") in
+  let per_arg = Arg.(value & opt int 8 & info [ "per-phase" ] ~docv:"N") in
+  Cmd.v (Cmd.info "dynamic" ~doc) Term.(const run $ phases_arg $ per_arg)
+
+let () =
+  let doc = "an intelligent compiler for the Mira language" in
+  let info = Cmd.info "miracc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd; run_cmd; features_cmd; counters_cmd; workloads_cmd;
+            train_cmd; predict_cmd; search_cmd; dynamic_cmd;
+          ]))

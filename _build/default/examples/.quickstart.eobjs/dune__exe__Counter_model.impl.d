@@ -1,0 +1,1 @@
+examples/counter_model.ml: Fmt Icc List Mach Passes Workloads

@@ -1,0 +1,1 @@
+examples/cross_architecture.ml: Fmt Icc List Mach Passes Search Workloads

@@ -1,0 +1,1 @@
+examples/focused_search.ml: Array Fmt Icc Knowledge List Mach Passes Search String Workloads

@@ -1,0 +1,1 @@
+examples/knowledge_workflow.ml: Filename Fmt Icc Knowledge List Mach Passes String Sys Workloads

@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Array Features Knowledge List Mach Mira Passes Random Search

@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Knowledge Mach Mira Passes

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Characterize Features Knowledge List Mach Mira Passes Pcmodel Search

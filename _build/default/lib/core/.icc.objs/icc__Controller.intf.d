@@ -1,0 +1,1 @@
+lib/core/controller.mli: Knowledge Mach Mira Passes Search

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Hashtbl List Mach Mira Mlkit Passes Printf

@@ -1,0 +1,1 @@
+lib/core/features.ml: Array Hashtbl List Mira Option

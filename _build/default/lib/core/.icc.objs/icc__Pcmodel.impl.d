@@ -1,0 +1,1 @@
+lib/core/pcmodel.ml: Array Hashtbl Knowledge List Mach Mlkit Passes

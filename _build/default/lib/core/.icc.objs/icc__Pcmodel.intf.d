@@ -1,0 +1,1 @@
+lib/core/pcmodel.mli: Knowledge Mlkit Passes

@@ -1,0 +1,1 @@
+lib/core/perfunc.ml: Array Features List Mach Mira Mlkit Passes

@@ -1,0 +1,1 @@
+lib/core/perfunc.mli: Mach Mira Mlkit Passes

@@ -1,0 +1,1 @@
+lib/core/tournament.ml: Array Characterize Features Float Hashtbl List Mach Mira Mlkit Passes Random

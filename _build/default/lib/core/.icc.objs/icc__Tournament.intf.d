@@ -1,0 +1,1 @@
+lib/core/tournament.mli: Mach Mira Mlkit Passes

@@ -1,0 +1,76 @@
+module Ir = Mira.Ir
+
+(* Application characterization + knowledge-base population (Fig. 1's
+   "static and dynamic process characterization" feeding the knowledge
+   base):
+
+   - static: the Features vector of the unoptimized program;
+   - dynamic: the normalized performance-counter vector of a profiling run
+     at -O0 on the target machine model;
+   - experiments: measured cycles and code size for each optimization
+     sequence tried, appended to the KB for the prediction models to learn
+     from. *)
+
+let counter_assoc (bank : Mach.Counters.bank) : (string * float) list =
+  let norm = Mach.Counters.normalized bank in
+  List.mapi (fun i c -> (Mach.Counters.name c, norm.(i))) Mach.Counters.all
+
+(* profile at -O0: static features + normalized counters + base cycles *)
+let characterize ?(config = Mach.Config.default) ~(prog : string)
+    (p : Ir.program) : Knowledge.Kb.characterization =
+  let r = Mach.Sim.run ~config p in
+  {
+    Knowledge.Kb.prog;
+    arch = config.Mach.Config.name;
+    o0_cycles = r.Mach.Sim.cycles;
+    features = Features.extract p;
+    counters = counter_assoc r.Mach.Sim.counters;
+  }
+
+(* evaluate one sequence: compile + simulate; infinity on trap/divergence
+   so broken sequences lose every comparison *)
+let eval_sequence ?(config = Mach.Config.default) (p : Ir.program)
+    (seq : Passes.Pass.t list) : float =
+  let p' = Passes.Pass.apply_sequence seq p in
+  match Mach.Sim.run ~config p' with
+  | r -> float_of_int r.Mach.Sim.cycles
+  | exception (Mira.Interp.Trap _ | Mira.Interp.Out_of_fuel) -> infinity
+
+(* evaluate and record into the KB *)
+let record_experiment ?(config = Mach.Config.default) (kb : Knowledge.Kb.t)
+    ~(prog : string) (p : Ir.program) (seq : Passes.Pass.t list) : float =
+  let p' = Passes.Pass.apply_sequence seq p in
+  match Mach.Sim.run ~config p' with
+  | r ->
+    Knowledge.Kb.add_experiment kb
+      {
+        Knowledge.Kb.eprog = prog;
+        earch = config.Mach.Config.name;
+        seq;
+        cycles = r.Mach.Sim.cycles;
+        code_size = Ir.program_size p';
+      };
+    float_of_int r.Mach.Sim.cycles
+  | exception (Mira.Interp.Trap _ | Mira.Interp.Out_of_fuel) -> infinity
+
+(* Populate a knowledge base by random exploration of each training
+   program's sequence space — the "significant training period" of
+   Sec. III-C.  [per_program] sequences are tried per program; the O0 and
+   fixed-pipeline points are always included so every program has a sane
+   floor. *)
+let build_kb ?(config = Mach.Config.default) ?(seed = 42) ?(per_program = 40)
+    ?(length = Search.Space.default_length)
+    (programs : (string * Ir.program) list) : Knowledge.Kb.t =
+  let kb = Knowledge.Kb.create () in
+  List.iteri
+    (fun i (name, p) ->
+      Knowledge.Kb.add_characterization kb (characterize ~config ~prog:name p);
+      let rng = Random.State.make [| seed + i |] in
+      ignore (record_experiment ~config kb ~prog:name p []);
+      ignore (record_experiment ~config kb ~prog:name p Passes.Pass.o2);
+      ignore (record_experiment ~config kb ~prog:name p Passes.Pass.ofast);
+      List.iter
+        (fun seq -> ignore (record_experiment ~config kb ~prog:name p seq))
+        (Search.Space.sample_distinct rng ~length per_program))
+    programs;
+  kb

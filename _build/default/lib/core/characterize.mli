@@ -1,0 +1,30 @@
+(** Application characterization and knowledge-base population: the
+    "static and dynamic process characterization" feeding the knowledge
+    base in the paper's Fig. 1. *)
+
+(** normalized (per-instruction) counter rates as a named list *)
+val counter_assoc : Mach.Counters.bank -> (string * float) list
+
+(** profile a program at -O0 on the given machine: static features +
+    counter rates + base cycles *)
+val characterize :
+  ?config:Mach.Config.t -> prog:string -> Mira.Ir.program ->
+  Knowledge.Kb.characterization
+
+(** compile with [seq] and simulate; [infinity] when the optimized program
+    traps or diverges, so broken sequences lose every comparison *)
+val eval_sequence :
+  ?config:Mach.Config.t -> Mira.Ir.program -> Passes.Pass.t list -> float
+
+(** like {!eval_sequence}, also appending the experiment to the KB *)
+val record_experiment :
+  ?config:Mach.Config.t -> Knowledge.Kb.t -> prog:string -> Mira.Ir.program ->
+  Passes.Pass.t list -> float
+
+(** Build a knowledge base by random exploration of each training
+    program's sequence space (the paper's "significant training period").
+    [per_program] random sequences plus the O0/O2/Ofast points are
+    evaluated per program. *)
+val build_kb :
+  ?config:Mach.Config.t -> ?seed:int -> ?per_program:int -> ?length:int ->
+  (string * Mira.Ir.program) list -> Knowledge.Kb.t

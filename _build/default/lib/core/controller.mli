@@ -1,0 +1,33 @@
+(** The intelligent optimization controller (paper Sec. III-A): given a
+    program and the knowledge base, decide how to optimize it. *)
+
+type decision = {
+  sequence : Passes.Pass.t list;
+  predicted_from : string list;  (** training programs consulted *)
+  evaluations : int;             (** target-system runs spent *)
+}
+
+type compiled = {
+  program : Mira.Ir.program;
+  decision : decision;
+}
+
+(** one-shot from static features: nearest training program's best
+    sequence; no target-system runs.  Falls back to O2 on an empty KB. *)
+val one_shot :
+  ?config:Mach.Config.t -> Knowledge.Kb.t -> Mira.Ir.program -> compiled
+
+(** one-shot from performance counters (the paper's PCModel): spends one
+    -O0 profiling run; [trials > 1] additionally evaluates the top
+    candidates online and keeps the winner *)
+val one_shot_counters :
+  ?config:Mach.Config.t -> ?trials:int -> Knowledge.Kb.t -> Mira.Ir.program ->
+  compiled
+
+(** iterative mode: fit a focused sequence model from the KB and spend an
+    evaluation [budget] searching; returns the compiled program and the
+    full search trace *)
+val iterative :
+  ?config:Mach.Config.t -> ?seed:int -> ?budget:int ->
+  ?params:Search.Focused.params -> Knowledge.Kb.t -> Mira.Ir.program ->
+  compiled * Search.Strategies.result

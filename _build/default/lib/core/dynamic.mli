@@ -1,0 +1,60 @@
+(** Dynamic optimization with runtime monitoring (paper Sec. III-D).
+
+    The application is a stream of kernel intervals.  The monitor reads
+    each interval's counter signature, detects phase changes by signature
+    distance, audits each prepared code version once per new phase
+    (performance auditing, Lau et al.), locks in the measured winner, and
+    recognizes recurring phases from a phase memory so they skip
+    re-auditing (Fursin-style knowledge reuse).  Compilation and auditing
+    overheads are charged in cycles. *)
+
+type interval = {
+  phase_id : int;   (** ground truth, used only for reporting *)
+  source : string;  (** Mira source of this interval's kernel run *)
+}
+
+type version = {
+  vname : string;
+  vseq : Passes.Pass.t list;
+}
+
+type config = {
+  mach : Mach.Config.t;
+  versions : version list;
+  phase_threshold : float;  (** signature distance that ends a phase *)
+  compile_overhead : int;   (** cycles charged per compilation *)
+  audit_overhead : int;     (** cycles charged per audited interval *)
+}
+
+val default_versions : version list
+val default_config : config
+
+(** per-interval counter signature (miss rates, branch behaviour, CPI) *)
+val signature : Mach.Sim.result -> float array
+
+(** simulate one interval compiled under [seq]; compilations memoized *)
+val run_interval :
+  config -> (string * string, Mira.Ir.program) Hashtbl.t -> interval ->
+  Passes.Pass.t list -> Mach.Sim.result
+
+type report = {
+  total_cycles : int;        (** dynamic optimizer, overheads included *)
+  overhead_cycles : int;
+  static_best_cycles : int;  (** best single version everywhere *)
+  static_best_name : string;
+  o0_cycles : int;
+  oracle_cycles : int;       (** best version per interval, no overhead *)
+  phase_changes_detected : int;
+  audits : int;
+  choices : (int * string) list;  (** interval index -> version chosen *)
+}
+
+(** @raise Invalid_argument when [config.versions] is empty *)
+val run : config -> interval list -> report
+
+(** a kernel whose behaviour depends on the trip count: long-trip phases
+    reward aggressive loop optimization, zero-trip phases punish it *)
+val kernel_source : trips:int -> reps:int -> string
+
+(** alternating long-trip / zero-trip phases *)
+val phased_intervals : ?phases:int -> ?per_phase:int -> unit -> interval list

@@ -1,0 +1,303 @@
+module Ir = Mira.Ir
+
+(* Static program characterization (paper Sec. III-B/III-E): a named
+   feature vector extracted from the IR by compiler analysis — instruction
+   mix, control-flow shape, loop structure, memory behaviour proxies.
+   These are the inputs to the performance prediction models and the
+   similarity metric used to correlate a new program with the knowledge
+   base. *)
+
+type t = (string * float) list
+
+let names =
+  [
+    "n_funcs"; "n_blocks"; "n_instrs"; "avg_block_size"; "max_block_size";
+    "cfg_edges"; "branch_count"; "branch_density"; "n_loops";
+    "max_loop_depth"; "loop_instr_frac"; "loads"; "stores"; "mem_density";
+    "load_store_ratio"; "int_ops"; "fp_ops"; "fp_frac"; "mul_count";
+    "div_count"; "shift_count"; "cmp_count"; "mov_frac"; "calls";
+    "call_density"; "const_operand_frac"; "n_arrays"; "global_bytes";
+    "local_bytes"; "reg_per_instr"; "recursive"; "print_count";
+    "avg_const_trip"; "short_trip_frac";
+  ]
+
+(* Static trip-count estimation for counted loops whose bounds and step
+   are compile-time literals (Milepost-style "loop trip count" features):
+   recognizes the canonical `for` shape (header = one Icmp.lt against
+   registers/constants whose every definition is a literal move) and
+   computes the trip count.  Loops with unknown bounds contribute
+   nothing. *)
+let const_trip_counts (f : Ir.func) : int list =
+  (* all defining instructions of each register *)
+  let defs = Hashtbl.create 32 in
+  Ir.LMap.iter
+    (fun _ (b : Ir.block) ->
+      List.iter
+        (fun i ->
+          match Ir.def_of i with
+          | Some d ->
+            Hashtbl.replace defs d
+              (i :: Option.value ~default:[] (Hashtbl.find_opt defs d))
+          | None -> ())
+        b.Ir.instrs)
+    f.Ir.blocks;
+  let const_of (o : Ir.operand) ~(allow_one_incr : Ir.reg option) =
+    match o with
+    | Ir.Cint n -> Some n
+    | Ir.Reg r -> begin
+      match Hashtbl.find_opt defs r with
+      | Some ds ->
+        (* the bound/step registers must be defined only by one literal
+           move; the induction variable additionally has its increment *)
+        let literal_moves, others =
+          List.partition (function Ir.Mov (_, Ir.Cint _) -> true | _ -> false) ds
+        in
+        let others_ok =
+          match allow_one_incr with
+          | Some iv ->
+            List.for_all
+              (function
+                | Ir.Bin (Ir.Add, d, Ir.Reg s, _) -> d = iv && s = iv
+                | _ -> false)
+              others
+          | None -> others = []
+        in
+        (match literal_moves with
+         | [ Ir.Mov (_, Ir.Cint n) ] when others_ok -> Some n
+         | _ -> None)
+      | None -> None
+    end
+    | _ -> None
+  in
+  let _, loops = Mira.Analysis.natural_loops f in
+  List.filter_map
+    (fun (l : Mira.Analysis.loop) ->
+      let hb = Ir.find_block f l.Mira.Analysis.header in
+      match (hb.Ir.instrs, hb.Ir.term, l.Mira.Analysis.latches) with
+      | ( [ Ir.Icmp (Ir.Lt, _, Ir.Reg iv, hi) ], Ir.Br (_, _, _), [ latch ] )
+        -> begin
+        let lb = Ir.find_block f latch in
+        match List.rev lb.Ir.instrs with
+        | Ir.Bin (Ir.Add, iv', Ir.Reg iv'', step) :: _
+          when iv' = iv && iv'' = iv -> begin
+          let lo = const_of (Ir.Reg iv) ~allow_one_incr:(Some iv) in
+          let hi = const_of hi ~allow_one_incr:None in
+          let st =
+            match step with
+            | Ir.Cint s -> Some s
+            | _ -> const_of step ~allow_one_incr:None
+          in
+          match (lo, hi, st) with
+          | Some lo, Some hi, Some st when st > 0 ->
+            Some (max 0 ((hi - lo + st - 1) / st))
+          | _ -> None
+        end
+        | _ -> None
+      end
+      | _ -> None)
+    loops
+
+(* The subset used for program-similarity distances: scale-invariant
+   densities and shape features.  Absolute counts (n_instrs, loads, ...)
+   say how *big* a program is, not how it behaves, and would dominate the
+   Euclidean metric; the paper's methodology (Sec. III-E) calls for
+   exactly this kind of feature curation. *)
+let similarity_names =
+  [
+    "avg_block_size"; "branch_density"; "max_loop_depth"; "loop_instr_frac";
+    "mem_density"; "load_store_ratio"; "fp_frac"; "mov_frac"; "call_density";
+    "const_operand_frac"; "reg_per_instr"; "recursive";
+  ]
+
+let restrict_to_similarity (t : t) : t =
+  List.filter (fun (n, _) -> List.mem n similarity_names) t
+
+let is_recursive (p : Ir.program) : bool =
+  let callees f =
+    Ir.LMap.fold
+      (fun _ (b : Ir.block) acc ->
+        List.fold_left
+          (fun acc i -> match i with Ir.Call (_, g, _) -> g :: acc | _ -> acc)
+          acc b.Ir.instrs)
+      f.Ir.blocks []
+  in
+  let reachable_from start =
+    let seen = Hashtbl.create 8 in
+    let rec go g =
+      if not (Hashtbl.mem seen g) then begin
+        Hashtbl.replace seen g ();
+        match Ir.SMap.find_opt g p.Ir.funcs with
+        | Some f -> List.iter go (callees f)
+        | None -> ()
+      end
+    in
+    (match Ir.SMap.find_opt start p.Ir.funcs with
+     | Some f -> List.iter go (callees f)
+     | None -> ());
+    seen
+  in
+  Ir.SMap.exists
+    (fun name _ -> Hashtbl.mem (reachable_from name) name)
+    p.Ir.funcs
+
+let extract (p : Ir.program) : t =
+  let n_funcs = ref 0 in
+  let n_blocks = ref 0 in
+  let n_instrs = ref 0 in
+  let max_block = ref 0 in
+  let cfg_edges = ref 0 in
+  let branches = ref 0 in
+  let loads = ref 0 and stores = ref 0 in
+  let int_ops = ref 0 and fp_ops = ref 0 in
+  let muls = ref 0 and divs = ref 0 and shifts = ref 0 in
+  let cmps = ref 0 and movs = ref 0 in
+  let calls = ref 0 and prints = ref 0 in
+  let const_operands = ref 0 and total_operands = ref 0 in
+  let n_loops = ref 0 and max_depth = ref 0 in
+  let loop_instrs = ref 0 in
+  let nregs = ref 0 in
+  Ir.SMap.iter
+    (fun _ (f : Ir.func) ->
+      incr n_funcs;
+      nregs := !nregs + f.Ir.nregs;
+      let depths = Mira.Analysis.loop_depths f in
+      let _, loops = Mira.Analysis.natural_loops f in
+      n_loops := !n_loops + List.length loops;
+      List.iter
+        (fun (l : Mira.Analysis.loop) ->
+          max_depth := max !max_depth l.Mira.Analysis.depth)
+        loops;
+      Ir.LMap.iter
+        (fun label (b : Ir.block) ->
+          incr n_blocks;
+          let sz = List.length b.Ir.instrs in
+          n_instrs := !n_instrs + sz;
+          max_block := max !max_block sz;
+          cfg_edges := !cfg_edges + List.length (Ir.successors b.Ir.term);
+          (match b.Ir.term with Ir.Br _ -> incr branches | _ -> ());
+          (match Ir.LMap.find_opt label depths with
+           | Some d when d > 0 -> loop_instrs := !loop_instrs + sz
+           | _ -> ());
+          List.iter
+            (fun i ->
+              List.iter
+                (fun o ->
+                  incr total_operands;
+                  match o with
+                  | Ir.Cint _ | Ir.Cfloat _ | Ir.Cbool _ ->
+                    incr const_operands
+                  | _ -> ())
+                (Ir.ops_of i);
+              match i with
+              | Ir.Load _ -> incr loads
+              | Ir.Store _ -> incr stores
+              | Ir.Bin (op, _, _, _) -> begin
+                incr int_ops;
+                match op with
+                | Ir.Mul -> incr muls
+                | Ir.Div | Ir.Rem -> incr divs
+                | Ir.Shl | Ir.Shr -> incr shifts
+                | _ -> ()
+              end
+              | Ir.Fbin _ -> incr fp_ops
+              | Ir.Icmp _ ->
+                incr int_ops;
+                incr cmps
+              | Ir.Fcmp _ ->
+                incr fp_ops;
+                incr cmps
+              | Ir.Mov _ ->
+                incr int_ops;
+                incr movs
+              | Ir.Not _ | Ir.Alen _ -> incr int_ops
+              | Ir.I2f _ | Ir.F2i _ -> incr fp_ops
+              | Ir.Call _ -> incr calls
+              | Ir.Print _ -> incr prints)
+            b.Ir.instrs)
+        f.Ir.blocks)
+    p.Ir.funcs;
+  let local_bytes =
+    Ir.SMap.fold
+      (fun _ (f : Ir.func) acc ->
+        List.fold_left (fun acc (_, _, sz) -> acc + (sz * 8)) acc f.Ir.locals)
+      p.Ir.funcs 0
+  in
+  let global_bytes =
+    List.fold_left (fun acc g -> acc + (g.Ir.gsize * 8)) 0 p.Ir.globals
+  in
+  let n_arrays =
+    List.length p.Ir.globals
+    + Ir.SMap.fold
+        (fun _ (f : Ir.func) acc -> acc + List.length f.Ir.locals)
+        p.Ir.funcs 0
+  in
+  let fi = float_of_int in
+  let instrs = max 1 !n_instrs in
+  let mem = !loads + !stores in
+  [
+    ("n_funcs", fi !n_funcs);
+    ("n_blocks", fi !n_blocks);
+    ("n_instrs", fi !n_instrs);
+    ("avg_block_size", fi !n_instrs /. fi (max 1 !n_blocks));
+    ("max_block_size", fi !max_block);
+    ("cfg_edges", fi !cfg_edges);
+    ("branch_count", fi !branches);
+    ("branch_density", fi !branches /. fi instrs);
+    ("n_loops", fi !n_loops);
+    ("max_loop_depth", fi !max_depth);
+    ("loop_instr_frac", fi !loop_instrs /. fi instrs);
+    ("loads", fi !loads);
+    ("stores", fi !stores);
+    ("mem_density", fi mem /. fi instrs);
+    ("load_store_ratio", fi !loads /. fi (max 1 !stores));
+    ("int_ops", fi !int_ops);
+    ("fp_ops", fi !fp_ops);
+    ("fp_frac", fi !fp_ops /. fi instrs);
+    ("mul_count", fi !muls);
+    ("div_count", fi !divs);
+    ("shift_count", fi !shifts);
+    ("cmp_count", fi !cmps);
+    ("mov_frac", fi !movs /. fi instrs);
+    ("calls", fi !calls);
+    ("call_density", fi !calls /. fi instrs);
+    ("const_operand_frac", fi !const_operands /. fi (max 1 !total_operands));
+    ("n_arrays", fi n_arrays);
+    ("global_bytes", fi global_bytes);
+    ("local_bytes", fi local_bytes);
+    ("reg_per_instr", fi !nregs /. fi instrs);
+    ("recursive", if is_recursive p then 1.0 else 0.0);
+    ("print_count", fi !prints);
+    ("avg_const_trip",
+     let trips =
+       Ir.SMap.fold (fun _ f acc -> const_trip_counts f @ acc) p.Ir.funcs []
+     in
+     (match trips with
+      | [] -> 256.0   (* unknown bounds: assume long *)
+      | ts ->
+        min 1024.0
+          (fi (List.fold_left ( + ) 0 ts) /. fi (List.length ts))));
+    ("short_trip_frac",
+     let trips =
+       Ir.SMap.fold (fun _ f acc -> const_trip_counts f @ acc) p.Ir.funcs []
+     in
+     let short = List.length (List.filter (fun t -> t <= 8) trips) in
+     fi short /. fi (max 1 !n_loops));
+  ]
+
+(* Per-function characterization: the same extraction applied to a
+   program containing only that function (callees are irrelevant to the
+   static features; self-recursion is still detected).  This is the input
+   of the method-specific (per-function) models. *)
+let extract_func (p : Ir.program) (fname : string) : t =
+  let f = Ir.find_func p fname in
+  extract
+    { p with Ir.funcs = Ir.SMap.singleton fname f }
+
+(* align a named feature list to the canonical [names] order *)
+let to_vector (t : t) : float array =
+  Array.of_list
+    (List.map
+       (fun n -> match List.assoc_opt n t with Some v -> v | None -> 0.0)
+       names)
+
+let vector_of_program p = to_vector (extract p)

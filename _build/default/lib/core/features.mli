@@ -1,0 +1,35 @@
+(** Static program characterization (paper Sec. III-B/III-E): a named
+    feature vector extracted from the IR — instruction mix, control-flow
+    shape, loop structure, memory-behaviour proxies.  These are the inputs
+    of the prediction models and of the program-similarity metric. *)
+
+type t = (string * float) list
+
+(** the canonical feature names, in vector order *)
+val names : string list
+
+(** the scale-invariant subset used for program-similarity distances
+    (densities and shape only; absolute counts would make the metric
+    measure program size) *)
+val similarity_names : string list
+
+val restrict_to_similarity : t -> t
+
+(** is any function reachable from itself in the call graph? *)
+val is_recursive : Mira.Ir.program -> bool
+
+(** static trip counts of the counted loops whose bounds and step are
+    compile-time literals (one entry per such loop) *)
+val const_trip_counts : Mira.Ir.func -> int list
+
+(** extract all features of a program *)
+val extract : Mira.Ir.program -> t
+
+(** features of a single function (same schema; program-level counts
+    reduce to that function's) *)
+val extract_func : Mira.Ir.program -> string -> t
+
+(** align a named feature list to [names] order (missing entries are 0) *)
+val to_vector : t -> float array
+
+val vector_of_program : Mira.Ir.program -> float array

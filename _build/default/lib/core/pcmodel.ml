@@ -1,0 +1,121 @@
+(* The performance-counter model of the paper's Sec. III-B example
+   (Cavazos et al., CGO'07 [3]): characterize a new program by the
+   normalized hardware-counter vector of one -O0 profiling run, find the
+   most similar training programs in counter space, and predict the
+   optimization sequence most likely to speed the new program up — in one
+   shot, no search.
+
+   Counter vectors are standardized across the training set before the
+   distance computation; the candidate sequences come from the neighbours'
+   best recorded experiments and the prediction is the candidate with the
+   best *predicted* rank (nearest neighbour first).  [predict_and_pick]
+   additionally allows a small online budget: evaluate the top candidates
+   and keep the real winner, mirroring the paper's one-or-few-trials
+   usage. *)
+
+module Kb = Knowledge.Kb
+
+type t = {
+  arch : string;
+  schema : string list;              (* counter names, canonical order *)
+  scaler : Mlkit.Scaling.t;
+  progs : string array;
+  vectors : float array array;       (* standardized, by program *)
+  best_seqs : Passes.Pass.t list array;
+}
+
+let vector_of_schema (schema : string list) (counters : (string * float) list)
+    : float array =
+  Array.of_list
+    (List.map
+       (fun n -> match List.assoc_opt n counters with Some v -> v | None -> 0.0)
+       schema)
+
+(* counters used for similarity: per-instruction event rates (drop TOT_INS,
+   which is constant 1 after normalization) *)
+let default_schema =
+  List.filter_map
+    (fun c ->
+      match c with
+      | Mach.Counters.TOT_INS -> None
+      | c -> Some (Mach.Counters.name c))
+    Mach.Counters.all
+
+let train ?(schema = default_schema) (kb : Kb.t) ~(arch : string) : t option =
+  let chars = List.filter (fun c -> c.Kb.arch = arch) kb.Kb.chars in
+  (* only programs that also have experiments to recommend from *)
+  let usable =
+    List.filter_map
+      (fun c ->
+        match Kb.best kb ~prog:c.Kb.prog ~arch with
+        | Some b -> Some (c, b.Kb.seq)
+        | None -> None)
+      chars
+  in
+  match usable with
+  | [] -> None
+  | _ ->
+    let raw =
+      Array.of_list
+        (List.map (fun (c, _) -> vector_of_schema schema c.Kb.counters) usable)
+    in
+    let scaler = Mlkit.Scaling.fit raw in
+    Some
+      {
+        arch;
+        schema;
+        scaler;
+        progs = Array.of_list (List.map (fun (c, _) -> c.Kb.prog) usable);
+        vectors = Mlkit.Scaling.apply_all scaler raw;
+        best_seqs = Array.of_list (List.map snd usable);
+      }
+
+(* nearest training programs for a new counter vector, closest first *)
+let neighbors (t : t) (counters : (string * float) list) :
+    (string * Passes.Pass.t list * float) list =
+  let x = Mlkit.Scaling.apply t.scaler (vector_of_schema t.schema counters) in
+  let dists =
+    Array.mapi
+      (fun i v -> (t.progs.(i), t.best_seqs.(i), Mlkit.Linalg.euclidean x v))
+      t.vectors
+  in
+  Array.sort
+    (fun (p1, _, d1) (p2, _, d2) ->
+      match compare d1 d2 with 0 -> compare p1 p2 | c -> c)
+    dists;
+  Array.to_list dists
+
+(* one-shot prediction: the nearest neighbour's best sequence *)
+let predict (t : t) (counters : (string * float) list) : Passes.Pass.t list =
+  match neighbors t counters with
+  | (_, seq, _) :: _ -> seq
+  | [] -> []
+
+(* candidate list: distinct best sequences of the k nearest neighbours *)
+let candidates (t : t) ?(k = 5) (counters : (string * float) list) :
+    Passes.Pass.t list list =
+  let seen = Hashtbl.create 8 in
+  neighbors t counters
+  |> List.filteri (fun i _ -> i < k)
+  |> List.filter_map (fun (_, seq, _) ->
+         let key = Passes.Pass.sequence_to_string seq in
+         if Hashtbl.mem seen key then None
+         else begin
+           Hashtbl.replace seen key ();
+           Some seq
+         end)
+
+(* predict, optionally evaluating up to [trials] top candidates with the
+   supplied cost oracle and keeping the measured winner *)
+let predict_and_pick (t : t) ?(trials = 1) (counters : (string * float) list)
+    (eval : Passes.Pass.t list -> float) : Passes.Pass.t list * float =
+  let cands = candidates t ~k:(max 1 trials) counters in
+  let cands = List.filteri (fun i _ -> i < max 1 trials) cands in
+  match cands with
+  | [] -> ([], eval [])
+  | _ ->
+    List.fold_left
+      (fun (bseq, bc) seq ->
+        let c = eval seq in
+        if c < bc then (seq, c) else (bseq, bc))
+      ([], infinity) cands

@@ -1,0 +1,42 @@
+(** The performance-counter model of the paper's Sec. III-B example
+    (after Cavazos et al., CGO'07): characterize a new program with ONE
+    -O0 profiling run, find the training programs with the most similar
+    counter signatures, and predict the optimization sequence most likely
+    to help — in one shot, without search. *)
+
+type t = {
+  arch : string;
+  schema : string list;
+  scaler : Mlkit.Scaling.t;
+  progs : string array;
+  vectors : float array array;
+  best_seqs : Passes.Pass.t list array;
+}
+
+val vector_of_schema : string list -> (string * float) list -> float array
+
+(** per-instruction event-rate counters (TOT_INS excluded: it is 1 after
+    normalization) *)
+val default_schema : string list
+
+(** [None] when no training program has both a characterization and at
+    least one experiment *)
+val train : ?schema:string list -> Knowledge.Kb.t -> arch:string -> t option
+
+(** training programs ranked by counter-space distance, closest first,
+    each with its best known sequence *)
+val neighbors :
+  t -> (string * float) list -> (string * Passes.Pass.t list * float) list
+
+(** the nearest neighbour's best sequence *)
+val predict : t -> (string * float) list -> Passes.Pass.t list
+
+(** distinct best sequences of the [k] nearest neighbours *)
+val candidates :
+  t -> ?k:int -> (string * float) list -> Passes.Pass.t list list
+
+(** evaluate up to [trials] top candidates with the cost oracle and keep
+    the measured winner (the paper's one-or-few-online-trials usage) *)
+val predict_and_pick :
+  t -> ?trials:int -> (string * float) list ->
+  (Passes.Pass.t list -> float) -> Passes.Pass.t list * float

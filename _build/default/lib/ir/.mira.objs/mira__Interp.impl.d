@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Buffer Float Fmt Hashtbl Ir List Printf

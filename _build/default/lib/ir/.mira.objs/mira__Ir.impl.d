@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Fmt Int List Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Hashtbl Ir List Map Parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Ast Lexer List Printf

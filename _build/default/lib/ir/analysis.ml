@@ -1,0 +1,246 @@
+(* Control-flow analyses over IR functions: predecessors, reverse postorder,
+   dominators (Cooper-Harvey-Kennedy), natural loops, loop nesting depth,
+   and liveness.  All results are plain data so passes can consume them
+   without recomputation hazards. *)
+
+module LMap = Ir.LMap
+module LSet = Ir.LSet
+module RSet = Ir.RSet
+
+type cfg = {
+  preds : Ir.label list LMap.t;
+  succs : Ir.label list LMap.t;
+  rpo : Ir.label array;          (* reachable blocks in reverse postorder *)
+  rpo_index : int LMap.t;        (* label -> position in rpo *)
+  reachable : LSet.t;
+}
+
+let cfg_of (f : Ir.func) : cfg =
+  let succs =
+    LMap.map (fun (b : Ir.block) -> Ir.successors b.Ir.term) f.Ir.blocks
+  in
+  (* DFS postorder from entry *)
+  let visited = Hashtbl.create 64 in
+  let post = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      List.iter dfs (try LMap.find l succs with Not_found -> []);
+      post := l :: !post
+    end
+  in
+  dfs f.Ir.entry;
+  let rpo = Array.of_list !post in
+  let rpo_index =
+    Array.to_list rpo
+    |> List.mapi (fun i l -> (l, i))
+    |> List.fold_left (fun m (l, i) -> LMap.add l i m) LMap.empty
+  in
+  let reachable =
+    Array.fold_left (fun s l -> LSet.add l s) LSet.empty rpo
+  in
+  let preds =
+    LMap.fold
+      (fun l ss acc ->
+        if LSet.mem l reachable then
+          List.fold_left
+            (fun acc s ->
+              let cur = try LMap.find s acc with Not_found -> [] in
+              LMap.add s (l :: cur) acc)
+            acc ss
+        else acc)
+      succs
+      (LMap.map (fun _ -> []) f.Ir.blocks)
+  in
+  { preds; succs; rpo; rpo_index; reachable }
+
+let preds cfg l = try LMap.find l cfg.preds with Not_found -> []
+let succs cfg l = try LMap.find l cfg.succs with Not_found -> []
+
+(* ------------------------------------------------------------------ *)
+(* Dominators: Cooper, Harvey & Kennedy "A Simple, Fast Dominance
+   Algorithm".  idom.(i) is the rpo index of the immediate dominator of the
+   block at rpo index i; entry maps to itself. *)
+
+type doms = {
+  idom : int array;              (* by rpo index *)
+  cfg : cfg;
+}
+
+let dominators (cfg : cfg) : doms =
+  let n = Array.length cfg.rpo in
+  let idom = Array.make n (-1) in
+  if n > 0 then begin
+    idom.(0) <- 0;
+    let index l = LMap.find l cfg.rpo_index in
+    let intersect b1 b2 =
+      let f1 = ref b1 and f2 = ref b2 in
+      while !f1 <> !f2 do
+        while !f1 > !f2 do f1 := idom.(!f1) done;
+        while !f2 > !f1 do f2 := idom.(!f2) done
+      done;
+      !f1
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 1 to n - 1 do
+        let l = cfg.rpo.(i) in
+        let ps =
+          preds cfg l
+          |> List.filter (fun p -> LSet.mem p cfg.reachable)
+          |> List.map index
+          |> List.filter (fun p -> idom.(p) >= 0 || p = 0)
+        in
+        match ps with
+        | [] -> ()
+        | first :: rest ->
+          let new_idom =
+            List.fold_left
+              (fun acc p -> if idom.(p) >= 0 then intersect acc p else acc)
+              first rest
+          in
+          if idom.(i) <> new_idom then begin
+            idom.(i) <- new_idom;
+            changed := true
+          end
+      done
+    done
+  end;
+  { idom; cfg }
+
+(* Does [a] dominate [b]?  Both must be reachable. *)
+let dominates (d : doms) a b =
+  let ia = LMap.find a d.cfg.rpo_index and ib = LMap.find b d.cfg.rpo_index in
+  let rec up i = if i = ia then true else if i = 0 then ia = 0 else up d.idom.(i) in
+  up ib
+
+(* ------------------------------------------------------------------ *)
+(* Natural loops.  A back edge is an edge t -> h where h dominates t.
+   The loop body is computed by the usual backward reachability from the
+   tail, stopping at the header. *)
+
+type loop = {
+  header : Ir.label;
+  body : LSet.t;           (* includes header *)
+  latches : Ir.label list; (* sources of back edges into header *)
+  depth : int;             (* nesting depth, 1 = outermost *)
+}
+
+let natural_loops (f : Ir.func) : cfg * loop list =
+  let cfg = cfg_of f in
+  let doms = dominators cfg in
+  let back_edges = ref [] in
+  LSet.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          if LSet.mem s cfg.reachable && dominates doms s l then
+            back_edges := (l, s) :: !back_edges)
+        (succs cfg l))
+    cfg.reachable;
+  (* group back edges by header *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (t, h) ->
+      let cur = try Hashtbl.find tbl h with Not_found -> [] in
+      Hashtbl.replace tbl h (t :: cur))
+    !back_edges;
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+        let body = ref (LSet.singleton header) in
+        let stack = ref latches in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | x :: rest ->
+            stack := rest;
+            if not (LSet.mem x !body) then begin
+              body := LSet.add x !body;
+              List.iter (fun p -> stack := p :: !stack) (preds cfg x)
+            end
+        done;
+        { header; body = !body; latches; depth = 1 } :: acc)
+      tbl []
+  in
+  (* nesting depth: loop A contains loop B if A.body ⊇ B.body and A ≠ B *)
+  let loops =
+    List.map
+      (fun l ->
+        let depth =
+          1
+          + List.length
+              (List.filter
+                 (fun l' ->
+                   l'.header <> l.header && LSet.subset l.body l'.body)
+                 loops)
+        in
+        { l with depth })
+      loops
+  in
+  (cfg, loops)
+
+(* Map from block label to its innermost loop depth (0 = not in a loop). *)
+let loop_depths (f : Ir.func) : int LMap.t =
+  let _, loops = natural_loops f in
+  LMap.mapi
+    (fun l _ ->
+      List.fold_left
+        (fun acc lo -> if LSet.mem l lo.body then max acc lo.depth else acc)
+        0 loops)
+    f.Ir.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Liveness: backwards iterative dataflow on registers. *)
+
+type liveness = {
+  live_in : RSet.t LMap.t;
+  live_out : RSet.t LMap.t;
+}
+
+let block_use_def (b : Ir.block) : RSet.t * RSet.t =
+  (* use = registers read before any write in the block *)
+  let use = ref RSet.empty and def = ref RSet.empty in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r -> if not (RSet.mem r !def) then use := RSet.add r !use)
+        (Ir.uses_of i);
+      match Ir.def_of i with
+      | Some d -> def := RSet.add d !def
+      | None -> ())
+    b.Ir.instrs;
+  List.iter
+    (fun r -> if not (RSet.mem r !def) then use := RSet.add r !use)
+    (Ir.term_uses b.Ir.term);
+  (!use, !def)
+
+let liveness (f : Ir.func) (cfg : cfg) : liveness =
+  let use_def = LMap.map block_use_def f.Ir.blocks in
+  let live_in = ref (LMap.map (fun _ -> RSet.empty) f.Ir.blocks) in
+  let live_out = ref (LMap.map (fun _ -> RSet.empty) f.Ir.blocks) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in reverse rpo for fast convergence *)
+    for i = Array.length cfg.rpo - 1 downto 0 do
+      let l = cfg.rpo.(i) in
+      let out =
+        List.fold_left
+          (fun acc s -> RSet.union acc (LMap.find s !live_in))
+          RSet.empty (succs cfg l)
+      in
+      let use, def = LMap.find l use_def in
+      let inn = RSet.union use (RSet.diff out def) in
+      if not (RSet.equal out (LMap.find l !live_out)) then begin
+        live_out := LMap.add l out !live_out;
+        changed := true
+      end;
+      if not (RSet.equal inn (LMap.find l !live_in)) then begin
+        live_in := LMap.add l inn !live_in;
+        changed := true
+      end
+    done
+  done;
+  { live_in = !live_in; live_out = !live_out }

@@ -1,0 +1,51 @@
+(** Control-flow analyses over IR functions: predecessors/successors,
+    reverse postorder, dominators (Cooper-Harvey-Kennedy), natural loops
+    with nesting depth, and liveness. *)
+
+module LMap = Ir.LMap
+module LSet = Ir.LSet
+module RSet = Ir.RSet
+
+type cfg = {
+  preds : Ir.label list LMap.t;
+  succs : Ir.label list LMap.t;
+  rpo : Ir.label array;      (** reachable blocks in reverse postorder *)
+  rpo_index : int LMap.t;
+  reachable : LSet.t;
+}
+
+val cfg_of : Ir.func -> cfg
+val preds : cfg -> Ir.label -> Ir.label list
+val succs : cfg -> Ir.label -> Ir.label list
+
+type doms = {
+  idom : int array;  (** by rpo index; the entry maps to itself *)
+  cfg : cfg;
+}
+
+val dominators : cfg -> doms
+
+(** does [a] dominate [b]?  Both must be reachable. *)
+val dominates : doms -> Ir.label -> Ir.label -> bool
+
+type loop = {
+  header : Ir.label;
+  body : LSet.t;            (** includes the header *)
+  latches : Ir.label list;  (** sources of back edges into the header *)
+  depth : int;              (** nesting depth, 1 = outermost *)
+}
+
+val natural_loops : Ir.func -> cfg * loop list
+
+(** block label -> innermost loop depth (0 = not in any loop) *)
+val loop_depths : Ir.func -> int LMap.t
+
+type liveness = {
+  live_in : RSet.t LMap.t;
+  live_out : RSet.t LMap.t;
+}
+
+(** registers read before written in a block, and registers written *)
+val block_use_def : Ir.block -> RSet.t * RSet.t
+
+val liveness : Ir.func -> cfg -> liveness

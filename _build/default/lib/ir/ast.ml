@@ -1,0 +1,188 @@
+(* Abstract syntax of Mira, the small imperative source language used as the
+   compiler substrate for the intelligent-compiler experiments.
+
+   Mira is deliberately C-like: scalar ints/floats/bools, one-dimensional
+   arrays (locals, globals and by-reference parameters), structured control
+   flow, and calls.  It is rich enough that the 13 optimization passes have
+   real work to do, while staying small enough to lower and simulate
+   deterministically. *)
+
+type ty =
+  | TInt
+  | TFloat
+  | TBool
+  | TArr of elt
+
+and elt =
+  | EltInt
+  | EltFloat
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr                          (* short-circuit *)
+  | BAnd | BOr | BXor | Shl | Shr
+
+type unop =
+  | Neg
+  | Not
+  | BNot
+  | FloatOfInt
+  | IntOfFloat
+
+(* Source position, for error messages. *)
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Var of string
+  | Index of string * expr              (* a[i] *)
+  | Len of string                       (* len(a) *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | SDecl of string * ty * expr               (* var x: int = e *)
+  | SArrDecl of string * elt * int            (* var a: int[64] *)
+  | SAssign of string * expr
+  | SStore of string * expr * expr            (* a[i] = e *)
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SFor of string * expr * expr * expr * stmt list
+      (* for x = lo to hi step s { ... }: iterates while x < hi *)
+  | SReturn of expr option
+  | SExpr of expr
+  | SPrint of expr
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global = {
+  gname : string;
+  gelt : elt;
+  gsize : int;
+  ginit : float list;  (* leading initializers; remainder zero-filled *)
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}
+
+let mk_e ?(pos = dummy_pos) e = { e; epos = pos }
+let mk_s ?(pos = dummy_pos) s = { s; spos = pos }
+
+let string_of_ty = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TBool -> "bool"
+  | TArr EltInt -> "int[]"
+  | TArr EltFloat -> "float[]"
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | LAnd -> "&&" | LOr -> "||"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let string_of_unop = function
+  | Neg -> "-" | Not -> "!" | BNot -> "~"
+  | FloatOfInt -> "float" | IntOfFloat -> "int"
+
+(* Pretty printer: emits valid Mira concrete syntax, used by the
+   parser round-trip property tests. *)
+
+let rec pp_expr ppf (x : expr) =
+  match x.e with
+  | Int n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+    else Fmt.pf ppf "%h" f
+  | Bool b -> Fmt.bool ppf b
+  | Var v -> Fmt.string ppf v
+  | Index (a, i) -> Fmt.pf ppf "%s[%a]" a pp_expr i
+  | Len a -> Fmt.pf ppf "len(%s)" a
+  | Bin (op, l, r) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr l (string_of_binop op) pp_expr r
+  | Un ((FloatOfInt | IntOfFloat) as op, x) ->
+    Fmt.pf ppf "%s(%a)" (string_of_unop op) pp_expr x
+  | Un (op, x) -> Fmt.pf ppf "(%s%a)" (string_of_unop op) pp_expr x
+  | Call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+
+let rec pp_stmt ind ppf (x : stmt) =
+  let pad = String.make ind ' ' in
+  match x.s with
+  | SDecl (v, ty, e) ->
+    Fmt.pf ppf "%svar %s: %s = %a;" pad v (string_of_ty ty) pp_expr e
+  | SArrDecl (v, elt, n) ->
+    let t = match elt with EltInt -> "int" | EltFloat -> "float" in
+    Fmt.pf ppf "%svar %s: %s[%d];" pad v t n
+  | SAssign (v, e) -> Fmt.pf ppf "%s%s = %a;" pad v pp_expr e
+  | SStore (a, i, e) -> Fmt.pf ppf "%s%s[%a] = %a;" pad a pp_expr i pp_expr e
+  | SIf (c, t, []) ->
+    Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c (pp_body (ind + 2)) t pad
+  | SIf (c, t, e) ->
+    Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+      (pp_body (ind + 2)) t pad (pp_body (ind + 2)) e pad
+  | SWhile (c, b) ->
+    Fmt.pf ppf "%swhile (%a) {@\n%a@\n%s}" pad pp_expr c (pp_body (ind + 2)) b pad
+  | SFor (v, lo, hi, step, b) ->
+    Fmt.pf ppf "%sfor %s = %a to %a step %a {@\n%a@\n%s}" pad v pp_expr lo
+      pp_expr hi pp_expr step (pp_body (ind + 2)) b pad
+  | SReturn None -> Fmt.pf ppf "%sreturn;" pad
+  | SReturn (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | SExpr e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | SPrint e -> Fmt.pf ppf "%sprint(%a);" pad pp_expr e
+
+and pp_body ind ppf stmts =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ind)) ppf stmts
+
+let pp_func ppf (f : func) =
+  let pp_param ppf (n, ty) = Fmt.pf ppf "%s: %s" n (string_of_ty ty) in
+  let pp_ret ppf = function
+    | None -> ()
+    | Some ty -> Fmt.pf ppf " -> %s" (string_of_ty ty)
+  in
+  Fmt.pf ppf "fn %s(%a)%a {@\n%a@\n}" f.fname
+    Fmt.(list ~sep:(any ", ") pp_param)
+    f.params pp_ret f.ret (pp_body 2) f.body
+
+let pp_global ppf (g : global) =
+  let t = match g.gelt with EltInt -> "int" | EltFloat -> "float" in
+  match g.ginit with
+  | [] -> Fmt.pf ppf "global %s: %s[%d];" g.gname t g.gsize
+  | init ->
+    let pp_v ppf v =
+      match g.gelt with
+      | EltInt -> Fmt.pf ppf "%d" (int_of_float v)
+      | EltFloat -> Fmt.pf ppf "%h" v
+    in
+    Fmt.pf ppf "global %s: %s[%d] = {%a};" g.gname t g.gsize
+      Fmt.(list ~sep:(any ", ") pp_v)
+      init
+
+let pp_program ppf (p : program) =
+  Fmt.pf ppf "%a%a%a"
+    Fmt.(list ~sep:(any "@\n") pp_global)
+    p.globals
+    Fmt.(if p.globals = [] then nop else any "@\n@\n")
+    ()
+    Fmt.(list ~sep:(any "@\n@\n") pp_func)
+    p.funcs
+
+let to_string (p : program) = Fmt.str "%a@." pp_program p

@@ -1,0 +1,86 @@
+(** Abstract syntax of Mira, the small imperative source language.
+    C-like: scalar ints/floats/bools, one-dimensional arrays (locals,
+    globals and by-reference parameters), structured control flow, calls.
+    The pretty-printer emits valid concrete syntax (used by the parser
+    round-trip tests). *)
+
+type ty =
+  | TInt
+  | TFloat
+  | TBool
+  | TArr of elt
+
+and elt = EltInt | EltFloat
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr      (** short-circuit *)
+  | BAnd | BOr | BXor | Shl | Shr
+
+type unop = Neg | Not | BNot | FloatOfInt | IntOfFloat
+
+type pos = { line : int; col : int }
+
+val dummy_pos : pos
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Var of string
+  | Index of string * expr   (** a[i] *)
+  | Len of string            (** len(a) *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | SDecl of string * ty * expr
+  | SArrDecl of string * elt * int
+  | SAssign of string * expr
+  | SStore of string * expr * expr
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SFor of string * expr * expr * expr * stmt list
+      (** for x = lo to hi step s: iterates while x < hi *)
+  | SReturn of expr option
+  | SExpr of expr
+  | SPrint of expr
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global = {
+  gname : string;
+  gelt : elt;
+  gsize : int;
+  ginit : float list;  (** leading initializers; remainder zero-filled *)
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}
+
+val mk_e : ?pos:pos -> expr_desc -> expr
+val mk_s : ?pos:pos -> stmt_desc -> stmt
+val string_of_ty : ty -> string
+val string_of_binop : binop -> string
+val string_of_unop : unop -> string
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : int -> Format.formatter -> stmt -> unit
+val pp_body : int -> Format.formatter -> stmt list -> unit
+val pp_func : Format.formatter -> func -> unit
+val pp_global : Format.formatter -> global -> unit
+val pp_program : Format.formatter -> program -> unit
+val to_string : program -> string

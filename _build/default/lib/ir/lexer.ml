@@ -1,0 +1,235 @@
+(* Hand-written lexer for Mira.  Produces a token stream with positions;
+   errors are reported through the [Error] exception carrying a message and
+   the offending position. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  (* keywords *)
+  | KFN | KVAR | KGLOBAL | KIF | KELSE | KWHILE | KFOR | KTO | KSTEP
+  | KRETURN | KPRINT | KTRUE | KFALSE | KLEN
+  | TINT | TFLOAT | TBOOL
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | COMMA | SEMI | COLON | ARROW
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQEQ | NE | ASSIGN
+  | ANDAND | OROR | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EOF
+
+exception Error of string * Ast.pos
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+
+let cur_pos lx : Ast.pos = { line = lx.line; col = lx.col }
+
+let peek lx = if lx.pos >= String.length lx.src then '\000' else lx.src.[lx.pos]
+
+let peek2 lx =
+  if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance lx =
+  if lx.pos < String.length lx.src then begin
+    (if lx.src.[lx.pos] = '\n' then begin
+       lx.line <- lx.line + 1;
+       lx.col <- 1
+     end
+     else lx.col <- lx.col + 1);
+    lx.pos <- lx.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_ws_and_comments lx =
+  match peek lx with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance lx;
+    skip_ws_and_comments lx
+  | '/' when peek2 lx = '/' ->
+    while peek lx <> '\n' && peek lx <> '\000' do advance lx done;
+    skip_ws_and_comments lx
+  | '/' when peek2 lx = '*' ->
+    let start = cur_pos lx in
+    advance lx; advance lx;
+    let rec loop () =
+      match peek lx with
+      | '\000' -> raise (Error ("unterminated comment", start))
+      | '*' when peek2 lx = '/' -> advance lx; advance lx
+      | _ -> advance lx; loop ()
+    in
+    loop ();
+    skip_ws_and_comments lx
+  | _ -> ()
+
+let keyword = function
+  | "fn" -> Some KFN
+  | "var" -> Some KVAR
+  | "global" -> Some KGLOBAL
+  | "if" -> Some KIF
+  | "else" -> Some KELSE
+  | "while" -> Some KWHILE
+  | "for" -> Some KFOR
+  | "to" -> Some KTO
+  | "step" -> Some KSTEP
+  | "return" -> Some KRETURN
+  | "print" -> Some KPRINT
+  | "true" -> Some KTRUE
+  | "false" -> Some KFALSE
+  | "len" -> Some KLEN
+  | "int" -> Some TINT
+  | "float" -> Some TFLOAT
+  | "bool" -> Some TBOOL
+  | _ -> None
+
+let lex_number lx =
+  let start = lx.pos in
+  let pos = cur_pos lx in
+  while is_digit (peek lx) do advance lx done;
+  let is_float =
+    (peek lx = '.' && is_digit (peek2 lx))
+    || peek lx = 'e' || peek lx = 'E'
+    || ((peek lx = 'x' || peek lx = 'X') && lx.pos = start + 1
+        && lx.src.[start] = '0')
+  in
+  if not is_float then begin
+    let s = String.sub lx.src start (lx.pos - start) in
+    match int_of_string_opt s with
+    | Some n -> INT n
+    | None -> raise (Error (Printf.sprintf "invalid integer literal %S" s, pos))
+  end
+  else if peek lx = 'x' || peek lx = 'X' then begin
+    advance lx;
+    while is_alnum (peek lx) do advance lx done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    match int_of_string_opt s with
+    | Some n -> INT n
+    | None -> raise (Error (Printf.sprintf "invalid hex literal %S" s, pos))
+  end
+  else begin
+    if peek lx = '.' then begin
+      advance lx;
+      while is_digit (peek lx) do advance lx done
+    end;
+    if peek lx = 'e' || peek lx = 'E' then begin
+      advance lx;
+      if peek lx = '+' || peek lx = '-' then advance lx;
+      while is_digit (peek lx) do advance lx done
+    end;
+    let s = String.sub lx.src start (lx.pos - start) in
+    match float_of_string_opt s with
+    | Some f -> FLOAT f
+    | None -> raise (Error (Printf.sprintf "invalid float literal %S" s, pos))
+  end
+
+(* Float literals may also be written in OCaml hex-float form (%h output of
+   the pretty-printer), e.g. 0x1.8p+1; those start with 0x and contain a dot
+   or a p exponent and are caught by [lex_number]'s hex path falling back to
+   [float_of_string]. *)
+
+let next lx : token * Ast.pos =
+  skip_ws_and_comments lx;
+  let pos = cur_pos lx in
+  let tok1 t = advance lx; t in
+  let tok2 t = advance lx; advance lx; t in
+  let t =
+    match peek lx with
+    | '\000' -> EOF
+    | c when is_digit c ->
+      (* hex floats like 0x1.8p1 need a combined scan *)
+      if c = '0' && (peek2 lx = 'x' || peek2 lx = 'X') then begin
+        let start = lx.pos in
+        advance lx; advance lx;
+        while is_alnum (peek lx) || peek lx = '.'
+              || ((peek lx = '+' || peek lx = '-')
+                  && (lx.src.[lx.pos - 1] = 'p' || lx.src.[lx.pos - 1] = 'P'))
+        do advance lx done;
+        let s = String.sub lx.src start (lx.pos - start) in
+        if String.contains s '.' || String.contains s 'p'
+           || String.contains s 'P'
+        then
+          match float_of_string_opt s with
+          | Some f -> FLOAT f
+          | None -> raise (Error (Printf.sprintf "bad hex float %S" s, pos))
+        else begin
+          match int_of_string_opt s with
+          | Some n -> INT n
+          | None -> raise (Error (Printf.sprintf "bad hex literal %S" s, pos))
+        end
+      end
+      else lex_number lx
+    | c when is_alpha c ->
+      let start = lx.pos in
+      while is_alnum (peek lx) do advance lx done;
+      let s = String.sub lx.src start (lx.pos - start) in
+      (match keyword s with Some k -> k | None -> IDENT s)
+    | '(' -> tok1 LPAREN
+    | ')' -> tok1 RPAREN
+    | '{' -> tok1 LBRACE
+    | '}' -> tok1 RBRACE
+    | '[' -> tok1 LBRACK
+    | ']' -> tok1 RBRACK
+    | ',' -> tok1 COMMA
+    | ';' -> tok1 SEMI
+    | ':' -> tok1 COLON
+    | '+' -> tok1 PLUS
+    | '-' -> if peek2 lx = '>' then tok2 ARROW else tok1 MINUS
+    | '*' -> tok1 STAR
+    | '/' -> tok1 SLASH
+    | '%' -> tok1 PERCENT
+    | '<' ->
+      if peek2 lx = '=' then tok2 LE
+      else if peek2 lx = '<' then tok2 SHL
+      else tok1 LT
+    | '>' ->
+      if peek2 lx = '=' then tok2 GE
+      else if peek2 lx = '>' then tok2 SHR
+      else tok1 GT
+    | '=' -> if peek2 lx = '=' then tok2 EQEQ else tok1 ASSIGN
+    | '!' -> if peek2 lx = '=' then tok2 NE else tok1 BANG
+    | '&' -> if peek2 lx = '&' then tok2 ANDAND else tok1 AMP
+    | '|' -> if peek2 lx = '|' then tok2 OROR else tok1 PIPE
+    | '^' -> tok1 CARET
+    | '~' -> tok1 TILDE
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, pos))
+  in
+  (t, pos)
+
+let tokenize src =
+  let lx = make src in
+  let rec loop acc =
+    let t, p = next lx in
+    if t = EOF then List.rev ((t, p) :: acc) else loop ((t, p) :: acc)
+  in
+  loop []
+
+let string_of_token = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KFN -> "fn" | KVAR -> "var" | KGLOBAL -> "global" | KIF -> "if"
+  | KELSE -> "else" | KWHILE -> "while" | KFOR -> "for" | KTO -> "to"
+  | KSTEP -> "step" | KRETURN -> "return" | KPRINT -> "print"
+  | KTRUE -> "true" | KFALSE -> "false" | KLEN -> "len"
+  | TINT -> "int" | TFLOAT -> "float" | TBOOL -> "bool"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACK -> "[" | RBRACK -> "]" | COMMA -> "," | SEMI -> ";"
+  | COLON -> ":" | ARROW -> "->"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "=="
+  | NE -> "!=" | ASSIGN -> "="
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>"
+  | EOF -> "<eof>"

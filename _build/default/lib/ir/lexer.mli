@@ -1,0 +1,31 @@
+(** Hand-written lexer for Mira. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KFN | KVAR | KGLOBAL | KIF | KELSE | KWHILE | KFOR | KTO | KSTEP
+  | KRETURN | KPRINT | KTRUE | KFALSE | KLEN
+  | TINT | TFLOAT | TBOOL
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | COMMA | SEMI | COLON | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQEQ | NE | ASSIGN
+  | ANDAND | OROR | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EOF
+
+exception Error of string * Ast.pos
+
+type t
+
+val make : string -> t
+
+(** next token with its source position; returns [EOF] at the end.
+    @raise Error on lexical errors *)
+val next : t -> token * Ast.pos
+
+(** the whole token stream, [EOF]-terminated *)
+val tokenize : string -> (token * Ast.pos) list
+
+val string_of_token : token -> string

@@ -1,0 +1,14 @@
+(** Lowering from the Mira AST to the three-address IR, and the front-end
+    convenience entry points (parse + typecheck + lower). *)
+
+exception Error of string
+
+(** lower a type-checked program.  Behaviour on ill-typed input is
+    unspecified (may raise {!Error}); run {!Typecheck.check} first. *)
+val lower : Ast.program -> Ir.program
+
+(** parse, typecheck and lower source text *)
+val compile_source : string -> (Ir.program, string) result
+
+(** @raise Failure with the error message on any front-end error *)
+val compile_source_exn : string -> Ir.program

@@ -1,0 +1,417 @@
+(* Recursive-descent parser for Mira with precedence climbing for
+   expressions.  Grammar (informal):
+
+     program  ::= (global | fn)*
+     global   ::= "global" ident ":" elt "[" int "]" ("=" "{" lit,* "}")? ";"
+     fn       ::= "fn" ident "(" params? ")" ("->" type)? block
+     params   ::= ident ":" type ("," ident ":" type)*
+     type     ::= "int" | "float" | "bool" | elt "[" "]"
+     block    ::= "{" stmt* "}"
+     stmt     ::= "var" ident ":" elt "[" int "]" ";"
+                | "var" ident ":" type "=" expr ";"
+                | ident "=" expr ";"
+                | ident "[" expr "]" "=" expr ";"
+                | "if" "(" expr ")" block ("else" (block | ifstmt))?
+                | "while" "(" expr ")" block
+                | "for" ident "=" expr "to" expr ("step" expr)? block
+                | "return" expr? ";"
+                | "print" "(" expr ")" ";"
+                | expr ";"
+*)
+
+exception Error of string * Ast.pos
+
+type t = {
+  toks : (Lexer.token * Ast.pos) array;
+  mutable i : int;
+}
+
+let make toks = { toks = Array.of_list toks; i = 0 }
+
+let peek p = fst p.toks.(p.i)
+let peek_pos p = snd p.toks.(p.i)
+let peek2 p =
+  if p.i + 1 < Array.length p.toks then fst p.toks.(p.i + 1) else Lexer.EOF
+
+let advance p = if p.i < Array.length p.toks - 1 then p.i <- p.i + 1
+
+let fail p msg =
+  raise
+    (Error
+       ( Printf.sprintf "%s (found %s)" msg (Lexer.string_of_token (peek p)),
+         peek_pos p ))
+
+let expect p tok msg =
+  if peek p = tok then advance p else fail p msg
+
+let ident p =
+  match peek p with
+  | Lexer.IDENT s -> advance p; s
+  | _ -> fail p "expected identifier"
+
+let elt_ty p : Ast.elt =
+  match peek p with
+  | Lexer.TINT -> advance p; Ast.EltInt
+  | Lexer.TFLOAT -> advance p; Ast.EltFloat
+  | _ -> fail p "expected element type (int or float)"
+
+let parse_type p : Ast.ty =
+  match peek p with
+  | Lexer.TBOOL -> advance p; Ast.TBool
+  | Lexer.TINT | Lexer.TFLOAT ->
+    let elt = elt_ty p in
+    if peek p = Lexer.LBRACK then begin
+      advance p;
+      expect p Lexer.RBRACK "expected ] in array type";
+      Ast.TArr elt
+    end
+    else (match elt with Ast.EltInt -> Ast.TInt | Ast.EltFloat -> Ast.TFloat)
+  | _ -> fail p "expected type"
+
+(* Binary operator precedence; higher binds tighter. *)
+let prec : Lexer.token -> (Ast.binop * int) option = function
+  | Lexer.OROR -> Some (Ast.LOr, 1)
+  | Lexer.ANDAND -> Some (Ast.LAnd, 2)
+  | Lexer.PIPE -> Some (Ast.BOr, 3)
+  | Lexer.CARET -> Some (Ast.BXor, 4)
+  | Lexer.AMP -> Some (Ast.BAnd, 5)
+  | Lexer.EQEQ -> Some (Ast.Eq, 6)
+  | Lexer.NE -> Some (Ast.Ne, 6)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Rem, 10)
+  | _ -> None
+
+let rec parse_expr p = parse_bin p 0
+
+and parse_bin p min_prec =
+  let lhs = parse_unary p in
+  let rec loop lhs =
+    match prec (peek p) with
+    | Some (op, pr) when pr >= min_prec ->
+      let pos = peek_pos p in
+      advance p;
+      let rhs = parse_bin p (pr + 1) in
+      loop (Ast.mk_e ~pos (Ast.Bin (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary p =
+  let pos = peek_pos p in
+  match peek p with
+  | Lexer.MINUS ->
+    advance p;
+    let x = parse_unary p in
+    Ast.mk_e ~pos (Ast.Un (Ast.Neg, x))
+  | Lexer.BANG ->
+    advance p;
+    let x = parse_unary p in
+    Ast.mk_e ~pos (Ast.Un (Ast.Not, x))
+  | Lexer.TILDE ->
+    advance p;
+    let x = parse_unary p in
+    Ast.mk_e ~pos (Ast.Un (Ast.BNot, x))
+  | _ -> parse_atom p
+
+and parse_atom p =
+  let pos = peek_pos p in
+  match peek p with
+  | Lexer.INT n -> advance p; Ast.mk_e ~pos (Ast.Int n)
+  | Lexer.FLOAT f -> advance p; Ast.mk_e ~pos (Ast.Float f)
+  | Lexer.KTRUE -> advance p; Ast.mk_e ~pos (Ast.Bool true)
+  | Lexer.KFALSE -> advance p; Ast.mk_e ~pos (Ast.Bool false)
+  | Lexer.LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p Lexer.RPAREN "expected )";
+    e
+  | Lexer.KLEN ->
+    advance p;
+    expect p Lexer.LPAREN "expected ( after len";
+    let a = ident p in
+    expect p Lexer.RPAREN "expected ) after len";
+    Ast.mk_e ~pos (Ast.Len a)
+  | Lexer.TFLOAT ->
+    (* float(e): int -> float cast *)
+    advance p;
+    expect p Lexer.LPAREN "expected ( after float";
+    let e = parse_expr p in
+    expect p Lexer.RPAREN "expected )";
+    Ast.mk_e ~pos (Ast.Un (Ast.FloatOfInt, e))
+  | Lexer.TINT ->
+    advance p;
+    expect p Lexer.LPAREN "expected ( after int";
+    let e = parse_expr p in
+    expect p Lexer.RPAREN "expected )";
+    Ast.mk_e ~pos (Ast.Un (Ast.IntOfFloat, e))
+  | Lexer.IDENT name -> begin
+    advance p;
+    match peek p with
+    | Lexer.LBRACK ->
+      advance p;
+      let i = parse_expr p in
+      expect p Lexer.RBRACK "expected ]";
+      Ast.mk_e ~pos (Ast.Index (name, i))
+    | Lexer.LPAREN ->
+      advance p;
+      let args = parse_args p in
+      Ast.mk_e ~pos (Ast.Call (name, args))
+    | _ -> Ast.mk_e ~pos (Ast.Var name)
+  end
+  | _ -> fail p "expected expression"
+
+and parse_args p =
+  if peek p = Lexer.RPAREN then begin advance p; [] end
+  else begin
+    let rec loop acc =
+      let e = parse_expr p in
+      match peek p with
+      | Lexer.COMMA -> advance p; loop (e :: acc)
+      | Lexer.RPAREN -> advance p; List.rev (e :: acc)
+      | _ -> fail p "expected , or ) in argument list"
+    in
+    loop []
+  end
+
+let rec parse_stmt p : Ast.stmt =
+  let pos = peek_pos p in
+  match peek p with
+  | Lexer.KVAR -> begin
+    advance p;
+    let name = ident p in
+    expect p Lexer.COLON "expected : in var declaration";
+    match peek p with
+    | Lexer.TBOOL ->
+      advance p;
+      expect p Lexer.ASSIGN "expected = in var declaration";
+      let e = parse_expr p in
+      expect p Lexer.SEMI "expected ;";
+      Ast.mk_s ~pos (Ast.SDecl (name, Ast.TBool, e))
+    | Lexer.TINT | Lexer.TFLOAT ->
+      let elt = elt_ty p in
+      if peek p = Lexer.LBRACK then begin
+        advance p;
+        let n =
+          match peek p with
+          | Lexer.INT n -> advance p; n
+          | _ -> fail p "expected array size"
+        in
+        expect p Lexer.RBRACK "expected ]";
+        expect p Lexer.SEMI "expected ;";
+        Ast.mk_s ~pos (Ast.SArrDecl (name, elt, n))
+      end
+      else begin
+        expect p Lexer.ASSIGN "expected = in var declaration";
+        let e = parse_expr p in
+        expect p Lexer.SEMI "expected ;";
+        let ty =
+          match elt with Ast.EltInt -> Ast.TInt | Ast.EltFloat -> Ast.TFloat
+        in
+        Ast.mk_s ~pos (Ast.SDecl (name, ty, e))
+      end
+    | _ -> fail p "expected type in var declaration"
+  end
+  | Lexer.KIF ->
+    advance p;
+    expect p Lexer.LPAREN "expected ( after if";
+    let c = parse_expr p in
+    expect p Lexer.RPAREN "expected )";
+    let t = parse_block p in
+    let e =
+      if peek p = Lexer.KELSE then begin
+        advance p;
+        if peek p = Lexer.KIF then [ parse_stmt p ] else parse_block p
+      end
+      else []
+    in
+    Ast.mk_s ~pos (Ast.SIf (c, t, e))
+  | Lexer.KWHILE ->
+    advance p;
+    expect p Lexer.LPAREN "expected ( after while";
+    let c = parse_expr p in
+    expect p Lexer.RPAREN "expected )";
+    let b = parse_block p in
+    Ast.mk_s ~pos (Ast.SWhile (c, b))
+  | Lexer.KFOR ->
+    advance p;
+    let v = ident p in
+    expect p Lexer.ASSIGN "expected = in for";
+    let lo = parse_expr p in
+    expect p Lexer.KTO "expected 'to' in for";
+    let hi = parse_expr p in
+    let step =
+      if peek p = Lexer.KSTEP then begin
+        advance p;
+        parse_expr p
+      end
+      else Ast.mk_e ~pos (Ast.Int 1)
+    in
+    let b = parse_block p in
+    Ast.mk_s ~pos (Ast.SFor (v, lo, hi, step, b))
+  | Lexer.KRETURN ->
+    advance p;
+    if peek p = Lexer.SEMI then begin
+      advance p;
+      Ast.mk_s ~pos (Ast.SReturn None)
+    end
+    else begin
+      let e = parse_expr p in
+      expect p Lexer.SEMI "expected ;";
+      Ast.mk_s ~pos (Ast.SReturn (Some e))
+    end
+  | Lexer.KPRINT ->
+    advance p;
+    expect p Lexer.LPAREN "expected ( after print";
+    let e = parse_expr p in
+    expect p Lexer.RPAREN "expected )";
+    expect p Lexer.SEMI "expected ;";
+    Ast.mk_s ~pos (Ast.SPrint e)
+  | Lexer.IDENT name when peek2 p = Lexer.ASSIGN ->
+    advance p; advance p;
+    let e = parse_expr p in
+    expect p Lexer.SEMI "expected ;";
+    Ast.mk_s ~pos (Ast.SAssign (name, e))
+  | Lexer.IDENT name when peek2 p = Lexer.LBRACK ->
+    (* could be a store `a[i] = e;` or an expression statement `a[i];` —
+       parse the index then decide *)
+    advance p; advance p;
+    let i = parse_expr p in
+    expect p Lexer.RBRACK "expected ]";
+    if peek p = Lexer.ASSIGN then begin
+      advance p;
+      let e = parse_expr p in
+      expect p Lexer.SEMI "expected ;";
+      Ast.mk_s ~pos (Ast.SStore (name, i, e))
+    end
+    else begin
+      expect p Lexer.SEMI "expected ;";
+      Ast.mk_s ~pos (Ast.SExpr (Ast.mk_e ~pos (Ast.Index (name, i))))
+    end
+  | _ ->
+    let e = parse_expr p in
+    expect p Lexer.SEMI "expected ;";
+    Ast.mk_s ~pos (Ast.SExpr e)
+
+and parse_block p =
+  expect p Lexer.LBRACE "expected {";
+  let rec loop acc =
+    if peek p = Lexer.RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else loop (parse_stmt p :: acc)
+  in
+  loop []
+
+let parse_params p =
+  expect p Lexer.LPAREN "expected ( in function definition";
+  if peek p = Lexer.RPAREN then begin advance p; [] end
+  else begin
+    let one () =
+      let n = ident p in
+      expect p Lexer.COLON "expected : in parameter";
+      let ty = parse_type p in
+      (n, ty)
+    in
+    let rec loop acc =
+      let prm = one () in
+      match peek p with
+      | Lexer.COMMA -> advance p; loop (prm :: acc)
+      | Lexer.RPAREN -> advance p; List.rev (prm :: acc)
+      | _ -> fail p "expected , or ) in parameter list"
+    in
+    loop []
+  end
+
+let parse_fn p : Ast.func =
+  let pos = peek_pos p in
+  expect p Lexer.KFN "expected fn";
+  let name = ident p in
+  let params = parse_params p in
+  let ret =
+    if peek p = Lexer.ARROW then begin
+      advance p;
+      Some (parse_type p)
+    end
+    else None
+  in
+  let body = parse_block p in
+  { Ast.fname = name; params; ret; body; fpos = pos }
+
+let parse_global p : Ast.global =
+  expect p Lexer.KGLOBAL "expected global";
+  let name = ident p in
+  expect p Lexer.COLON "expected : in global";
+  let elt = elt_ty p in
+  expect p Lexer.LBRACK "expected [ in global";
+  let size =
+    match peek p with
+    | Lexer.INT n -> advance p; n
+    | _ -> fail p "expected array size"
+  in
+  expect p Lexer.RBRACK "expected ]";
+  let init =
+    if peek p = Lexer.ASSIGN then begin
+      advance p;
+      expect p Lexer.LBRACE "expected { in global initializer";
+      let lit () =
+        let neg = peek p = Lexer.MINUS in
+        if neg then advance p;
+        match peek p with
+        | Lexer.INT n ->
+          advance p;
+          float_of_int (if neg then -n else n)
+        | Lexer.FLOAT f -> advance p; (if neg then -.f else f)
+        | _ -> fail p "expected literal in global initializer"
+      in
+      if peek p = Lexer.RBRACE then begin advance p; [] end
+      else begin
+        let rec loop acc =
+          let v = lit () in
+          match peek p with
+          | Lexer.COMMA -> advance p; loop (v :: acc)
+          | Lexer.RBRACE -> advance p; List.rev (v :: acc)
+          | _ -> fail p "expected , or } in global initializer"
+        in
+        loop []
+      end
+    end
+    else []
+  in
+  expect p Lexer.SEMI "expected ;";
+  { Ast.gname = name; gelt = elt; gsize = size; ginit = init }
+
+let parse_program_tokens toks : Ast.program =
+  let p = make toks in
+  let rec loop globals funcs =
+    match peek p with
+    | Lexer.EOF -> { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.KGLOBAL -> loop (parse_global p :: globals) funcs
+    | Lexer.KFN -> loop globals (parse_fn p :: funcs)
+    | _ -> fail p "expected fn or global at top level"
+  in
+  loop [] []
+
+(* Parse a full program from source text.  Lexer errors are re-raised as
+   parser errors so callers have a single exception to handle. *)
+let parse (src : string) : Ast.program =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, pos) -> raise (Error (msg, pos))
+  in
+  parse_program_tokens toks
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Error (msg, pos) ->
+    Error (Printf.sprintf "parse error at %d:%d: %s" pos.line pos.col msg)

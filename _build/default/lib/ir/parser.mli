@@ -1,0 +1,10 @@
+(** Recursive-descent parser for Mira with precedence climbing.  See the
+    grammar summary in the implementation header. *)
+
+exception Error of string * Ast.pos
+
+(** @raise Error on lexical or syntactic errors, with position *)
+val parse : string -> Ast.program
+
+(** error message includes ["parse error at line:col"] *)
+val parse_result : string -> (Ast.program, string) result

@@ -1,0 +1,269 @@
+(* Type checker for Mira.  Produces per-expression type information used by
+   lowering (the lowering pass re-runs inference locally, so the checker's
+   job is to reject ill-typed programs with useful messages). *)
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+type fsig = { fparams : Ast.ty list; fret : Ast.ty option }
+
+type env = {
+  vars : (string, Ast.ty) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  ret : Ast.ty option;
+}
+
+let ty_eq (a : Ast.ty) (b : Ast.ty) = a = b
+
+let lookup_var env pos v =
+  match Hashtbl.find_opt env.vars v with
+  | Some ty -> ty
+  | None -> err pos "unbound variable %s" v
+
+(* Argument expressions may be arrays (passed by reference); any other
+   expression position rejects arrays. *)
+let rec check_arg env (arg : Ast.expr) : Ast.ty =
+  match arg.e with
+  | Ast.Var v -> lookup_var env arg.epos v
+  | _ -> check_expr env arg
+
+and check_call env pos f args =
+  match Hashtbl.find_opt env.funcs f with
+  | None -> err pos "call to unknown function %s" f
+  | Some fs ->
+    let na = List.length args and np = List.length fs.fparams in
+    if na <> np then err pos "%s expects %d arguments, got %d" f np na;
+    List.iteri
+      (fun i (arg, pty) ->
+        let aty = check_arg env arg in
+        if not (ty_eq aty pty) then
+          err pos "argument %d of %s: expected %s, got %s" (i + 1) f
+            (Ast.string_of_ty pty) (Ast.string_of_ty aty))
+      (List.combine args fs.fparams);
+    fs.fret
+
+and check_expr env (x : Ast.expr) : Ast.ty =
+  let pos = x.epos in
+  match x.e with
+  | Ast.Int _ -> Ast.TInt
+  | Ast.Float _ -> Ast.TFloat
+  | Ast.Bool _ -> Ast.TBool
+  | Ast.Var v -> begin
+    match lookup_var env pos v with
+    | Ast.TArr _ -> err pos "array %s used as a scalar" v
+    | ty -> ty
+  end
+  | Ast.Index (a, i) -> begin
+    let ity = check_expr env i in
+    if not (ty_eq ity Ast.TInt) then
+      err pos "index of %s must be int, got %s" a (Ast.string_of_ty ity);
+    match lookup_var env pos a with
+    | Ast.TArr Ast.EltInt -> Ast.TInt
+    | Ast.TArr Ast.EltFloat -> Ast.TFloat
+    | ty -> err pos "%s is not an array (has type %s)" a (Ast.string_of_ty ty)
+  end
+  | Ast.Len a -> begin
+    match lookup_var env pos a with
+    | Ast.TArr _ -> Ast.TInt
+    | ty -> err pos "len applied to non-array %s: %s" a (Ast.string_of_ty ty)
+  end
+  | Ast.Un (op, e) -> begin
+    let t = check_expr env e in
+    match (op, t) with
+    | Ast.Neg, (Ast.TInt | Ast.TFloat) -> t
+    | Ast.Neg, _ -> err pos "- applied to %s" (Ast.string_of_ty t)
+    | Ast.Not, Ast.TBool -> Ast.TBool
+    | Ast.Not, _ -> err pos "! applied to %s" (Ast.string_of_ty t)
+    | Ast.BNot, Ast.TInt -> Ast.TInt
+    | Ast.BNot, _ -> err pos "~ applied to %s" (Ast.string_of_ty t)
+    | Ast.FloatOfInt, Ast.TInt -> Ast.TFloat
+    | Ast.FloatOfInt, _ -> err pos "float() applied to %s" (Ast.string_of_ty t)
+    | Ast.IntOfFloat, Ast.TFloat -> Ast.TInt
+    | Ast.IntOfFloat, _ -> err pos "int() applied to %s" (Ast.string_of_ty t)
+  end
+  | Ast.Bin (op, l, r) -> begin
+    let tl = check_expr env l in
+    let tr = check_expr env r in
+    let same () =
+      if not (ty_eq tl tr) then
+        err pos "operands of %s have different types: %s vs %s"
+          (Ast.string_of_binop op) (Ast.string_of_ty tl) (Ast.string_of_ty tr)
+    in
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+      same ();
+      (match tl with
+       | Ast.TInt | Ast.TFloat -> tl
+       | _ ->
+         err pos "arithmetic %s on %s" (Ast.string_of_binop op)
+           (Ast.string_of_ty tl))
+    | Ast.Rem | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr ->
+      same ();
+      if ty_eq tl Ast.TInt then Ast.TInt
+      else
+        err pos "integer operator %s on %s" (Ast.string_of_binop op)
+          (Ast.string_of_ty tl)
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      same ();
+      (match tl with
+       | Ast.TInt | Ast.TFloat -> Ast.TBool
+       | _ ->
+         err pos "comparison %s on %s" (Ast.string_of_binop op)
+           (Ast.string_of_ty tl))
+    | Ast.Eq | Ast.Ne ->
+      same ();
+      (match tl with
+       | Ast.TInt | Ast.TFloat | Ast.TBool -> Ast.TBool
+       | _ ->
+         err pos "equality on %s" (Ast.string_of_ty tl))
+    | Ast.LAnd | Ast.LOr ->
+      same ();
+      if ty_eq tl Ast.TBool then Ast.TBool
+      else
+        err pos "logical %s on %s" (Ast.string_of_binop op)
+          (Ast.string_of_ty tl)
+  end
+  | Ast.Call (f, args) -> begin
+    match check_call env pos f args with
+    | Some ty -> ty
+    | None -> err pos "call to void function %s in expression" f
+  end
+
+let rec check_stmt env (x : Ast.stmt) : unit =
+  let pos = x.spos in
+  match x.s with
+  | Ast.SDecl (v, ty, e) ->
+    if Hashtbl.mem env.vars v then err pos "redeclaration of %s" v;
+    let te = check_expr env e in
+    if not (ty_eq te ty) then
+      err pos "initializer of %s has type %s, expected %s" v
+        (Ast.string_of_ty te) (Ast.string_of_ty ty);
+    Hashtbl.replace env.vars v ty
+  | Ast.SArrDecl (v, elt, n) ->
+    if Hashtbl.mem env.vars v then err pos "redeclaration of %s" v;
+    if n <= 0 then err pos "array %s has non-positive size %d" v n;
+    Hashtbl.replace env.vars v (Ast.TArr elt)
+  | Ast.SAssign (v, e) ->
+    let tv = lookup_var env pos v in
+    (match tv with
+     | Ast.TArr _ -> err pos "cannot assign to array %s" v
+     | _ -> ());
+    let te = check_expr env e in
+    if not (ty_eq te tv) then
+      err pos "assigning %s to %s of type %s" (Ast.string_of_ty te) v
+        (Ast.string_of_ty tv)
+  | Ast.SStore (a, i, e) -> begin
+    let ti = check_expr env i in
+    if not (ty_eq ti Ast.TInt) then err pos "store index must be int";
+    let te = check_expr env e in
+    match lookup_var env pos a with
+    | Ast.TArr Ast.EltInt ->
+      if not (ty_eq te Ast.TInt) then err pos "storing %s into int array %s"
+          (Ast.string_of_ty te) a
+    | Ast.TArr Ast.EltFloat ->
+      if not (ty_eq te Ast.TFloat) then
+        err pos "storing %s into float array %s" (Ast.string_of_ty te) a
+    | ty -> err pos "%s is not an array: %s" a (Ast.string_of_ty ty)
+  end
+  | Ast.SIf (c, t, e) ->
+    let tc = check_expr env c in
+    if not (ty_eq tc Ast.TBool) then
+      err pos "if condition must be bool, got %s" (Ast.string_of_ty tc);
+    check_scope env t;
+    check_scope env e
+  | Ast.SWhile (c, b) ->
+    let tc = check_expr env c in
+    if not (ty_eq tc Ast.TBool) then
+      err pos "while condition must be bool, got %s" (Ast.string_of_ty tc);
+    check_scope env b
+  | Ast.SFor (v, lo, hi, step, b) ->
+    let check_int what e =
+      let t = check_expr env e in
+      if not (ty_eq t Ast.TInt) then
+        err pos "for %s must be int, got %s" what (Ast.string_of_ty t)
+    in
+    check_int "lower bound" lo;
+    check_int "upper bound" hi;
+    check_int "step" step;
+    if Hashtbl.mem env.vars v then err pos "for variable %s shadows" v;
+    Hashtbl.replace env.vars v Ast.TInt;
+    check_scope env b;
+    Hashtbl.remove env.vars v
+  | Ast.SReturn None ->
+    if env.ret <> None then err pos "missing return value"
+  | Ast.SReturn (Some e) -> begin
+    let te = check_expr env e in
+    match env.ret with
+    | None -> err pos "returning a value from a void function"
+    | Some ty ->
+      if not (ty_eq te ty) then
+        err pos "return type mismatch: %s vs %s" (Ast.string_of_ty te)
+          (Ast.string_of_ty ty)
+  end
+  | Ast.SExpr e -> begin
+    (* Permit both value-returning and void calls as statements. *)
+    match e.e with
+    | Ast.Call (f, args) -> ignore (check_call env pos f args)
+    | _ -> ignore (check_expr env e)
+  end
+  | Ast.SPrint e -> begin
+    match check_expr env e with
+    | Ast.TInt | Ast.TFloat | Ast.TBool -> ()
+    | ty -> err pos "cannot print %s" (Ast.string_of_ty ty)
+  end
+
+(* Blocks introduce a scope: declarations inside are dropped on exit. *)
+and check_scope env stmts =
+  let saved = Hashtbl.copy env.vars in
+  List.iter (check_stmt env) stmts;
+  Hashtbl.reset env.vars;
+  Hashtbl.iter (Hashtbl.replace env.vars) saved
+
+let check_func funcs (f : Ast.func) globals =
+  let vars = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      Hashtbl.replace vars g.Ast.gname (Ast.TArr g.Ast.gelt))
+    globals;
+  List.iter
+    (fun (n, ty) ->
+      if Hashtbl.mem vars n && not (List.exists (fun (g : Ast.global) ->
+           g.Ast.gname = n) globals)
+      then err f.Ast.fpos "duplicate parameter %s in %s" n f.Ast.fname;
+      Hashtbl.replace vars n ty)
+    f.Ast.params;
+  let env = { vars; funcs; ret = f.Ast.ret } in
+  List.iter (check_stmt env) f.Ast.body
+
+let check (p : Ast.program) : unit =
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem funcs f.Ast.fname then
+        err f.Ast.fpos "duplicate function %s" f.Ast.fname;
+      Hashtbl.replace funcs f.Ast.fname
+        { fparams = List.map snd f.Ast.params; fret = f.Ast.ret })
+    p.funcs;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      if Hashtbl.mem seen g.Ast.gname then
+        err Ast.dummy_pos "duplicate global %s" g.Ast.gname;
+      if g.Ast.gsize <= 0 then
+        err Ast.dummy_pos "global %s has non-positive size" g.Ast.gname;
+      if List.length g.Ast.ginit > g.Ast.gsize then
+        err Ast.dummy_pos "global %s has too many initializers" g.Ast.gname;
+      Hashtbl.replace seen g.Ast.gname ())
+    p.globals;
+  (match Hashtbl.find_opt funcs "main" with
+   | None -> err Ast.dummy_pos "program has no main function"
+   | Some { fparams = []; fret = (Some Ast.TInt | None) } -> ()
+   | Some _ -> err Ast.dummy_pos "main must take no parameters and return int");
+  List.iter (fun f -> check_func funcs f p.globals) p.funcs
+
+let check_result p =
+  match check p with
+  | () -> Ok ()
+  | exception Error (msg, pos) ->
+    Error (Printf.sprintf "type error at %d:%d: %s" pos.line pos.col msg)

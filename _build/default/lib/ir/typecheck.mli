@@ -1,0 +1,10 @@
+(** Type checker for Mira: scalar/array typing, scoping, call signatures,
+    and program-level rules (unique globals/functions, a parameterless
+    [main] returning [int] or nothing). *)
+
+exception Error of string * Ast.pos
+
+(** @raise Error on the first type error *)
+val check : Ast.program -> unit
+
+val check_result : Ast.program -> (unit, string) result

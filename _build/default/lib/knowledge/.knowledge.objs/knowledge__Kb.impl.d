@@ -1,0 +1,1 @@
+lib/knowledge/kb.ml: Buffer Fun List Passes Printf String

@@ -1,0 +1,1 @@
+lib/knowledge/kb.mli: Passes

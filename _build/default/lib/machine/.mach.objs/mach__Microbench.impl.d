@@ -1,0 +1,1 @@
+lib/machine/microbench.ml: Cache Config Fmt List Mira Printf Sim

@@ -1,0 +1,1 @@
+lib/machine/microbench.mli: Config Format

@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Cache Config Counters List Mira Predictor

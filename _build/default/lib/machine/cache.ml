@@ -1,0 +1,122 @@
+(* Set-associative cache with true-LRU replacement, write-allocate /
+   write-back policy.  Used for both L1D and L2 in the simulated machine. *)
+
+type config = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+}
+
+let lines cfg = cfg.size_bytes / cfg.line_bytes
+let sets cfg = max 1 (lines cfg / cfg.assoc)
+
+type t = {
+  cfg : config;
+  nsets : int;
+  tags : int array;      (* nsets * assoc; -1 = invalid *)
+  dirty : bool array;
+  age : int array;       (* LRU stamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+let check_config cfg =
+  let pow2 n = n > 0 && n land (n - 1) = 0 in
+  if not (pow2 cfg.line_bytes) then
+    invalid_arg "Cache: line_bytes must be a power of two";
+  if cfg.size_bytes < cfg.line_bytes then
+    invalid_arg "Cache: size smaller than one line";
+  if cfg.size_bytes mod cfg.line_bytes <> 0 then
+    invalid_arg "Cache: size not a multiple of line size";
+  if cfg.assoc <= 0 || lines cfg mod cfg.assoc <> 0 then
+    invalid_arg "Cache: associativity does not divide the line count"
+
+let make cfg =
+  check_config cfg;
+  let n = sets cfg * cfg.assoc in
+  {
+    cfg;
+    nsets = sets cfg;
+    tags = Array.make n (-1);
+    dirty = Array.make n false;
+    age = Array.make n 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.age 0 (Array.length t.age) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.writebacks <- 0
+
+type outcome = {
+  hit : bool;
+  writeback : int option;  (* address of a dirty line evicted by this fill *)
+}
+
+let access (t : t) ~(addr : int) ~(write : bool) : outcome =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr / t.cfg.line_bytes in
+  let set = line mod t.nsets in
+  let tag = line / t.nsets in
+  let base = set * t.cfg.assoc in
+  let rec find i =
+    if i = t.cfg.assoc then None
+    else if t.tags.(base + i) = tag then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.age.(base + i) <- t.clock;
+    if write then t.dirty.(base + i) <- true;
+    { hit = true; writeback = None }
+  | None ->
+    t.misses <- t.misses + 1;
+    (* choose victim: invalid way first, else LRU *)
+    let victim = ref 0 in
+    let best = ref max_int in
+    for i = 0 to t.cfg.assoc - 1 do
+      if t.tags.(base + i) = -1 && !best > -1 then begin
+        victim := i;
+        best := -1
+      end
+      else if !best >= 0 && t.age.(base + i) < !best then begin
+        victim := i;
+        best := t.age.(base + i)
+      end
+    done;
+    let v = base + !victim in
+    let writeback =
+      if t.tags.(v) >= 0 then begin
+        t.evictions <- t.evictions + 1;
+        if t.dirty.(v) then begin
+          t.writebacks <- t.writebacks + 1;
+          let old_line = (t.tags.(v) * t.nsets) + set in
+          Some (old_line * t.cfg.line_bytes)
+        end
+        else None
+      end
+      else None
+    in
+    t.tags.(v) <- tag;
+    t.dirty.(v) <- write;
+    t.age.(v) <- t.clock;
+    { hit = false; writeback }
+
+(* standard configurations *)
+let kib n = n * 1024
+
+let l1_default = { size_bytes = kib 16; assoc = 2; line_bytes = 64 }
+let l2_default = { size_bytes = kib 256; assoc = 8; line_bytes = 64 }

@@ -1,0 +1,53 @@
+(** Set-associative cache model with true-LRU replacement and a
+    write-allocate / write-back policy.  Used for both the L1D and L2
+    levels of the simulated machine. *)
+
+type config = {
+  size_bytes : int;   (** total capacity; must be a multiple of the line *)
+  assoc : int;        (** ways per set; must divide the line count *)
+  line_bytes : int;   (** line size; must be a power of two *)
+}
+
+(** number of lines in a configuration *)
+val lines : config -> int
+
+(** number of sets in a configuration *)
+val sets : config -> int
+
+type t = {
+  cfg : config;
+  nsets : int;
+  tags : int array;
+  dirty : bool array;
+  age : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+(** validates the configuration; raises [Invalid_argument] otherwise *)
+val check_config : config -> unit
+
+(** fresh, empty cache.  Raises [Invalid_argument] on a bad config. *)
+val make : config -> t
+
+(** invalidate all lines and zero the statistics *)
+val reset : t -> unit
+
+type outcome = {
+  hit : bool;
+  writeback : int option;
+      (** byte address of a dirty line displaced by this fill, if any;
+          the next level must absorb it as write traffic *)
+}
+
+(** one access at a byte address; [write] marks the line dirty *)
+val access : t -> addr:int -> write:bool -> outcome
+
+(** [kib n] is [n * 1024] *)
+val kib : int -> int
+
+val l1_default : config
+val l2_default : config

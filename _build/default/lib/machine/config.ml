@@ -1,0 +1,120 @@
+(* Machine model parameters.  Three presets stand in for the paper's
+   hardware: [amd_like] for the Opteron used in the performance-counter
+   experiments (Figs. 3-4), [c6713_like] for the TI VLIW DSP used in the
+   optimization-space experiments (Fig. 2), and [embedded] as a small
+   third target for cross-architecture experiments. *)
+
+type t = {
+  name : string;
+  issue_width : int;        (* simple ALU ops retired per cycle *)
+  lat_mul : int;
+  lat_div : int;
+  lat_fadd : int;
+  lat_fmul : int;
+  lat_fdiv : int;
+  branch_cost : int;        (* baseline cost of a conditional branch *)
+  jump_cost : int;          (* unconditional jump *)
+  mispredict_penalty : int;
+  call_overhead : int;      (* per dynamic call (frame + linkage) *)
+  print_cost : int;
+  l1 : Cache.config;
+  l1_lat : int;             (* load-to-use on L1 hit *)
+  l2 : Cache.config;
+  l2_lat : int;             (* extra cycles on L1 miss, L2 hit *)
+  mem_lat : int;            (* extra cycles on L2 miss *)
+  predictor_size : int;
+}
+
+let kib n = n * 1024
+
+let amd_like =
+  {
+    name = "amd-like";
+    issue_width = 3;
+    lat_mul = 3;
+    lat_div = 20;
+    lat_fadd = 4;
+    lat_fmul = 4;
+    lat_fdiv = 16;
+    branch_cost = 1;
+    jump_cost = 1;
+    mispredict_penalty = 12;
+    call_overhead = 10;
+    print_cost = 40;
+    l1 = { Cache.size_bytes = kib 16; assoc = 2; line_bytes = 64 };
+    l1_lat = 3;
+    l2 = { Cache.size_bytes = kib 256; assoc = 8; line_bytes = 64 };
+    l2_lat = 12;
+    mem_lat = 120;
+    predictor_size = 2048;
+  }
+
+let c6713_like =
+  {
+    name = "c6713-like";
+    issue_width = 8;              (* 8-wide VLIW *)
+    lat_mul = 2;
+    lat_div = 32;                 (* no hardware divider: emulated *)
+    lat_fadd = 4;
+    lat_fmul = 4;
+    lat_fdiv = 28;
+    branch_cost = 1;
+    jump_cost = 1;
+    mispredict_penalty = 5;       (* shallow pipeline, but no predictor *)
+    call_overhead = 14;
+    print_cost = 40;
+    l1 = { Cache.size_bytes = kib 4; assoc = 2; line_bytes = 32 };
+    l1_lat = 1;
+    l2 = { Cache.size_bytes = kib 64; assoc = 4; line_bytes = 64 };
+    l2_lat = 8;
+    mem_lat = 60;
+    predictor_size = 1;           (* static prediction: one shared counter *)
+  }
+
+let embedded =
+  {
+    name = "embedded";
+    issue_width = 1;
+    lat_mul = 4;
+    lat_div = 34;
+    lat_fadd = 8;
+    lat_fmul = 8;
+    lat_fdiv = 40;
+    branch_cost = 1;
+    jump_cost = 1;
+    mispredict_penalty = 3;
+    call_overhead = 6;
+    print_cost = 40;
+    l1 = { Cache.size_bytes = kib 8; assoc = 1; line_bytes = 32 };
+    l1_lat = 1;
+    l2 = { Cache.size_bytes = kib 32; assoc = 4; line_bytes = 32 };
+    l2_lat = 6;
+    mem_lat = 40;
+    predictor_size = 256;
+  }
+
+let default = amd_like
+
+let all = [ amd_like; c6713_like; embedded ]
+
+let by_name n = List.find_opt (fun c -> c.name = n) all
+
+(* feature vector describing the target architecture, used by models that
+   adapt across machines (Sec. III-B "architecture characterization") *)
+let features (c : t) : (string * float) list =
+  [
+    ("issue_width", float_of_int c.issue_width);
+    ("lat_mul", float_of_int c.lat_mul);
+    ("lat_div", float_of_int c.lat_div);
+    ("lat_fdiv", float_of_int c.lat_fdiv);
+    ("mispredict_penalty", float_of_int c.mispredict_penalty);
+    ("call_overhead", float_of_int c.call_overhead);
+    ("l1_kib", float_of_int c.l1.Cache.size_bytes /. 1024.);
+    ("l1_assoc", float_of_int c.l1.Cache.assoc);
+    ("l1_line", float_of_int c.l1.Cache.line_bytes);
+    ("l1_lat", float_of_int c.l1_lat);
+    ("l2_kib", float_of_int c.l2.Cache.size_bytes /. 1024.);
+    ("l2_lat", float_of_int c.l2_lat);
+    ("mem_lat", float_of_int c.mem_lat);
+    ("predictor_size", float_of_int c.predictor_size);
+  ]

@@ -1,0 +1,42 @@
+(** Machine-model parameters and the three preset targets that stand in
+    for the paper's hardware. *)
+
+type t = {
+  name : string;
+  issue_width : int;         (** simple ALU ops retired per cycle *)
+  lat_mul : int;
+  lat_div : int;
+  lat_fadd : int;
+  lat_fmul : int;
+  lat_fdiv : int;
+  branch_cost : int;         (** baseline cost of a conditional branch *)
+  jump_cost : int;           (** unconditional jump / return *)
+  mispredict_penalty : int;
+  call_overhead : int;       (** per dynamic call (frame + linkage) *)
+  print_cost : int;
+  l1 : Cache.config;
+  l1_lat : int;              (** load-to-use latency on an L1 hit *)
+  l2 : Cache.config;
+  l2_lat : int;              (** extra cycles on an L1 miss that hits L2 *)
+  mem_lat : int;             (** extra cycles on an L2 miss *)
+  predictor_size : int;
+}
+
+(** the AMD-Opteron-flavoured target of the Fig. 3/4 experiments *)
+val amd_like : t
+
+(** the TI-C6713-flavoured 8-wide VLIW target of the Fig. 2 experiments *)
+val c6713_like : t
+
+(** a narrow in-order embedded target *)
+val embedded : t
+
+(** [amd_like] *)
+val default : t
+
+val all : t list
+val by_name : string -> t option
+
+(** named feature vector describing the target, for models that adapt
+    across architectures (paper Sec. III-B) *)
+val features : t -> (string * float) list

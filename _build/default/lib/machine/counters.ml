@@ -1,0 +1,79 @@
+(* PAPI-style hardware performance counter bank, mirroring the counters the
+   paper reads on the AMD machine (Fig. 3/4): totals, branch events, memory
+   events split per cache level and access kind. *)
+
+type counter =
+  | TOT_INS   (* total instructions *)
+  | TOT_CYC   (* total cycles *)
+  | LD_INS    (* load instructions *)
+  | SR_INS    (* store instructions *)
+  | BR_INS    (* branch instructions (conditional) *)
+  | BR_TKN    (* branches taken *)
+  | BR_MSP    (* branches mispredicted *)
+  | FP_INS    (* floating-point instructions *)
+  | INT_INS   (* integer ALU instructions *)
+  | MUL_INS   (* integer multiplies *)
+  | DIV_INS   (* integer divides/remainders *)
+  | CALL_INS  (* calls executed *)
+  | L1_TCA    (* L1D total cache accesses *)
+  | L1_TCM    (* L1D total cache misses *)
+  | L1_LDM    (* L1D load misses *)
+  | L1_STM    (* L1D store misses *)
+  | L2_TCA    (* L2 total accesses *)
+  | L2_TCM    (* L2 total misses *)
+  | L2_LDM    (* L2 load misses *)
+  | L2_STM    (* L2 store misses *)
+
+let all =
+  [
+    TOT_INS; TOT_CYC; LD_INS; SR_INS; BR_INS; BR_TKN; BR_MSP; FP_INS; INT_INS;
+    MUL_INS; DIV_INS; CALL_INS; L1_TCA; L1_TCM; L1_LDM; L1_STM; L2_TCA;
+    L2_TCM; L2_LDM; L2_STM;
+  ]
+
+let count = List.length all
+
+let to_index = function
+  | TOT_INS -> 0 | TOT_CYC -> 1 | LD_INS -> 2 | SR_INS -> 3 | BR_INS -> 4
+  | BR_TKN -> 5 | BR_MSP -> 6 | FP_INS -> 7 | INT_INS -> 8 | MUL_INS -> 9
+  | DIV_INS -> 10 | CALL_INS -> 11 | L1_TCA -> 12 | L1_TCM -> 13
+  | L1_LDM -> 14 | L1_STM -> 15 | L2_TCA -> 16 | L2_TCM -> 17 | L2_LDM -> 18
+  | L2_STM -> 19
+
+let name = function
+  | TOT_INS -> "TOT_INS" | TOT_CYC -> "TOT_CYC" | LD_INS -> "LD_INS"
+  | SR_INS -> "SR_INS" | BR_INS -> "BR_INS" | BR_TKN -> "BR_TKN"
+  | BR_MSP -> "BR_MSP" | FP_INS -> "FP_INS" | INT_INS -> "INT_INS"
+  | MUL_INS -> "MUL_INS" | DIV_INS -> "DIV_INS" | CALL_INS -> "CALL_INS"
+  | L1_TCA -> "L1_TCA" | L1_TCM -> "L1_TCM" | L1_LDM -> "L1_LDM"
+  | L1_STM -> "L1_STM" | L2_TCA -> "L2_TCA" | L2_TCM -> "L2_TCM"
+  | L2_LDM -> "L2_LDM" | L2_STM -> "L2_STM"
+
+let of_name s = List.find_opt (fun c -> name c = s) all
+
+type bank = int array
+
+let make () : bank = Array.make count 0
+
+let get (b : bank) c = b.(to_index c)
+let set (b : bank) c v = b.(to_index c) <- v
+let incr (b : bank) c = b.(to_index c) <- b.(to_index c) + 1
+let add (b : bank) c n = b.(to_index c) <- b.(to_index c) + n
+
+(* Events per instruction — the normalization the paper applies before
+   comparing programs (Fig. 3 plots counters relative to per-instruction
+   averages).  TOT_INS and TOT_CYC are reported as CPI-style ratios. *)
+let normalized (b : bank) : float array =
+  let tot = float_of_int (max 1 (get b TOT_INS)) in
+  Array.of_list
+    (List.map
+       (fun c ->
+         match c with
+         | TOT_INS -> 1.0
+         | _ -> float_of_int (get b c) /. tot)
+       all)
+
+let pp ppf (b : bank) =
+  List.iter (fun c -> Fmt.pf ppf "%-8s %d@\n" (name c) (get b c)) all
+
+let to_assoc (b : bank) = List.map (fun c -> (name c, get b c)) all

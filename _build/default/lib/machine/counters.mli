@@ -1,0 +1,47 @@
+(** PAPI-style hardware performance-counter bank, mirroring the counters
+    the paper reads in its Fig. 3/4 experiments. *)
+
+type counter =
+  | TOT_INS   (** total instructions retired *)
+  | TOT_CYC   (** total cycles *)
+  | LD_INS    (** load instructions *)
+  | SR_INS    (** store instructions *)
+  | BR_INS    (** conditional branch instructions *)
+  | BR_TKN    (** branches taken *)
+  | BR_MSP    (** branches mispredicted *)
+  | FP_INS    (** floating-point instructions *)
+  | INT_INS   (** integer ALU instructions *)
+  | MUL_INS   (** integer multiplies *)
+  | DIV_INS   (** integer divides / remainders *)
+  | CALL_INS  (** calls executed *)
+  | L1_TCA    (** L1D total cache accesses *)
+  | L1_TCM    (** L1D total cache misses *)
+  | L1_LDM    (** L1D load misses *)
+  | L1_STM    (** L1D store misses *)
+  | L2_TCA    (** L2 total accesses *)
+  | L2_TCM    (** L2 total misses *)
+  | L2_LDM    (** L2 load misses *)
+  | L2_STM    (** L2 store misses *)
+
+(** every counter, in canonical order *)
+val all : counter list
+
+val count : int
+val to_index : counter -> int
+val name : counter -> string
+val of_name : string -> counter option
+
+type bank = int array
+
+val make : unit -> bank
+val get : bank -> counter -> int
+val set : bank -> counter -> int -> unit
+val incr : bank -> counter -> unit
+val add : bank -> counter -> int -> unit
+
+(** events per retired instruction, in [all] order — the normalization the
+    paper applies before comparing programs *)
+val normalized : bank -> float array
+
+val pp : Format.formatter -> bank -> unit
+val to_assoc : bank -> (string * int) list

@@ -1,0 +1,128 @@
+(* Microbenchmark-based architecture characterization (Sec. III-B of the
+   paper, following Yotov et al. [2]): recover the memory-hierarchy
+   parameters of a target machine by timing strided scans over arrays of
+   increasing footprint — except the "machine" here is the simulator, so
+   the recovered values can be checked against configured ground truth
+   (experiment tab4).
+
+   Method:
+   - capacity: scan an N-byte footprint cyclically touching every cache
+     line; cycles/access jumps when the footprint first exceeds each level.
+   - line size: with a footprint far beyond L1 (but inside L2), increase
+     the stride; cost per access grows until the stride reaches the line
+     size (one miss per access) and then flattens. *)
+
+module Interp = Mira.Interp
+
+(* A strided-scan program over a global [n]-element int array performing
+   [accesses] loads with the given element [stride].  n must be a power of
+   two so the index wrap stays cheap and exact. *)
+let scan_source ~n ~stride ~accesses =
+  Printf.sprintf
+    {|global buf: int[%d];
+fn main() -> int {
+  var sink: int = 0;
+  var idx: int = 0;
+  for it = 0 to %d {
+    sink = sink + buf[idx];
+    idx = idx + %d;
+    if (idx >= %d) { idx = idx - %d; }
+  }
+  return sink;
+}|}
+    n accesses stride n n
+
+let cycles_per_access ~config ~n ~stride ~accesses : float =
+  let p = Mira.Lower.compile_source_exn (scan_source ~n ~stride ~accesses) in
+  (* warm the caches with one preliminary pass so cold misses do not skew
+     small-footprint points: simulate double length, charge second half.
+     Cheaper approximation: single run minus a pure-loop baseline. *)
+  let r = Sim.run ~config p in
+  let baseline =
+    Sim.run ~config
+      (Mira.Lower.compile_source_exn
+         (Printf.sprintf
+            {|fn main() -> int {
+                var sink: int = 0;
+                var idx: int = 0;
+                for it = 0 to %d {
+                  sink = sink + idx;
+                  idx = idx + %d;
+                  if (idx >= %d) { idx = idx - %d; }
+                }
+                return sink;
+              }|}
+            accesses stride n n))
+  in
+  float_of_int (r.Sim.cycles - baseline.Sim.cycles) /. float_of_int accesses
+
+type recovered = {
+  l1_bytes : int;
+  l2_bytes : int;
+  line_bytes : int;
+  points : (int * float) list;  (* footprint bytes -> cycles/access *)
+}
+
+let default_sweeps = 8
+
+(* Footprints probed, in bytes: 2 KiB .. 2 MiB in powers of two. *)
+let footprints = List.init 11 (fun i -> 2048 lsl i)
+
+let characterize ?(sweeps = default_sweeps) (config : Config.t) : recovered =
+  let line_guess = config.Config.l1.Cache.line_bytes in
+  (* touch one element per line so footprint == array size *)
+  let stride_elts = line_guess / 8 in
+  (* every point runs the same number of sweeps over its footprint so the
+     cold first sweep is amortized identically everywhere; otherwise the
+     amortization gradient masquerades as capacity knees *)
+  let points =
+    List.map
+      (fun bytes ->
+        let n = bytes / 8 in
+        let accesses = sweeps * (n / stride_elts) in
+        (bytes, cycles_per_access ~config ~n ~stride:stride_elts ~accesses))
+      footprints
+  in
+  (* capacity boundaries: largest footprint before each cost jump.
+     A jump is a >40% rise between consecutive points. *)
+  let rec jumps acc = function
+    | (b1, c1) :: ((_, c2) :: _ as rest) ->
+      if c2 > c1 *. 1.4 then jumps (b1 :: acc) rest else jumps acc rest
+    | _ -> List.rev acc
+  in
+  let js = jumps [] points in
+  let l1_bytes, l2_bytes =
+    match js with
+    | l1 :: l2 :: _ -> (l1, l2)
+    | [ l1 ] -> (l1, List.fold_left max 0 (List.map fst points))
+    | [] -> (0, 0)
+  in
+  (* line size: footprint = 4 * recovered L1 (cap at 2 MiB), strides from
+     one element up to 512 bytes; the cost stops growing once the stride
+     covers a full line *)
+  let foot = min (4 * max l1_bytes 4096) (2 * 1024 * 1024) in
+  let n = foot / 8 in
+  let stride_costs =
+    List.map
+      (fun sb ->
+        let stride = max 1 (sb / 8) in
+        ( sb,
+          cycles_per_access ~config ~n ~stride
+            ~accesses:(sweeps * (n / stride)) ))
+      [ 8; 16; 32; 64; 128; 256; 512 ]
+  in
+  let line_bytes =
+    (* first stride whose cost is within 10% of the next stride's cost:
+       past the line size, doubling the stride no longer increases cost *)
+    let rec find = function
+      | (sb, c1) :: ((_, c2) :: _ as rest) ->
+        if c2 <= c1 *. 1.10 then sb else find rest
+      | [ (sb, _) ] -> sb
+      | [] -> 0
+    in
+    find stride_costs
+  in
+  { l1_bytes; l2_bytes; line_bytes; points }
+
+let pp_recovered ppf r =
+  Fmt.pf ppf "L1 %d B, L2 %d B, line %d B" r.l1_bytes r.l2_bytes r.line_bytes

@@ -1,0 +1,30 @@
+(** Microbenchmark-based architecture characterization (paper Sec. III-B,
+    after Yotov et al.): recover the memory-hierarchy parameters of a
+    target machine by timing strided scans of increasing footprint.
+    Because the "machine" is the simulator, the recovered values can be
+    checked against configured ground truth. *)
+
+(** Mira source of a strided-scan kernel (exposed for tests) *)
+val scan_source : n:int -> stride:int -> accesses:int -> string
+
+(** average cycles per access of a strided scan, loop overhead deducted *)
+val cycles_per_access :
+  config:Config.t -> n:int -> stride:int -> accesses:int -> float
+
+type recovered = {
+  l1_bytes : int;
+  l2_bytes : int;
+  line_bytes : int;
+  points : (int * float) list;  (** footprint bytes -> cycles/access *)
+}
+
+val default_sweeps : int
+
+(** footprints probed, in bytes *)
+val footprints : int list
+
+(** recover L1/L2 capacity and the line size of [config]'s memory system;
+    [sweeps] controls how often each footprint is traversed *)
+val characterize : ?sweeps:int -> Config.t -> recovered
+
+val pp_recovered : Format.formatter -> recovered -> unit

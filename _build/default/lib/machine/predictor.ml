@@ -1,0 +1,36 @@
+(* Bimodal branch predictor: a table of 2-bit saturating counters indexed by
+   branch-site id.  Counters start weakly-taken (2), matching the usual
+   backward-taken bias of loop branches. *)
+
+type t = {
+  table : int array;
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+let make ?(size = 1024) () =
+  if size <= 0 then invalid_arg "Predictor.make: size must be positive";
+  { table = Array.make size 2; lookups = 0; mispredicts = 0 }
+
+let reset t =
+  Array.fill t.table 0 (Array.length t.table) 2;
+  t.lookups <- 0;
+  t.mispredicts <- 0
+
+let slot t site =
+  let n = Array.length t.table in
+  let i = site mod n in
+  if i < 0 then i + n else i
+
+let predict t site = t.table.(slot t site) >= 2
+
+(* record the outcome; returns whether the prediction was wrong *)
+let update t site ~(taken : bool) : bool =
+  t.lookups <- t.lookups + 1;
+  let i = slot t site in
+  let predicted = t.table.(i) >= 2 in
+  let mis = predicted <> taken in
+  if mis then t.mispredicts <- t.mispredicts + 1;
+  t.table.(i) <-
+    (if taken then min 3 (t.table.(i) + 1) else max 0 (t.table.(i) - 1));
+  mis

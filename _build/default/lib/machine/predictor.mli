@@ -1,0 +1,21 @@
+(** Bimodal branch predictor: a table of 2-bit saturating counters indexed
+    by branch-site id, initialized weakly-taken. *)
+
+type t = {
+  table : int array;
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+(** [make ~size ()] creates a predictor with [size] counters (default
+    1024).  Raises [Invalid_argument] if [size <= 0]. *)
+val make : ?size:int -> unit -> t
+
+val reset : t -> unit
+
+(** current prediction for a branch site (no state change) *)
+val predict : t -> int -> bool
+
+(** record the outcome of a branch at [site]; returns [true] when the
+    prediction was wrong.  Updates the statistics and the counter. *)
+val update : t -> int -> taken:bool -> bool

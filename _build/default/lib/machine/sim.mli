@@ -1,0 +1,30 @@
+(** Cycle-level machine simulator.
+
+    Semantics come from the shared execution engine ({!Mira.Interp});
+    this module attaches hooks that account time and hardware events:
+    dependence-limited multiple issue for simple ALU ops, configured
+    latencies for multiplies/divides/FP, an L1D/L2 hierarchy for memory
+    accesses, a bimodal predictor for conditional branches, and fixed
+    linkage overheads for calls.  Deterministic: same program and config
+    always give the same cycle count. *)
+
+type result = {
+  cycles : int;
+  counters : Counters.bank;
+  ret : Mira.Interp.value;
+  output : string;
+  steps : int;   (** dynamic instructions incl. terminators *)
+}
+
+val default_fuel : int
+
+(** Run a program on the simulated machine.
+    @raise Mira.Interp.Trap on runtime errors
+    @raise Mira.Interp.Out_of_fuel when the step budget is exhausted *)
+val run : ?config:Config.t -> ?fuel:int -> Mira.Ir.program -> result
+
+(** cycles, or [None] if the program trapped or ran out of fuel *)
+val cycles_of : ?config:Config.t -> ?fuel:int -> Mira.Ir.program -> int option
+
+(** [speedup ~base ~opt] = base cycles / opt cycles *)
+val speedup : base:result -> opt:result -> float

@@ -1,0 +1,1 @@
+lib/ml/dtree.ml: Array Buffer Dataset Float Linalg List Printf String

@@ -1,0 +1,1 @@
+lib/ml/eval.ml: Array Dataset Fmt List

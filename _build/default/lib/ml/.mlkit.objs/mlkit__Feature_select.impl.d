@@ -1,0 +1,1 @@
+lib/ml/feature_select.ml: Array Dataset Linalg List

@@ -1,0 +1,1 @@
+lib/ml/feature_select.mli: Dataset

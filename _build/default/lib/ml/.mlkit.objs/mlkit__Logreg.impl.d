@@ -1,0 +1,1 @@
+lib/ml/logreg.ml: Array Dataset Fun Linalg Random

@@ -1,0 +1,1 @@
+lib/ml/scaling.ml: Array Linalg

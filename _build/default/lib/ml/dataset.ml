@@ -1,0 +1,78 @@
+(* Supervised-learning datasets: rows of float features with integer class
+   labels (classification) or float targets (regression), plus the split
+   utilities the methodology section of the paper calls for
+   (leave-one-out and k-fold cross-validation). *)
+
+type t = {
+  xs : float array array;
+  ys : int array;
+  feature_names : string array;   (* may be empty *)
+  nclasses : int;
+}
+
+let make ?(feature_names = [||]) xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Dataset.make: xs/ys length mismatch";
+  if n > 0 then begin
+    let d = Array.length xs.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> d then
+          invalid_arg "Dataset.make: ragged feature rows")
+      xs;
+    if feature_names <> [||] && Array.length feature_names <> d then
+      invalid_arg "Dataset.make: feature_names length mismatch"
+  end;
+  Array.iter
+    (fun y -> if y < 0 then invalid_arg "Dataset.make: negative label")
+    ys;
+  let nclasses = Array.fold_left (fun acc y -> max acc (y + 1)) 0 ys in
+  { xs; ys; feature_names; nclasses }
+
+let size d = Array.length d.xs
+let dim d = if size d = 0 then 0 else Array.length d.xs.(0)
+
+let subset d (idxs : int list) =
+  let xs = Array.of_list (List.map (fun i -> d.xs.(i)) idxs) in
+  let ys = Array.of_list (List.map (fun i -> d.ys.(i)) idxs) in
+  { d with xs; ys }
+
+(* leave index [i] out: (train, test-point) *)
+let leave_one_out d i =
+  let n = size d in
+  if i < 0 || i >= n then invalid_arg "Dataset.leave_one_out: bad index";
+  let keep = List.filter (fun j -> j <> i) (List.init n Fun.id) in
+  (subset d keep, d.xs.(i), d.ys.(i))
+
+(* deterministic shuffled k folds *)
+let kfolds ?(seed = 42) d k =
+  let n = size d in
+  if k < 2 || k > n then invalid_arg "Dataset.kfolds: bad k";
+  let rng = Random.State.make [| seed |] in
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  List.init k (fun fold ->
+      let test = ref [] and train = ref [] in
+      Array.iteri
+        (fun pos idx ->
+          if pos mod k = fold then test := idx :: !test
+          else train := idx :: !train)
+        perm;
+      (subset d (List.rev !train), subset d (List.rev !test)))
+
+(* class frequency distribution *)
+let class_counts d =
+  let counts = Array.make (max 1 d.nclasses) 0 in
+  Array.iter (fun y -> counts.(y) <- counts.(y) + 1) d.ys;
+  counts
+
+let majority_class d =
+  let counts = class_counts d in
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > counts.(!best) then best := i) counts;
+  !best

@@ -1,0 +1,30 @@
+(** Supervised-learning datasets: rows of float features with non-negative
+    integer class labels, plus the split utilities the paper's methodology
+    calls for (leave-one-out and k-fold cross-validation). *)
+
+type t = {
+  xs : float array array;
+  ys : int array;
+  feature_names : string array;  (** may be empty *)
+  nclasses : int;
+}
+
+(** Validates shapes and labels.
+    @raise Invalid_argument on ragged rows, length mismatch or negative
+    labels. *)
+val make : ?feature_names:string array -> float array array -> int array -> t
+
+val size : t -> int
+val dim : t -> int
+val subset : t -> int list -> t
+
+(** [(train, held-out x, held-out y)].
+    @raise Invalid_argument on a bad index. *)
+val leave_one_out : t -> int -> t * float array * int
+
+(** deterministic shuffled folds; the test sets partition the data.
+    @raise Invalid_argument when [k] is out of range. *)
+val kfolds : ?seed:int -> t -> int -> (t * t) list
+
+val class_counts : t -> int array
+val majority_class : t -> int

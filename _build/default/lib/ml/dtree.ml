@@ -1,0 +1,159 @@
+(* CART-style decision-tree classifier: binary splits on feature
+   thresholds, impurity by Gini or entropy, pre-pruning by depth and
+   minimum leaf size.  Deterministic: candidate thresholds are midpoints
+   of sorted distinct feature values, ties resolved by (feature, threshold)
+   order. *)
+
+type impurity = Gini | Entropy
+
+type node =
+  | Leaf of int * float array          (* class, class distribution *)
+  | Split of int * float * node * node (* feature, threshold, <=, > *)
+
+type t = { root : node; nclasses : int }
+
+type params = {
+  max_depth : int;
+  min_leaf : int;
+  impurity : impurity;
+}
+
+let default_params = { max_depth = 8; min_leaf = 2; impurity = Gini }
+
+let distribution nclasses (ys : int array) =
+  let d = Array.make nclasses 0.0 in
+  Array.iter (fun y -> d.(y) <- d.(y) +. 1.0) ys;
+  let n = float_of_int (max 1 (Array.length ys)) in
+  Array.map (fun c -> c /. n) d
+
+let impurity_of imp (dist : float array) : float =
+  match imp with
+  | Gini -> 1.0 -. Array.fold_left (fun acc p -> acc +. (p *. p)) 0.0 dist
+  | Entropy ->
+    -.Array.fold_left
+        (fun acc p -> if p > 0.0 then acc +. (p *. log p /. log 2.0) else acc)
+        0.0 dist
+
+let majority dist =
+  let best = ref 0 in
+  Array.iteri (fun i p -> if p > dist.(!best) then best := i) dist;
+  !best
+
+(* candidate thresholds for a feature: midpoints between consecutive
+   distinct sorted values *)
+let thresholds (vals : float array) : float list =
+  let v = Array.copy vals in
+  Array.sort compare v;
+  let out = ref [] in
+  for i = 0 to Array.length v - 2 do
+    if v.(i) < v.(i + 1) then out := ((v.(i) +. v.(i + 1)) /. 2.0) :: !out
+  done;
+  List.rev !out
+
+let rec build params nclasses (xs : float array array) (ys : int array) depth :
+    node =
+  let n = Array.length ys in
+  let dist = distribution nclasses ys in
+  let here = impurity_of params.impurity dist in
+  let leaf () = Leaf (majority dist, dist) in
+  if depth >= params.max_depth || n < 2 * params.min_leaf || here <= 1e-12
+  then leaf ()
+  else begin
+    let d = Array.length xs.(0) in
+    (* best split by (gain, balance): XOR-like targets have zero single-split
+       gain everywhere, so ties are broken towards the most balanced split,
+       which lets deeper levels finish the separation *)
+    let best = ref None in
+    for j = 0 to d - 1 do
+      List.iter
+        (fun thr ->
+          let li = ref [] and ri = ref [] in
+          Array.iteri
+            (fun i x -> if x.(j) <= thr then li := i :: !li else ri := i :: !ri)
+            xs;
+          let nl = List.length !li and nr = List.length !ri in
+          if nl >= params.min_leaf && nr >= params.min_leaf then begin
+            let dl =
+              distribution nclasses
+                (Array.of_list (List.map (fun i -> ys.(i)) !li))
+            and dr =
+              distribution nclasses
+                (Array.of_list (List.map (fun i -> ys.(i)) !ri))
+            in
+            let w = float_of_int nl /. float_of_int n in
+            let gain =
+              here
+              -. ((w *. impurity_of params.impurity dl)
+                  +. ((1.0 -. w) *. impurity_of params.impurity dr))
+            in
+            let balance = -.Float.abs (float_of_int (nl - nr)) in
+            match !best with
+            | Some (g, bal, _, _, _, _)
+              when g > gain +. 1e-12
+                   || (Float.abs (g -. gain) <= 1e-12 && bal >= balance) ->
+              ()
+            | _ -> best := Some (gain, balance, j, thr, List.rev !li, List.rev !ri)
+          end)
+        (thresholds (Linalg.column xs j))
+    done;
+    match !best with
+    | Some (gain, _, j, thr, li, ri) when gain > -1e-9 ->
+      let sub idxs =
+        ( Array.of_list (List.map (fun i -> xs.(i)) idxs),
+          Array.of_list (List.map (fun i -> ys.(i)) idxs) )
+      in
+      let xl, yl = sub li and xr, yr = sub ri in
+      Split
+        ( j,
+          thr,
+          build params nclasses xl yl (depth + 1),
+          build params nclasses xr yr (depth + 1) )
+    | _ -> leaf ()
+  end
+
+let fit ?(params = default_params) (d : Dataset.t) : t =
+  if Dataset.size d = 0 then invalid_arg "Dtree.fit: empty dataset";
+  {
+    root = build params d.Dataset.nclasses d.Dataset.xs d.Dataset.ys 0;
+    nclasses = d.Dataset.nclasses;
+  }
+
+let rec predict_node node (x : float array) =
+  match node with
+  | Leaf (c, dist) -> (c, dist)
+  | Split (j, thr, l, r) ->
+    if x.(j) <= thr then predict_node l x else predict_node r x
+
+let predict (t : t) x = fst (predict_node t.root x)
+let predict_proba (t : t) x = snd (predict_node t.root x)
+
+let rec depth_of = function
+  | Leaf _ -> 0
+  | Split (_, _, l, r) -> 1 + max (depth_of l) (depth_of r)
+
+let rec size_of = function
+  | Leaf _ -> 1
+  | Split (_, _, l, r) -> 1 + size_of l + size_of r
+
+(* human-readable rendering, useful for "integration of the induced
+   heuristic": the tree is directly readable as nested if-thens *)
+let to_string ?(feature_names = [||]) (t : t) : string =
+  let buf = Buffer.create 256 in
+  let fname j =
+    if j < Array.length feature_names then feature_names.(j)
+    else Printf.sprintf "f%d" j
+  in
+  let rec go ind node =
+    let pad = String.make ind ' ' in
+    match node with
+    | Leaf (c, dist) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sclass %d (p=%.2f)\n" pad c dist.(c))
+    | Split (j, thr, l, r) ->
+      Buffer.add_string buf (Printf.sprintf "%sif %s <= %g:\n" pad (fname j) thr);
+      go (ind + 2) l;
+      Buffer.add_string buf (Printf.sprintf "%selse:\n" pad);
+      go (ind + 2) r
+  in
+  go 0 t.root;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** CART-style decision-tree classifier: binary threshold splits, Gini or
+    entropy impurity, pre-pruning by depth and leaf size.  Ties between
+    equal-gain splits break towards the most balanced split, which lets
+    XOR-like targets (zero single-split gain) still be separated. *)
+
+type impurity = Gini | Entropy
+
+type node =
+  | Leaf of int * float array           (** class, class distribution *)
+  | Split of int * float * node * node  (** feature, threshold, <=, > *)
+
+type t = { root : node; nclasses : int }
+
+type params = {
+  max_depth : int;
+  min_leaf : int;
+  impurity : impurity;
+}
+
+val default_params : params
+
+(** @raise Invalid_argument on an empty dataset *)
+val fit : ?params:params -> Dataset.t -> t
+
+val predict : t -> float array -> int
+val predict_proba : t -> float array -> float array
+val depth_of : node -> int
+val size_of : node -> int
+
+(** readable nested if-then rendering — the paper's "integration of the
+    induced heuristic" as code *)
+val to_string : ?feature_names:string array -> t -> string

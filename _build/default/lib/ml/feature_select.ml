@@ -1,0 +1,74 @@
+(* Feature usefulness ranking by mutual information between a discretized
+   feature and the class label — the "standard statistical techniques, such
+   as mutual information" the paper suggests for evaluating candidate
+   features (Sec. III-E). *)
+
+let default_bins = 8
+
+(* equal-width discretization of a column into [bins] buckets *)
+let discretize ?(bins = default_bins) (col : float array) : int array =
+  let lo = Array.fold_left min infinity col in
+  let hi = Array.fold_left max neg_infinity col in
+  if hi -. lo < 1e-12 then Array.map (fun _ -> 0) col
+  else
+    Array.map
+      (fun v ->
+        let b =
+          int_of_float (float_of_int bins *. (v -. lo) /. (hi -. lo))
+        in
+        min (bins - 1) (max 0 b))
+      col
+
+(* mutual information I(X;Y) in bits between a discretized feature and the
+   labels *)
+let mutual_information ?(bins = default_bins) (col : float array)
+    (ys : int array) : float =
+  let n = Array.length col in
+  if n = 0 || n <> Array.length ys then
+    invalid_arg "Feature_select.mutual_information: bad data";
+  let xb = discretize ~bins col in
+  let nclasses = Array.fold_left (fun a y -> max a (y + 1)) 1 ys in
+  let joint = Array.make_matrix bins nclasses 0.0 in
+  let px = Array.make bins 0.0 in
+  let py = Array.make nclasses 0.0 in
+  let nf = float_of_int n in
+  Array.iteri
+    (fun i b ->
+      let y = ys.(i) in
+      joint.(b).(y) <- joint.(b).(y) +. (1.0 /. nf);
+      px.(b) <- px.(b) +. (1.0 /. nf);
+      py.(y) <- py.(y) +. (1.0 /. nf))
+    xb;
+  let mi = ref 0.0 in
+  for b = 0 to bins - 1 do
+    for y = 0 to nclasses - 1 do
+      let j = joint.(b).(y) in
+      if j > 0.0 && px.(b) > 0.0 && py.(y) > 0.0 then
+        mi := !mi +. (j *. (log (j /. (px.(b) *. py.(y))) /. log 2.0))
+    done
+  done;
+  !mi
+
+(* rank features of a dataset by MI with the label, best first *)
+let rank (d : Dataset.t) : (int * float) list =
+  let dim = Dataset.dim d in
+  List.init dim (fun j ->
+      (j, mutual_information (Linalg.column d.Dataset.xs j) d.Dataset.ys))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* keep the [k] most informative features *)
+let select_top (d : Dataset.t) ~k : Dataset.t * int list =
+  let ranked = rank d in
+  let keep = List.filteri (fun i _ -> i < k) ranked |> List.map fst in
+  let keep = List.sort compare keep in
+  let xs =
+    Array.map
+      (fun row -> Array.of_list (List.map (fun j -> row.(j)) keep))
+      d.Dataset.xs
+  in
+  let feature_names =
+    if d.Dataset.feature_names = [||] then [||]
+    else
+      Array.of_list (List.map (fun j -> d.Dataset.feature_names.(j)) keep)
+  in
+  (Dataset.make ~feature_names xs d.Dataset.ys, keep)

@@ -1,0 +1,18 @@
+(** Feature usefulness ranking by mutual information between a discretized
+    feature and the class label — the "standard statistical techniques,
+    such as mutual information" of the paper's Sec. III-E. *)
+
+val default_bins : int
+
+(** equal-width discretization; constant columns map to bucket 0 *)
+val discretize : ?bins:int -> float array -> int array
+
+(** I(X;Y) in bits.  @raise Invalid_argument on mismatched lengths. *)
+val mutual_information : ?bins:int -> float array -> int array -> float
+
+(** features ranked by MI with the label, most informative first *)
+val rank : Dataset.t -> (int * float) list
+
+(** dataset restricted to the [k] most informative features, plus the
+    kept column indices (ascending) *)
+val select_top : Dataset.t -> k:int -> Dataset.t * int list

@@ -1,0 +1,115 @@
+(* Small dense linear-algebra helpers over float arrays.  Everything is
+   plain [float array] / [float array array] so callers can build vectors
+   without wrapper types. *)
+
+let dot (a : float array) (b : float array) : float =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.dot: dimension mismatch";
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm2 a = sqrt (dot a a)
+
+let sub a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.sub: dimension mismatch";
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let add a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.add: dimension mismatch";
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let euclidean a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.euclidean: dimension mismatch";
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    s := !s +. (d *. d)
+  done;
+  sqrt !s
+
+let mean (xs : float array) : float =
+  if Array.length xs = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance (xs : float array) : float =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int n
+  end
+
+let std xs = sqrt (variance xs)
+
+(* column [j] of a row-major matrix *)
+let column (m : float array array) j = Array.map (fun row -> row.(j)) m
+
+(* Solve A x = b by Gaussian elimination with partial pivoting.
+   A is destroyed; raises [Failure] on a (near-)singular system. *)
+let solve (a : float array array) (b : float array) : float array =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n then invalid_arg "Linalg.solve: bad shapes";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Linalg.solve: not square")
+    a;
+  let b = Array.copy b in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    if Float.abs a.(!piv).(col) < 1e-12 then failwith "Linalg.solve: singular";
+    if !piv <> col then begin
+      let t = a.(col) in
+      a.(col) <- a.(!piv);
+      a.(!piv) <- t;
+      let tb = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- tb
+    end;
+    for r = col + 1 to n - 1 do
+      let f = a.(r).(col) /. a.(col).(col) in
+      if f <> 0.0 then begin
+        for c = col to n - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for r = n - 1 downto 0 do
+    let s = ref b.(r) in
+    for c = r + 1 to n - 1 do
+      s := !s -. (a.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. a.(r).(r)
+  done;
+  x
+
+let argmax (xs : float array) : int =
+  if Array.length xs = 0 then invalid_arg "Linalg.argmax: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) > xs.(!best) then best := i
+  done;
+  !best
+
+let argmin (xs : float array) : int =
+  if Array.length xs = 0 then invalid_arg "Linalg.argmin: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) < xs.(!best) then best := i
+  done;
+  !best

@@ -1,0 +1,43 @@
+(* Ridge regression via the normal equations (X'X + λI) w = X'y, solved by
+   Gaussian elimination.  Used for cycle-count regression models. *)
+
+type t = { w : float array; b : float }
+
+let fit ?(l2 = 1e-6) (xs : float array array) (ys : float array) : t =
+  let n = Array.length xs in
+  if n = 0 || n <> Array.length ys then invalid_arg "Linreg.fit: bad data";
+  let d = Array.length xs.(0) in
+  (* augment with a bias column *)
+  let da = d + 1 in
+  let xtx = Array.make_matrix da da 0.0 in
+  let xty = Array.make da 0.0 in
+  Array.iteri
+    (fun i x ->
+      let xa = Array.append x [| 1.0 |] in
+      for r = 0 to da - 1 do
+        for c = 0 to da - 1 do
+          xtx.(r).(c) <- xtx.(r).(c) +. (xa.(r) *. xa.(c))
+        done;
+        xty.(r) <- xty.(r) +. (xa.(r) *. ys.(i))
+      done)
+    xs;
+  for r = 0 to da - 2 do
+    xtx.(r).(r) <- xtx.(r).(r) +. l2   (* do not regularize the bias *)
+  done;
+  let sol = Linalg.solve xtx xty in
+  { w = Array.sub sol 0 d; b = sol.(d) }
+
+let predict (t : t) (x : float array) : float = Linalg.dot t.w x +. t.b
+
+(* coefficient of determination on a dataset *)
+let r2 (t : t) (xs : float array array) (ys : float array) : float =
+  let preds = Array.map (predict t) xs in
+  let mean_y = Linalg.mean ys in
+  let ss_res =
+    Array.fold_left ( +. ) 0.0
+      (Array.mapi (fun i y -> (y -. preds.(i)) ** 2.0) ys)
+  in
+  let ss_tot =
+    Array.fold_left ( +. ) 0.0 (Array.map (fun y -> (y -. mean_y) ** 2.0) ys)
+  in
+  if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot)

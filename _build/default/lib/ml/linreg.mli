@@ -1,0 +1,14 @@
+(** Ridge regression via the normal equations; the bias term is not
+    regularized. *)
+
+type t = { w : float array; b : float }
+
+(** @raise Invalid_argument on empty/mismatched data
+    @raise Failure when the normal equations are singular (only possible
+    with [l2 = 0.]) *)
+val fit : ?l2:float -> float array array -> float array -> t
+
+val predict : t -> float array -> float
+
+(** coefficient of determination on a dataset *)
+val r2 : t -> float array array -> float array -> float

@@ -1,0 +1,88 @@
+(* Logistic regression trained with mini-batchless SGD + L2 regularization.
+   Multiclass is handled one-vs-rest.  Inputs should be standardized (see
+   Scaling); training is deterministic given the seed. *)
+
+type binary = { w : float array; b : float }
+
+type t = {
+  models : binary array;   (* one per class (one-vs-rest); size 1 if binary *)
+  nclasses : int;
+}
+
+type params = {
+  epochs : int;
+  lr : float;
+  l2 : float;
+  seed : int;
+}
+
+let default_params = { epochs = 200; lr = 0.1; l2 = 1e-4; seed = 1 }
+
+let sigmoid z =
+  if z >= 0.0 then 1.0 /. (1.0 +. exp (-.z))
+  else begin
+    let e = exp z in
+    e /. (1.0 +. e)
+  end
+
+let train_binary params (xs : float array array) (labels : bool array) : binary
+    =
+  let n = Array.length xs in
+  let d = if n = 0 then 0 else Array.length xs.(0) in
+  let w = Array.make d 0.0 in
+  let b = ref 0.0 in
+  let rng = Random.State.make [| params.seed |] in
+  let order = Array.init n Fun.id in
+  for _epoch = 1 to params.epochs do
+    (* shuffle visit order *)
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done;
+    Array.iter
+      (fun i ->
+        let x = xs.(i) in
+        let y = if labels.(i) then 1.0 else 0.0 in
+        let z = Linalg.dot w x +. !b in
+        let p = sigmoid z in
+        let g = p -. y in
+        for j = 0 to d - 1 do
+          w.(j) <- w.(j) -. (params.lr *. ((g *. x.(j)) +. (params.l2 *. w.(j))))
+        done;
+        b := !b -. (params.lr *. g))
+      order
+  done;
+  { w; b = !b }
+
+let fit ?(params = default_params) (d : Dataset.t) : t =
+  if Dataset.size d = 0 then invalid_arg "Logreg.fit: empty dataset";
+  let nclasses = max 2 d.Dataset.nclasses in
+  if nclasses = 2 then
+    let labels = Array.map (fun y -> y = 1) d.Dataset.ys in
+    { models = [| train_binary params d.Dataset.xs labels |]; nclasses }
+  else
+    {
+      models =
+        Array.init nclasses (fun c ->
+            let labels = Array.map (fun y -> y = c) d.Dataset.ys in
+            train_binary { params with seed = params.seed + c } d.Dataset.xs
+              labels);
+      nclasses;
+    }
+
+let predict_proba (t : t) (x : float array) : float array =
+  if t.nclasses = 2 then begin
+    let p = sigmoid (Linalg.dot t.models.(0).w x +. t.models.(0).b) in
+    [| 1.0 -. p; p |]
+  end
+  else begin
+    let raw =
+      Array.map (fun m -> sigmoid (Linalg.dot m.w x +. m.b)) t.models
+    in
+    let z = max 1e-12 (Array.fold_left ( +. ) 0.0 raw) in
+    Array.map (fun p -> p /. z) raw
+  end
+
+let predict (t : t) (x : float array) : int = Linalg.argmax (predict_proba t x)

@@ -1,0 +1,27 @@
+(** Logistic regression trained with SGD + L2; multiclass one-vs-rest.
+    Standardize inputs first ({!Scaling}).  Deterministic given the seed. *)
+
+type binary = { w : float array; b : float }
+
+type t = {
+  models : binary array;  (** one per class; a single model when binary *)
+  nclasses : int;
+}
+
+type params = {
+  epochs : int;
+  lr : float;
+  l2 : float;
+  seed : int;
+}
+
+val default_params : params
+
+(** numerically stable sigmoid *)
+val sigmoid : float -> float
+
+(** @raise Invalid_argument on an empty dataset *)
+val fit : ?params:params -> Dataset.t -> t
+
+val predict_proba : t -> float array -> float array
+val predict : t -> float array -> int

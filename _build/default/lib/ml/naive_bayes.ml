@@ -1,0 +1,64 @@
+(* Gaussian naive Bayes classifier: per-class, per-feature normal densities
+   with Laplace-smoothed class priors and a variance floor for constant
+   features. *)
+
+type t = {
+  priors : float array;        (* log priors *)
+  means : float array array;   (* class x feature *)
+  vars : float array array;
+  nclasses : int;
+}
+
+let var_floor = 1e-6
+
+let fit (d : Dataset.t) : t =
+  let n = Dataset.size d in
+  if n = 0 then invalid_arg "Naive_bayes.fit: empty dataset";
+  let dim = Dataset.dim d in
+  let nclasses = d.Dataset.nclasses in
+  let priors = Array.make nclasses 0.0 in
+  let means = Array.make_matrix nclasses dim 0.0 in
+  let vars = Array.make_matrix nclasses dim 0.0 in
+  for c = 0 to nclasses - 1 do
+    let rows =
+      Array.to_list d.Dataset.xs
+      |> List.filteri (fun i _ -> d.Dataset.ys.(i) = c)
+      |> Array.of_list
+    in
+    let nc = Array.length rows in
+    priors.(c) <-
+      log
+        ((float_of_int nc +. 1.0) /. (float_of_int n +. float_of_int nclasses));
+    if nc > 0 then
+      for j = 0 to dim - 1 do
+        let col = Linalg.column rows j in
+        means.(c).(j) <- Linalg.mean col;
+        vars.(c).(j) <- max var_floor (Linalg.variance col)
+      done
+    else
+      for j = 0 to dim - 1 do
+        vars.(c).(j) <- 1.0
+      done
+  done;
+  { priors; means; vars; nclasses }
+
+let log_likelihood (t : t) c (x : float array) : float =
+  let ll = ref t.priors.(c) in
+  for j = 0 to Array.length x - 1 do
+    let m = t.means.(c).(j) and v = t.vars.(c).(j) in
+    let d = x.(j) -. m in
+    ll := !ll -. (0.5 *. (log (2.0 *. Float.pi *. v) +. (d *. d /. v)))
+  done;
+  !ll
+
+let scores (t : t) (x : float array) : float array =
+  Array.init t.nclasses (fun c -> log_likelihood t c x)
+
+let predict (t : t) (x : float array) : int = Linalg.argmax (scores t x)
+
+let predict_proba (t : t) (x : float array) : float array =
+  let s = scores t x in
+  let m = Array.fold_left max neg_infinity s in
+  let exps = Array.map (fun v -> exp (v -. m)) s in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  Array.map (fun e -> e /. z) exps

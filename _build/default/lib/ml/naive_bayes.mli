@@ -1,0 +1,21 @@
+(** Gaussian naive Bayes: per-class per-feature normal densities with
+    Laplace-smoothed priors and a variance floor. *)
+
+type t = {
+  priors : float array;        (** log priors *)
+  means : float array array;   (** class x feature *)
+  vars : float array array;
+  nclasses : int;
+}
+
+val var_floor : float
+
+(** @raise Invalid_argument on an empty dataset *)
+val fit : Dataset.t -> t
+
+val log_likelihood : t -> int -> float array -> float
+val scores : t -> float array -> float array
+val predict : t -> float array -> int
+
+(** softmax-normalized class probabilities (sums to 1) *)
+val predict_proba : t -> float array -> float array

@@ -1,0 +1,29 @@
+(* Feature standardization: fit z-score parameters on training data, apply
+   to any vector.  Constant features scale to zero rather than dividing by
+   a zero deviation. *)
+
+type t = { means : float array; stds : float array }
+
+let fit (xs : float array array) : t =
+  if Array.length xs = 0 then invalid_arg "Scaling.fit: empty data";
+  let d = Array.length xs.(0) in
+  let means =
+    Array.init d (fun j -> Linalg.mean (Linalg.column xs j))
+  in
+  let stds = Array.init d (fun j -> Linalg.std (Linalg.column xs j)) in
+  { means; stds }
+
+let apply (t : t) (x : float array) : float array =
+  if Array.length x <> Array.length t.means then
+    invalid_arg "Scaling.apply: dimension mismatch";
+  Array.mapi
+    (fun j v ->
+      if t.stds.(j) < 1e-12 then 0.0 else (v -. t.means.(j)) /. t.stds.(j))
+    x
+
+let apply_all t xs = Array.map (apply t) xs
+
+(* fit + transform convenience *)
+let standardize xs =
+  let t = fit xs in
+  (t, apply_all t xs)

@@ -1,0 +1,15 @@
+(** Z-score feature standardization with saved parameters.  Constant
+    features map to zero instead of dividing by a zero deviation. *)
+
+type t = { means : float array; stds : float array }
+
+(** @raise Invalid_argument on empty data *)
+val fit : float array array -> t
+
+(** @raise Invalid_argument on dimension mismatch *)
+val apply : t -> float array -> float array
+
+val apply_all : t -> float array array -> float array array
+
+(** fit then transform *)
+val standardize : float array array -> t * float array array

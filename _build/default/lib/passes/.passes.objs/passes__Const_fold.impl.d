@@ -1,0 +1,1 @@
+lib/passes/const_fold.ml: Float List Mira

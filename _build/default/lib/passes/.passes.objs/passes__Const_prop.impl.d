@@ -1,0 +1,1 @@
+lib/passes/const_prop.ml: Array Hashtbl Int List Map Mira

@@ -1,0 +1,1 @@
+lib/passes/copy_prop.ml: Array Hashtbl Int List Map Mira

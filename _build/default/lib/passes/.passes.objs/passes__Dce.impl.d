@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Float Hashtbl List Mira

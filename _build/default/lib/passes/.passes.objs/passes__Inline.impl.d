@@ -1,0 +1,1 @@
+lib/passes/inline.ml: List Mira

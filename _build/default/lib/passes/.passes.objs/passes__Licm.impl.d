@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Hashtbl List Mira Option

@@ -1,0 +1,1 @@
+lib/passes/lvn.ml: Hashtbl List Mira

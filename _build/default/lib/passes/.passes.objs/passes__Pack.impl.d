@@ -1,0 +1,1 @@
+lib/passes/pack.ml: Array Float Hashtbl List Mira Option

@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Const_fold Const_prop Copy_prop Dce Inline Licm List Lvn Mira Pack Peephole Printf Simplify_cfg Strength String Unroll

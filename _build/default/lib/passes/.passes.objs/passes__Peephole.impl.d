@@ -1,0 +1,1 @@
+lib/passes/peephole.ml: List Mira

@@ -1,0 +1,1 @@
+lib/passes/strength.ml: List Mira

@@ -1,0 +1,1 @@
+lib/passes/unroll.ml: Array Hashtbl List Mira Option

@@ -1,0 +1,91 @@
+module Ir = Mira.Ir
+
+(* Constant folding: evaluate instructions whose operands are all constants,
+   and turn conditional branches on constant conditions into jumps.
+
+   Folding must preserve traps: division/remainder with a constant zero
+   divisor and out-of-range constant shifts are left in place so they still
+   trap at run time.  Float-to-int conversion folds only when the value is
+   convertible. *)
+
+let shift_ok n = n >= 0 && n <= 62
+
+let fold_arith (op : Ir.arith) a b : int option =
+  match op with
+  | Ir.Add -> Some (a + b)
+  | Ir.Sub -> Some (a - b)
+  | Ir.Mul -> Some (a * b)
+  | Ir.Div -> if b = 0 then None else Some (a / b)
+  | Ir.Rem -> if b = 0 then None else Some (a mod b)
+  | Ir.And -> Some (a land b)
+  | Ir.Or -> Some (a lor b)
+  | Ir.Xor -> Some (a lxor b)
+  | Ir.Shl -> if shift_ok b then Some (a lsl b) else None
+  | Ir.Shr -> if shift_ok b then Some (a asr b) else None
+
+let fold_farith (op : Ir.farith) a b : float =
+  match op with
+  | Ir.FAdd -> a +. b
+  | Ir.FSub -> a -. b
+  | Ir.FMul -> a *. b
+  | Ir.FDiv -> a /. b
+
+let fold_cmp (op : Ir.cmp) c : bool =
+  match op with
+  | Ir.Eq -> c = 0
+  | Ir.Ne -> c <> 0
+  | Ir.Lt -> c < 0
+  | Ir.Le -> c <= 0
+  | Ir.Gt -> c > 0
+  | Ir.Ge -> c >= 0
+
+let fold_instr (i : Ir.instr) : Ir.instr =
+  match i with
+  | Ir.Bin (op, d, Ir.Cint a, Ir.Cint b) -> begin
+    match fold_arith op a b with
+    | Some v -> Ir.Mov (d, Ir.Cint v)
+    | None -> i
+  end
+  | Ir.Fbin (op, d, Ir.Cfloat a, Ir.Cfloat b) ->
+    Ir.Mov (d, Ir.Cfloat (fold_farith op a b))
+  | Ir.Icmp (op, d, Ir.Cint a, Ir.Cint b) ->
+    Ir.Mov (d, Ir.Cbool (fold_cmp op (compare a b)))
+  | Ir.Icmp (op, d, Ir.Cbool a, Ir.Cbool b) -> begin
+    match op with
+    | Ir.Eq -> Ir.Mov (d, Ir.Cbool (a = b))
+    | Ir.Ne -> Ir.Mov (d, Ir.Cbool (a <> b))
+    | _ -> i
+  end
+  | Ir.Fcmp (op, d, Ir.Cfloat a, Ir.Cfloat b) ->
+    (* NaN-correct: use float comparisons directly *)
+    let v =
+      match op with
+      | Ir.Eq -> a = b
+      | Ir.Ne -> a <> b
+      | Ir.Lt -> a < b
+      | Ir.Le -> a <= b
+      | Ir.Gt -> a > b
+      | Ir.Ge -> a >= b
+    in
+    Ir.Mov (d, Ir.Cbool v)
+  | Ir.Not (d, Ir.Cbool b) -> Ir.Mov (d, Ir.Cbool (not b))
+  | Ir.I2f (d, Ir.Cint n) -> Ir.Mov (d, Ir.Cfloat (float_of_int n))
+  | Ir.F2i (d, Ir.Cfloat f) ->
+    if Float.is_nan f || Float.abs f > 4.6e18 then i
+    else Ir.Mov (d, Ir.Cint (int_of_float f))
+  | _ -> i
+
+let fold_block (b : Ir.block) : Ir.block =
+  let instrs = List.map fold_instr b.Ir.instrs in
+  let term =
+    match b.Ir.term with
+    | Ir.Br (Ir.Cbool true, t, _) -> Ir.Jmp t
+    | Ir.Br (Ir.Cbool false, _, e) -> Ir.Jmp e
+    | t -> t
+  in
+  { Ir.instrs; term }
+
+let run_func (f : Ir.func) : Ir.func =
+  { f with Ir.blocks = Ir.LMap.map fold_block f.Ir.blocks }
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

@@ -1,0 +1,109 @@
+module Ir = Mira.Ir
+
+(* Global constant propagation: forward iterative dataflow on the standard
+   three-level lattice (Top = no definition seen yet, Const c, Bottom =
+   varies).  Uses whose in-state is Const are replaced with the constant;
+   folding the resulting all-constant instructions is Const_fold's job, so
+   the classic const_fold/const_prop phase interaction is preserved as an
+   object of study. *)
+
+module RMap = Map.Make (Int)
+module LMap = Ir.LMap
+
+type cval = Top | Const of Ir.operand | Bottom
+
+let join a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Const x, Const y when x = y -> Const x
+  | _ -> Bottom
+
+let join_maps (m1 : cval RMap.t) (m2 : cval RMap.t) : cval RMap.t =
+  RMap.merge
+    (fun _ a b ->
+      match (a, b) with
+      | None, x | x, None -> x   (* absent = Top *)
+      | Some a, Some b -> Some (join a b))
+    m1 m2
+
+let equal_maps m1 m2 = RMap.equal (fun a b -> a = b) m1 m2
+
+let is_const_operand = function
+  | Ir.Cint _ | Ir.Cfloat _ | Ir.Cbool _ -> true
+  | _ -> false
+
+(* Transfer of a single instruction over the state (no rewriting). *)
+let transfer_instr (st : cval RMap.t) (i : Ir.instr) : cval RMap.t =
+  match i with
+  | Ir.Mov (d, src) when is_const_operand src -> RMap.add d (Const src) st
+  | Ir.Mov (d, Ir.Reg s) ->
+    RMap.add d (match RMap.find_opt s st with Some v -> v | None -> Top) st
+  | _ -> (
+    match Ir.def_of i with
+    | Some d -> RMap.add d Bottom st
+    | None -> st)
+
+let transfer_block (st : cval RMap.t) (b : Ir.block) : cval RMap.t =
+  List.fold_left transfer_instr st b.Ir.instrs
+
+let run_func (f : Ir.func) : Ir.func =
+  let cfg = Mira.Analysis.cfg_of f in
+  let preds = Mira.Analysis.preds cfg in
+  (* entry state: parameters are Bottom (unknown) *)
+  let entry_state =
+    List.fold_left (fun m r -> RMap.add r Bottom m) RMap.empty f.Ir.params
+  in
+  let ins = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace ins l RMap.empty) cfg.Mira.Analysis.rpo;
+  Hashtbl.replace ins f.Ir.entry entry_state;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        let in_st =
+          if l = f.Ir.entry then entry_state
+          else
+            match preds l with
+            | [] -> RMap.empty
+            | ps ->
+              List.fold_left
+                (fun acc p ->
+                  let out =
+                    transfer_block (Hashtbl.find ins p) (Ir.find_block f p)
+                  in
+                  join_maps acc out)
+                RMap.empty ps
+        in
+        if not (equal_maps in_st (Hashtbl.find ins l)) then begin
+          Hashtbl.replace ins l in_st;
+          changed := true
+        end)
+      cfg.Mira.Analysis.rpo
+  done;
+  (* rewrite, walking each block with its in-state *)
+  let subst st (o : Ir.operand) : Ir.operand =
+    match o with
+    | Ir.Reg r -> (
+      match RMap.find_opt r st with Some (Const c) -> c | _ -> o)
+    | _ -> o
+  in
+  let rewrite_block l (b : Ir.block) : Ir.block =
+    match Hashtbl.find_opt ins l with
+    | None -> b   (* unreachable: leave as-is *)
+    | Some st0 ->
+      let st = ref st0 in
+      let instrs =
+        List.map
+          (fun i ->
+            let i' = Ir.map_instr ~fo:(subst !st) ~fd:(fun d -> d) i in
+            st := transfer_instr !st i';
+            i')
+          b.Ir.instrs
+      in
+      let term = Ir.map_term ~fo:(subst !st) ~fl:(fun l -> l) b.Ir.term in
+      { Ir.instrs; term }
+  in
+  { f with Ir.blocks = LMap.mapi rewrite_block f.Ir.blocks }
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

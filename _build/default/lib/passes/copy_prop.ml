@@ -1,0 +1,105 @@
+module Ir = Mira.Ir
+
+(* Global copy propagation: forward dataflow on "available copies".
+   State maps a register d to the register s it is known to currently copy
+   (d = mov s, with neither redefined since).  Join is map intersection.
+   Uses of d are replaced by the root of its copy chain. *)
+
+module RMap = Map.Make (Int)
+module LMap = Ir.LMap
+
+(* chase the copy chain to its root *)
+let rec root (st : int RMap.t) r =
+  match RMap.find_opt r st with
+  | Some s when s <> r -> root st s
+  | _ -> r
+
+(* kill every pair mentioning register x (as source or destination) *)
+let kill (st : int RMap.t) x =
+  RMap.filter (fun d s -> d <> x && s <> x) st
+
+let transfer_instr (st : int RMap.t) (i : Ir.instr) : int RMap.t =
+  match i with
+  | Ir.Mov (d, Ir.Reg s) when d <> s ->
+    let s = root st s in
+    let st = kill st d in
+    if s = d then st else RMap.add d s st
+  | _ -> (
+    match Ir.def_of i with Some d -> kill st d | None -> st)
+
+let transfer_block st (b : Ir.block) = List.fold_left transfer_instr st b.Ir.instrs
+
+(* Intersection join; [None] stands for "all pairs" (unvisited). *)
+let join a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some m1, Some m2 ->
+    Some
+      (RMap.merge
+         (fun _ x y ->
+           match (x, y) with Some a, Some b when a = b -> Some a | _ -> None)
+         m1 m2)
+
+let run_func (f : Ir.func) : Ir.func =
+  let cfg = Mira.Analysis.cfg_of f in
+  let preds = Mira.Analysis.preds cfg in
+  let ins : (int, int RMap.t option) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace ins l None) cfg.Mira.Analysis.rpo;
+  Hashtbl.replace ins f.Ir.entry (Some RMap.empty);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        let in_st =
+          if l = f.Ir.entry then Some RMap.empty
+          else
+            List.fold_left
+              (fun acc p ->
+                let out =
+                  match Hashtbl.find ins p with
+                  | None -> None
+                  | Some st -> Some (transfer_block st (Ir.find_block f p))
+                in
+                join acc out)
+              None (preds l)
+        in
+        let cur = Hashtbl.find ins l in
+        let eq =
+          match (cur, in_st) with
+          | None, None -> true
+          | Some a, Some b -> RMap.equal ( = ) a b
+          | _ -> false
+        in
+        if not eq then begin
+          Hashtbl.replace ins l in_st;
+          changed := true
+        end)
+      cfg.Mira.Analysis.rpo
+  done;
+  let subst st (o : Ir.operand) : Ir.operand =
+    match o with
+    | Ir.Reg r ->
+      let r' = root st r in
+      if r' = r then o else Ir.Reg r'
+    | _ -> o
+  in
+  let rewrite_block l (b : Ir.block) : Ir.block =
+    match Hashtbl.find_opt ins l with
+    | None | Some None -> b
+    | Some (Some st0) ->
+      let st = ref st0 in
+      let instrs =
+        List.map
+          (fun i ->
+            let i' = Ir.map_instr ~fo:(subst !st) ~fd:(fun d -> d) i in
+            st := transfer_instr !st i';
+            i')
+          b.Ir.instrs
+      in
+      let term = Ir.map_term ~fo:(subst !st) ~fl:(fun l -> l) b.Ir.term in
+      { Ir.instrs; term }
+  in
+  { f with Ir.blocks = LMap.mapi rewrite_block f.Ir.blocks }
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

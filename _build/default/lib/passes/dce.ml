@@ -1,0 +1,101 @@
+module Ir = Mira.Ir
+
+(* Dead-code elimination: liveness-driven removal of instructions whose
+   result is never used.
+
+   Traps are observable, so an instruction with a dead result is removable
+   only if it provably cannot trap:
+     - any pure non-trapping op (arith except div/rem, moves, compares,
+       casts except f2i, len);
+     - div/rem with a non-zero constant divisor, shifts with in-range
+       constant counts;
+     - loads from a local or global array with a constant in-bounds index.
+   Calls, prints and stores are never removed. *)
+
+module LMap = Ir.LMap
+module RSet = Ir.RSet
+
+let removable (sizes : (string, int) Hashtbl.t) (i : Ir.instr) : bool =
+  match i with
+  | Ir.Call _ | Ir.Print _ | Ir.Store _ -> false
+  | Ir.Bin ((Ir.Div | Ir.Rem), _, _, Ir.Cint n) -> n <> 0
+  | Ir.Bin ((Ir.Div | Ir.Rem), _, _, _) -> false
+  | Ir.Bin ((Ir.Shl | Ir.Shr), _, _, Ir.Cint n) -> n >= 0 && n <= 62
+  | Ir.Bin ((Ir.Shl | Ir.Shr), _, _, _) -> false
+  | Ir.Bin _ | Ir.Fbin _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.Mov _
+  | Ir.I2f _ | Ir.Alen _ ->
+    true
+  | Ir.F2i (_, Ir.Cfloat f) -> not (Float.is_nan f || Float.abs f > 4.6e18)
+  | Ir.F2i _ -> false
+  | Ir.Load (_, arr, Ir.Cint ix) -> begin
+    match arr with
+    | Ir.ALoc n | Ir.AGlob n -> (
+      match Hashtbl.find_opt sizes n with
+      | Some size -> ix >= 0 && ix < size
+      | None -> false)
+    | _ -> false
+  end
+  | Ir.Load _ -> false
+
+(* One backwards sweep over a block given its live-out set; returns the
+   kept instructions and whether anything was removed. *)
+let sweep_block sizes (b : Ir.block) (live_out : RSet.t) : Ir.block * bool =
+  let removed = ref false in
+  let live = ref (RSet.union live_out (RSet.of_list (Ir.term_uses b.Ir.term))) in
+  let kept =
+    List.fold_left
+      (fun acc i ->
+        let dead =
+          match Ir.def_of i with
+          | Some d -> not (RSet.mem d !live)
+          | None -> false
+        in
+        if dead && removable sizes i then begin
+          removed := true;
+          acc
+        end
+        else begin
+          (match Ir.def_of i with
+           | Some d -> live := RSet.remove d !live
+           | None -> ());
+          List.iter (fun r -> live := RSet.add r !live) (Ir.uses_of i);
+          i :: acc
+        end)
+      []
+      (List.rev b.Ir.instrs)
+  in
+  ({ b with Ir.instrs = kept }, !removed)
+
+let array_sizes (globals : Ir.global list) (f : Ir.func) =
+  let sizes = Hashtbl.create 8 in
+  List.iter (fun (g : Ir.global) -> Hashtbl.replace sizes g.Ir.gname g.Ir.gsize) globals;
+  (* local names can shadow globals in the table; locals win, matching the
+     operand constructors (ALoc vs AGlob) — keyed by name is fine because a
+     name is only ever used with one constructor within a function *)
+  List.iter (fun (n, _, sz) -> Hashtbl.replace sizes n sz) f.Ir.locals;
+  sizes
+
+let run_func (globals : Ir.global list) (f : Ir.func) : Ir.func =
+  let sizes = array_sizes globals f in
+  let rec fix f =
+    let cfg = Mira.Analysis.cfg_of f in
+    let lv = Mira.Analysis.liveness f cfg in
+    let changed = ref false in
+    let blocks =
+      LMap.mapi
+        (fun l b ->
+          match LMap.find_opt l lv.Mira.Analysis.live_out with
+          | None -> b
+          | Some out ->
+            let b', r = sweep_block sizes b out in
+            if r then changed := true;
+            b')
+        f.Ir.blocks
+    in
+    let f = { f with Ir.blocks } in
+    if !changed then fix f else f
+  in
+  fix f
+
+let run (p : Ir.program) : Ir.program =
+  Ir.map_funcs (run_func p.Ir.globals) p

@@ -1,0 +1,145 @@
+module Ir = Mira.Ir
+
+(* Function inlining.  A call site is inlined when the callee is
+   non-recursive (does not call itself, directly or through the functions it
+   transitively calls), small (at most [max_callee_size] instructions), and
+   has no local arrays (frame arrays are zero-initialized per activation,
+   and inlining into a loop would lose the re-initialization, so such
+   callees are excluded rather than emitting explicit zeroing code).
+
+   The callee body is cloned with registers and labels shifted past the
+   caller's, parameter registers are seeded with moves from the argument
+   operands, every `ret v` becomes `mov dst, v; jmp continuation`, and the
+   call block is split around the call site. *)
+
+module LMap = Ir.LMap
+module SMap = Ir.SMap
+
+let max_callee_size = 40
+let max_caller_growth = 400
+
+(* functions (transitively) reachable from f's calls *)
+let callees_of (f : Ir.func) : string list =
+  LMap.fold
+    (fun _ (b : Ir.block) acc ->
+      List.fold_left
+        (fun acc i ->
+          match i with Ir.Call (_, g, _) -> g :: acc | _ -> acc)
+        acc b.Ir.instrs)
+    f.Ir.blocks []
+
+(* [name] is recursive iff it is reachable from itself in the call graph *)
+let is_recursive (p : Ir.program) (name : string) : bool =
+  let rec visit seen g =
+    if List.mem g seen then false
+    else
+      match SMap.find_opt g p.Ir.funcs with
+      | None -> false
+      | Some fg ->
+        List.exists (fun h -> h = name || visit (g :: seen) h) (callees_of fg)
+  in
+  visit [] name
+
+let inlinable (p : Ir.program) (g : string) : bool =
+  match SMap.find_opt g p.Ir.funcs with
+  | None -> false
+  | Some fg ->
+    fg.Ir.locals = []
+    && Ir.func_size fg <= max_callee_size
+    && not (is_recursive p g)
+
+(* Inline the first eligible call site found in [f]; None if none. *)
+let inline_one (p : Ir.program) (f : Ir.func) : Ir.func option =
+  let site =
+    LMap.fold
+      (fun l (b : Ir.block) acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let rec find before = function
+            | [] -> None
+            | (Ir.Call (dst, g, args) as _i) :: rest when inlinable p g ->
+              Some (l, List.rev before, dst, g, args, rest)
+            | i :: rest -> find (i :: before) rest
+          in
+          find [] b.Ir.instrs)
+      f.Ir.blocks None
+  in
+  match site with
+  | None -> None
+  | Some (l, before, dst, g, args, after) ->
+    let callee = Ir.find_func p g in
+    let reg_off = f.Ir.nregs in
+    let lab_off = f.Ir.nlabels in
+    let cont = lab_off + callee.Ir.nlabels in
+    let fo (o : Ir.operand) =
+      match o with
+      | Ir.Reg r -> Ir.Reg (r + reg_off)
+      | Ir.ALoc _ ->
+        (* unreachable: callees with locals are not inlinable *)
+        assert false
+      | _ -> o
+    in
+    let fl lab = lab + lab_off in
+    let call_block = Ir.find_block f l in
+    (* clone callee blocks, rewriting rets into mov+jmp continuation *)
+    let cloned =
+      LMap.fold
+        (fun cl (cb : Ir.block) acc ->
+          let instrs =
+            List.map (Ir.map_instr ~fo ~fd:(fun d -> d + reg_off)) cb.Ir.instrs
+          in
+          let block =
+            match cb.Ir.term with
+            | Ir.Ret v ->
+              let extra =
+                match (dst, v) with
+                | Some d, Some v -> [ Ir.Mov (d, fo v) ]
+                | Some d, None ->
+                  (* calling a void function for a value cannot happen in
+                     well-typed code; keep a defined value anyway *)
+                  [ Ir.Mov (d, Ir.Cint 0) ]
+                | None, _ -> []
+              in
+              { Ir.instrs = instrs @ extra; term = Ir.Jmp cont }
+            | t -> { Ir.instrs; term = Ir.map_term ~fo ~fl t }
+          in
+          LMap.add (fl cl) block acc)
+        callee.Ir.blocks LMap.empty
+    in
+    (* parameter setup in the call block, then jump into the clone *)
+    let setup =
+      List.map2 (fun pr a -> Ir.Mov (pr + reg_off, a)) callee.Ir.params args
+    in
+    let entry_block =
+      { Ir.instrs = before @ setup; term = Ir.Jmp (fl callee.Ir.entry) }
+    in
+    let cont_block = { Ir.instrs = after; term = call_block.Ir.term } in
+    let blocks =
+      f.Ir.blocks
+      |> LMap.add l entry_block
+      |> LMap.union (fun _ a _ -> Some a) cloned
+      |> LMap.add cont cont_block
+    in
+    Some
+      {
+        f with
+        Ir.blocks;
+        nregs = f.Ir.nregs + callee.Ir.nregs;
+        nlabels = f.Ir.nlabels + callee.Ir.nlabels + 1;
+      }
+
+let run (p : Ir.program) : Ir.program =
+  let inline_func fname (f : Ir.func) : Ir.func =
+    let budget = Ir.func_size f + max_caller_growth in
+    let rec go f =
+      if Ir.func_size f > budget then f
+      else
+        match inline_one p f with
+        | Some f' -> go f'
+        | None -> f
+    in
+    if fname = "" then f else go f
+  in
+  (* inline against the ORIGINAL callee bodies to keep growth predictable *)
+  { p with Ir.funcs = SMap.mapi inline_func p.Ir.funcs }

@@ -1,0 +1,156 @@
+module Ir = Mira.Ir
+
+(* Loop-invariant code motion.
+
+   For each natural loop (processed outermost-last so hoisted code can keep
+   moving outwards on repeated application), pure non-trapping instructions
+   whose operands are constants or registers with no definition inside the
+   loop are moved to a freshly created preheader.
+
+   Soundness conditions for hoisting an instruction [d <- op(...)]:
+     1. op is pure and cannot trap (no loads, stores, calls, prints,
+        div/rem by non-constant, out-of-range shifts);
+     2. every register operand has no definition inside the loop, or is
+        defined only by an instruction already hoisted this round;
+     3. d has exactly one definition inside the loop;
+     4. d is not live-in at the loop header (so no use of the pre-loop
+        value of d can be reached from the loop, including the zero-trip
+        path through the header's exit edge).
+
+   Condition 4 subsumes the usual "dominates all exits or dead at exits"
+   check for this IR: if some path from the header reached a use of d
+   without passing the (unique) definition, d would be live-in at the
+   header. *)
+
+module LMap = Ir.LMap
+module LSet = Ir.LSet
+module RSet = Ir.RSet
+
+let pure_nontrapping (i : Ir.instr) : bool =
+  match i with
+  | Ir.Bin ((Ir.Div | Ir.Rem), _, _, Ir.Cint n) -> n <> 0
+  | Ir.Bin ((Ir.Div | Ir.Rem), _, _, _) -> false
+  | Ir.Bin ((Ir.Shl | Ir.Shr), _, _, Ir.Cint n) -> n >= 0 && n <= 62
+  | Ir.Bin ((Ir.Shl | Ir.Shr), _, _, _) -> false
+  | Ir.Bin _ | Ir.Fbin _ | Ir.Icmp _ | Ir.Fcmp _ | Ir.Not _ | Ir.Mov _
+  | Ir.I2f _ | Ir.Alen _ ->
+    true
+  | Ir.F2i _ | Ir.Load _ | Ir.Store _ | Ir.Call _ | Ir.Print _ -> false
+
+(* all registers defined anywhere in the loop, with their definition count *)
+let loop_defs (f : Ir.func) (body : LSet.t) : (int, int) Hashtbl.t =
+  let defs = Hashtbl.create 32 in
+  LSet.iter
+    (fun l ->
+      let b = Ir.find_block f l in
+      List.iter
+        (fun i ->
+          match Ir.def_of i with
+          | Some d ->
+            Hashtbl.replace defs d
+              (1 + Option.value ~default:0 (Hashtbl.find_opt defs d))
+          | None -> ())
+        b.Ir.instrs)
+    body;
+  defs
+
+let hoist_one_loop (f : Ir.func) (loop : Mira.Analysis.loop) : Ir.func option =
+  let header = loop.Mira.Analysis.header in
+  let body = loop.Mira.Analysis.body in
+  let cfg = Mira.Analysis.cfg_of f in
+  let lv = Mira.Analysis.liveness f cfg in
+  let live_in_header =
+    match LMap.find_opt header lv.Mira.Analysis.live_in with
+    | Some s -> s
+    | None -> RSet.empty
+  in
+  let defs = loop_defs f body in
+  let hoisted_defs = ref RSet.empty in
+  let invariant_operand (o : Ir.operand) =
+    match o with
+    | Ir.Reg r -> (not (Hashtbl.mem defs r)) || RSet.mem r !hoisted_defs
+    | _ -> true
+  in
+  let hoistable (i : Ir.instr) =
+    pure_nontrapping i
+    && List.for_all invariant_operand (Ir.ops_of i)
+    &&
+    match Ir.def_of i with
+    | Some d ->
+      Hashtbl.find_opt defs d = Some 1
+      && (not (RSet.mem d live_in_header))
+      && not (RSet.mem d !hoisted_defs)
+    | None -> false
+  in
+  (* iterate: collect hoistable instructions in program order until fixpoint *)
+  let hoisted = ref [] in
+  let blocks = ref f.Ir.blocks in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    LSet.iter
+      (fun l ->
+        let b = LMap.find l !blocks in
+        let keep =
+          List.filter
+            (fun i ->
+              if hoistable i then begin
+                hoisted := i :: !hoisted;
+                (match Ir.def_of i with
+                 | Some d -> hoisted_defs := RSet.add d !hoisted_defs
+                 | None -> ());
+                changed := true;
+                false
+              end
+              else true)
+            b.Ir.instrs
+        in
+        blocks := LMap.add l { b with Ir.instrs = keep } !blocks)
+      body
+  done;
+  if !hoisted = [] then None
+  else begin
+    (* create preheader holding the hoisted code, redirect entry edges *)
+    let f = { f with Ir.blocks = !blocks } in
+    let f, pre = Ir.fresh_label f in
+    let preheader = { Ir.instrs = List.rev !hoisted; term = Ir.Jmp header } in
+    let redirect l = if l = header then pre else l in
+    let blocks =
+      LMap.mapi
+        (fun l (b : Ir.block) ->
+          if LSet.mem l body then b   (* keep back edges pointing at header *)
+          else
+            { b with
+              Ir.term = Ir.map_term ~fo:(fun o -> o) ~fl:redirect b.Ir.term
+            })
+        f.Ir.blocks
+    in
+    let blocks = LMap.add pre preheader blocks in
+    let entry = if f.Ir.entry = header then pre else f.Ir.entry in
+    Some { f with Ir.blocks; entry }
+  end
+
+(* Process loops innermost-first, recomputing the loop forest after every
+   change: hoisting into an inner preheader creates a block that belongs to
+   the enclosing loop, and the enclosing loop's invariance analysis must see
+   the definitions it contains. *)
+let run_func (f : Ir.func) : Ir.func =
+  let processed = ref LSet.empty in
+  let rec go f =
+    let _, loops = Mira.Analysis.natural_loops f in
+    let cands =
+      loops
+      |> List.filter (fun (l : Mira.Analysis.loop) ->
+             not (LSet.mem l.Mira.Analysis.header !processed))
+      |> List.sort (fun (a : Mira.Analysis.loop) b ->
+             compare b.Mira.Analysis.depth a.Mira.Analysis.depth)
+    in
+    match cands with
+    | [] -> f
+    | loop :: _ ->
+      processed := LSet.add loop.Mira.Analysis.header !processed;
+      (match hoist_one_loop f loop with Some f' -> go f' | None -> go f)
+  in
+  go f
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

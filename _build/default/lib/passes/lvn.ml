@@ -1,0 +1,177 @@
+module Ir = Mira.Ir
+
+(* Local value numbering (the CSE pass): within each basic block, detect
+   recomputations of available expressions and replace them with a move
+   from the register already holding the value.  Also performs redundant
+   load elimination within the block: a load from the same array and index
+   value-number as an earlier one, with no intervening store or call, reuses
+   the earlier result — stores and calls bump a memory epoch that is part of
+   every load's key.
+
+   Commutative operators are canonicalized by ordering their operand value
+   numbers.  Calls and prints are barriers only for memory, not for scalar
+   value numbers. *)
+
+type key =
+  | KBin of Ir.arith * int * int
+  | KFbin of Ir.farith * int * int
+  | KIcmp of Ir.cmp * int * int
+  | KFcmp of Ir.cmp * int * int
+  | KNot of int
+  | KI2f of int
+  | KF2i of int
+  | KLoad of int * int * int   (* array vn, index vn, memory epoch *)
+  | KAlen of int
+  | KConst of Ir.operand
+
+type st = {
+  vn_of_reg : (int, int) Hashtbl.t;
+  vn_of_key : (key, int) Hashtbl.t;
+  holder : (int, int) Hashtbl.t;      (* vn -> register currently holding it *)
+  held_by : (int, int) Hashtbl.t;     (* register -> vn it holds *)
+  mutable next : int;
+  mutable epoch : int;
+}
+
+let mk () =
+  {
+    vn_of_reg = Hashtbl.create 32;
+    vn_of_key = Hashtbl.create 32;
+    holder = Hashtbl.create 32;
+    held_by = Hashtbl.create 32;
+    next = 0;
+    epoch = 0;
+  }
+
+let fresh st =
+  let v = st.next in
+  st.next <- v + 1;
+  v
+
+let vn_of_operand st (o : Ir.operand) : int =
+  match o with
+  | Ir.Reg r -> (
+    match Hashtbl.find_opt st.vn_of_reg r with
+    | Some v -> v
+    | None ->
+      let v = fresh st in
+      Hashtbl.replace st.vn_of_reg r v;
+      (* the register itself holds this unknown value *)
+      Hashtbl.replace st.holder v r;
+      Hashtbl.replace st.held_by r v;
+      v)
+  | _ -> (
+    let k = KConst o in
+    match Hashtbl.find_opt st.vn_of_key k with
+    | Some v -> v
+    | None ->
+      let v = fresh st in
+      Hashtbl.replace st.vn_of_key k v;
+      v)
+
+(* register [d] is being overwritten: clear any vn it used to hold *)
+let clobber st d =
+  match Hashtbl.find_opt st.held_by d with
+  | Some v ->
+    (match Hashtbl.find_opt st.holder v with
+     | Some r when r = d -> Hashtbl.remove st.holder v
+     | _ -> ());
+    Hashtbl.remove st.held_by d
+  | None -> ()
+
+let set_reg_vn st d v =
+  clobber st d;
+  Hashtbl.replace st.vn_of_reg d v;
+  if not (Hashtbl.mem st.holder v) then begin
+    Hashtbl.replace st.holder v d;
+    Hashtbl.replace st.held_by d v
+  end
+
+let commutative : Ir.arith -> bool = function
+  | Ir.Add | Ir.Mul | Ir.And | Ir.Or | Ir.Xor -> true
+  | _ -> false
+
+let fcommutative : Ir.farith -> bool = function
+  | Ir.FAdd | Ir.FMul -> true
+  | _ -> false
+
+let norm2 comm a b = if comm && b < a then (b, a) else (a, b)
+
+let key_of st (i : Ir.instr) : (Ir.reg * key) option =
+  match i with
+  | Ir.Bin (op, d, a, b) ->
+    let va = vn_of_operand st a and vb = vn_of_operand st b in
+    let va, vb = norm2 (commutative op) va vb in
+    Some (d, KBin (op, va, vb))
+  | Ir.Fbin (op, d, a, b) ->
+    let va = vn_of_operand st a and vb = vn_of_operand st b in
+    let va, vb = norm2 (fcommutative op) va vb in
+    Some (d, KFbin (op, va, vb))
+  | Ir.Icmp (op, d, a, b) ->
+    Some (d, KIcmp (op, vn_of_operand st a, vn_of_operand st b))
+  | Ir.Fcmp (op, d, a, b) ->
+    Some (d, KFcmp (op, vn_of_operand st a, vn_of_operand st b))
+  | Ir.Not (d, a) -> Some (d, KNot (vn_of_operand st a))
+  | Ir.I2f (d, a) -> Some (d, KI2f (vn_of_operand st a))
+  | Ir.F2i (d, a) -> Some (d, KF2i (vn_of_operand st a))
+  | Ir.Load (d, arr, ix) ->
+    Some (d, KLoad (vn_of_operand st arr, vn_of_operand st ix, st.epoch))
+  | Ir.Alen (d, a) -> Some (d, KAlen (vn_of_operand st a))
+  | Ir.Mov _ | Ir.Store _ | Ir.Call _ | Ir.Print _ -> None
+
+let run_block (b : Ir.block) : Ir.block =
+  let st = mk () in
+  let instrs =
+    List.map
+      (fun i ->
+        match i with
+        | Ir.Mov (d, src) ->
+          (* moves transfer the value number *)
+          let v = vn_of_operand st src in
+          set_reg_vn st d v;
+          i
+        | Ir.Store _ ->
+          st.epoch <- st.epoch + 1;
+          i
+        | Ir.Call (dopt, _, _) ->
+          st.epoch <- st.epoch + 1;
+          (match dopt with
+           | Some d ->
+             let v = fresh st in
+             set_reg_vn st d v
+           | None -> ());
+          i
+        | Ir.Print _ -> i
+        | _ -> begin
+          match key_of st i with
+          | None -> i
+          | Some (d, k) -> begin
+            match Hashtbl.find_opt st.vn_of_key k with
+            | Some v -> begin
+              match Hashtbl.find_opt st.holder v with
+              | Some r when r <> d ->
+                set_reg_vn st d v;
+                Ir.Mov (d, Ir.Reg r)
+              | Some _ ->
+                set_reg_vn st d v;
+                i
+              | None ->
+                (* value known but no live holder: recompute *)
+                set_reg_vn st d v;
+                i
+            end
+            | None ->
+              let v = fresh st in
+              Hashtbl.replace st.vn_of_key k v;
+              set_reg_vn st d v;
+              i
+          end
+        end)
+      b.Ir.instrs
+  in
+  { b with Ir.instrs }
+
+let run_func (f : Ir.func) : Ir.func =
+  { f with Ir.blocks = Ir.LMap.map run_block f.Ir.blocks }
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

@@ -1,0 +1,166 @@
+module Ir = Mira.Ir
+
+(* The pass registry: the paper's "set of 13 optimizations" (unroll factors
+   counted individually, per its footnote 1) plus [Pack], our analogue of
+   the 64->32-bit pointer narrowing that the paper's counter model
+   discovered for 181.mcf — a specialized transformation deliberately
+   absent from the fixed O1/O2/Ofast pipelines, exactly as PathScale's
+   -Ofast did not narrow pointers.  Sequence application and the fixed
+   pipelines live here too. *)
+
+type t =
+  | Const_fold
+  | Const_prop
+  | Copy_prop
+  | Dce
+  | Cse
+  | Licm
+  | Strength
+  | Unroll2
+  | Unroll4
+  | Unroll8
+  | Inline
+  | Simplify_cfg
+  | Peephole
+  | Pack
+
+let all : t list =
+  [
+    Const_fold; Const_prop; Copy_prop; Dce; Cse; Licm; Strength; Unroll2;
+    Unroll4; Unroll8; Inline; Simplify_cfg; Peephole; Pack;
+  ]
+
+let count = List.length all
+
+let name = function
+  | Const_fold -> "cfold"
+  | Const_prop -> "cprop"
+  | Copy_prop -> "copyprop"
+  | Dce -> "dce"
+  | Cse -> "cse"
+  | Licm -> "licm"
+  | Strength -> "strength"
+  | Unroll2 -> "unroll2"
+  | Unroll4 -> "unroll4"
+  | Unroll8 -> "unroll8"
+  | Inline -> "inline"
+  | Simplify_cfg -> "simplify"
+  | Peephole -> "peephole"
+  | Pack -> "pack"
+
+let of_name s =
+  match List.find_opt (fun p -> name p = s) all with
+  | Some p -> Some p
+  | None -> None
+
+let of_name_exn s =
+  match of_name s with
+  | Some p -> p
+  | None -> invalid_arg ("Pass.of_name_exn: unknown pass " ^ s)
+
+let is_unroll = function Unroll2 | Unroll4 | Unroll8 -> true | _ -> false
+
+(* stable integer encoding, used by feature vectors and the knowledge base *)
+let to_index (p : t) : int =
+  let rec idx i = function
+    | [] -> assert false
+    | x :: rest -> if x = p then i else idx (i + 1) rest
+  in
+  idx 0 all
+
+let of_index i = List.nth all i
+
+let apply (pass : t) (p : Ir.program) : Ir.program =
+  match pass with
+  | Const_fold -> Const_fold.run p
+  | Const_prop -> Const_prop.run p
+  | Copy_prop -> Copy_prop.run p
+  | Dce -> Dce.run p
+  | Cse -> Lvn.run p
+  | Licm -> Licm.run p
+  | Strength -> Strength.run p
+  | Unroll2 -> Unroll.run2 p
+  | Unroll4 -> Unroll.run4 p
+  | Unroll8 -> Unroll.run8 p
+  | Inline -> Inline.run p
+  | Simplify_cfg -> Simplify_cfg.run p
+  | Peephole -> Peephole.run p
+  | Pack -> Pack.run p
+
+(* Whole-program passes cannot be applied to a single function: inlining
+   rewrites callers and packing retypes globals shared by everyone. *)
+let is_function_local = function
+  | Inline | Pack -> false
+  | Const_fold | Const_prop | Copy_prop | Dce | Cse | Licm | Strength
+  | Unroll2 | Unroll4 | Unroll8 | Simplify_cfg | Peephole ->
+    true
+
+(* Apply a pass to one function only, leaving every other function (and
+   the globals) untouched — the substrate of method-specific compilation.
+   Only valid for function-local passes. *)
+let apply_to_function (pass : t) (p : Ir.program) (fname : string) : Ir.program
+    =
+  if not (is_function_local pass) then
+    invalid_arg
+      (Printf.sprintf "Pass.apply_to_function: %s is whole-program" (name pass));
+  let p' = apply pass p in
+  { p with Ir.funcs = Ir.SMap.add fname (Ir.find_func p' fname) p.Ir.funcs }
+
+let apply_sequence_to_function (seq : t list) (p : Ir.program)
+    (fname : string) : Ir.program =
+  List.fold_left (fun p pass -> apply_to_function pass p fname) p seq
+
+(* Apply a per-function choice of sequences across the whole program. *)
+let apply_per_function (choice : string -> t list) (p : Ir.program) :
+    Ir.program =
+  Ir.SMap.fold
+    (fun fname _ acc -> apply_sequence_to_function (choice fname) acc fname)
+    p.Ir.funcs p
+
+(* A sequence is valid when it contains at most one unroll pass (the paper's
+   footnote 1 constraint). *)
+let sequence_valid (seq : t list) : bool =
+  List.length (List.filter is_unroll seq) <= 1
+
+let apply_sequence (seq : t list) (p : Ir.program) : Ir.program =
+  List.fold_left (fun p pass -> apply pass p) p seq
+
+let sequence_to_string seq = String.concat "," (List.map name seq)
+
+let sequence_of_string s =
+  if String.trim s = "" then Ok []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+        match of_name (String.trim x) with
+        | Some p -> go (p :: acc) rest
+        | None -> Error (Printf.sprintf "unknown pass %S" x))
+    in
+    go [] parts
+
+(* ------------------------------------------------------------------ *)
+(* Fixed pipelines (the traditional compiler's hand-ordered levels).
+   [ofast] plays the role of the paper's PathScale -Ofast baseline. *)
+
+let o0 : t list = []
+
+let o1 : t list = [ Simplify_cfg; Const_fold; Const_prop; Peephole; Dce ]
+
+let o2 : t list =
+  o1 @ [ Copy_prop; Cse; Licm; Strength; Simplify_cfg; Const_fold; Dce ]
+
+let ofast : t list =
+  [
+    Inline; Simplify_cfg; Const_fold; Const_prop; Copy_prop; Cse; Licm;
+    Strength; Unroll4; Simplify_cfg; Const_fold; Const_prop; Copy_prop; Cse;
+    Peephole; Dce; Simplify_cfg;
+  ]
+
+let level_of_string = function
+  | "O0" | "o0" -> Some o0
+  | "O1" | "o1" -> Some o1
+  | "O2" | "o2" -> Some o2
+  | "Ofast" | "ofast" | "O3" | "o3" -> Some ofast
+  | _ -> None

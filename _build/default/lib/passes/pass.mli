@@ -1,0 +1,80 @@
+(** The optimization-pass registry: the paper's "set of 13 optimizations"
+    (unroll factors counted individually, per its footnote 1) plus
+    {!Pack}, the analogue of the pointer narrowing its counter model
+    discovered for 181.mcf.  Sequences of these passes form the
+    phase-ordering space that every experiment searches. *)
+
+type t =
+  | Const_fold     (** evaluate constant expressions; fold constant branches *)
+  | Const_prop     (** forward dataflow constant propagation *)
+  | Copy_prop      (** forward dataflow copy propagation *)
+  | Dce            (** liveness-driven dead-code elimination *)
+  | Cse            (** local value numbering incl. redundant-load elimination *)
+  | Licm           (** loop-invariant code motion into preheaders *)
+  | Strength       (** multiplies to shifts / shift-add sequences *)
+  | Unroll2        (** counted-loop unrolling, factor 2 *)
+  | Unroll4        (** counted-loop unrolling, factor 4 *)
+  | Unroll8        (** counted-loop unrolling, factor 8 *)
+  | Inline         (** inlining of small non-recursive callees *)
+  | Simplify_cfg   (** branch folding, jump threading, block merging *)
+  | Peephole       (** algebraic identities *)
+  | Pack           (** global-array packing (8 -> 4 byte elements) *)
+
+(** all passes, in canonical order *)
+val all : t list
+
+val count : int
+val name : t -> string
+val of_name : string -> t option
+
+(** @raise Invalid_argument on an unknown name *)
+val of_name_exn : string -> t
+
+val is_unroll : t -> bool
+
+(** stable integer encoding used by feature vectors and the knowledge base *)
+val to_index : t -> int
+
+val of_index : int -> t
+
+(** apply one pass to a whole program; always semantics-preserving *)
+val apply : t -> Mira.Ir.program -> Mira.Ir.program
+
+(** a sequence is valid when it contains at most one unroll pass *)
+val sequence_valid : t list -> bool
+
+(** left-to-right application of a pass sequence *)
+val apply_sequence : t list -> Mira.Ir.program -> Mira.Ir.program
+
+(** [false] for whole-program passes (inlining, packing) *)
+val is_function_local : t -> bool
+
+(** apply a pass to one function, leaving the rest of the program alone —
+    the substrate of method-specific (per-function) compilation.
+    @raise Invalid_argument for whole-program passes *)
+val apply_to_function : t -> Mira.Ir.program -> string -> Mira.Ir.program
+
+val apply_sequence_to_function :
+  t list -> Mira.Ir.program -> string -> Mira.Ir.program
+
+(** optimize every function with its own sequence *)
+val apply_per_function :
+  (string -> t list) -> Mira.Ir.program -> Mira.Ir.program
+
+val sequence_to_string : t list -> string
+
+(** inverse of {!sequence_to_string}; [Error] names the unknown pass *)
+val sequence_of_string : string -> (t list, string) result
+
+(** {2 Fixed pipelines}
+
+    Hand-ordered baselines.  [ofast] plays the role of the paper's
+    PathScale [-Ofast]; none of them include {!Pack}. *)
+
+val o0 : t list
+val o1 : t list
+val o2 : t list
+val ofast : t list
+
+(** ["O0" | "O1" | "O2" | "Ofast" | "O3"] (case-insensitive first letter) *)
+val level_of_string : string -> t list option

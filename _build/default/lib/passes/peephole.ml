@@ -1,0 +1,62 @@
+module Ir = Mira.Ir
+
+(* Peephole simplification: algebraic identities and trivially-known
+   comparison results, applied instruction-locally.
+
+   Float identities are restricted to those exact under IEEE semantics
+   (x *. 1.0 and x /. 1.0 preserve NaN payloads, signed zeros and
+   infinities; x +. 0.0 does NOT, because -0.0 +. 0.0 = 0.0). *)
+
+let simpl (i : Ir.instr) : Ir.instr =
+  match i with
+  (* additive / subtractive identities *)
+  | Ir.Bin (Ir.Add, d, x, Ir.Cint 0) | Ir.Bin (Ir.Add, d, Ir.Cint 0, x) ->
+    Ir.Mov (d, x)
+  | Ir.Bin (Ir.Sub, d, x, Ir.Cint 0) -> Ir.Mov (d, x)
+  | Ir.Bin (Ir.Sub, d, Ir.Reg a, Ir.Reg b) when a = b -> Ir.Mov (d, Ir.Cint 0)
+  (* multiplicative identities *)
+  | Ir.Bin (Ir.Mul, d, x, Ir.Cint 1) | Ir.Bin (Ir.Mul, d, Ir.Cint 1, x) ->
+    Ir.Mov (d, x)
+  | Ir.Bin (Ir.Mul, d, _, Ir.Cint 0) | Ir.Bin (Ir.Mul, d, Ir.Cint 0, _) ->
+    Ir.Mov (d, Ir.Cint 0)
+  | Ir.Bin (Ir.Div, d, x, Ir.Cint 1) -> Ir.Mov (d, x)
+  | Ir.Bin (Ir.Rem, d, _, Ir.Cint 1) -> Ir.Mov (d, Ir.Cint 0)
+  (* bitwise identities *)
+  | Ir.Bin (Ir.And, d, _, Ir.Cint 0) | Ir.Bin (Ir.And, d, Ir.Cint 0, _) ->
+    Ir.Mov (d, Ir.Cint 0)
+  | Ir.Bin (Ir.And, d, x, Ir.Cint -1) | Ir.Bin (Ir.And, d, Ir.Cint -1, x) ->
+    Ir.Mov (d, x)
+  | Ir.Bin (Ir.And, d, Ir.Reg a, Ir.Reg b) when a = b -> Ir.Mov (d, Ir.Reg a)
+  | Ir.Bin (Ir.Or, d, x, Ir.Cint 0) | Ir.Bin (Ir.Or, d, Ir.Cint 0, x) ->
+    Ir.Mov (d, x)
+  | Ir.Bin (Ir.Or, d, Ir.Reg a, Ir.Reg b) when a = b -> Ir.Mov (d, Ir.Reg a)
+  | Ir.Bin (Ir.Xor, d, x, Ir.Cint 0) | Ir.Bin (Ir.Xor, d, Ir.Cint 0, x) ->
+    Ir.Mov (d, x)
+  | Ir.Bin (Ir.Xor, d, Ir.Reg a, Ir.Reg b) when a = b -> Ir.Mov (d, Ir.Cint 0)
+  (* shifts by zero *)
+  | Ir.Bin (Ir.Shl, d, x, Ir.Cint 0) | Ir.Bin (Ir.Shr, d, x, Ir.Cint 0) ->
+    Ir.Mov (d, x)
+  (* integer comparisons of a register with itself *)
+  | Ir.Icmp ((Ir.Eq | Ir.Le | Ir.Ge), d, Ir.Reg a, Ir.Reg b) when a = b ->
+    Ir.Mov (d, Ir.Cbool true)
+  | Ir.Icmp ((Ir.Ne | Ir.Lt | Ir.Gt), d, Ir.Reg a, Ir.Reg b) when a = b ->
+    Ir.Mov (d, Ir.Cbool false)
+  (* exact float identities *)
+  | Ir.Fbin (Ir.FMul, d, x, Ir.Cfloat 1.0) | Ir.Fbin (Ir.FMul, d, Ir.Cfloat 1.0, x)
+    -> Ir.Mov (d, x)
+  | Ir.Fbin (Ir.FDiv, d, x, Ir.Cfloat 1.0) -> Ir.Mov (d, x)
+  | _ -> i
+
+(* Remove self-moves (r = mov r), which other rewrites can create. *)
+let cleanup instrs =
+  List.filter
+    (function Ir.Mov (d, Ir.Reg s) when d = s -> false | _ -> true)
+    instrs
+
+let run_block (b : Ir.block) : Ir.block =
+  { b with Ir.instrs = cleanup (List.map simpl b.Ir.instrs) }
+
+let run_func (f : Ir.func) : Ir.func =
+  { f with Ir.blocks = Ir.LMap.map run_block f.Ir.blocks }
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

@@ -1,0 +1,114 @@
+module Ir = Mira.Ir
+
+(* CFG simplification: constant-branch elimination, jump threading through
+   empty blocks, straight-line block merging, same-target branch collapse,
+   and unreachable-block removal.  Iterates to a fixpoint. *)
+
+module LMap = Ir.LMap
+module LSet = Ir.LSet
+
+(* Collapse br with identical targets; fold constant branches (again — other
+   passes may have exposed new constants since const_fold last ran). *)
+let simplify_terms (f : Ir.func) : Ir.func =
+  let blocks =
+    LMap.map
+      (fun (b : Ir.block) ->
+        let term =
+          match b.Ir.term with
+          | Ir.Br (_, t, e) when t = e -> Ir.Jmp t
+          | Ir.Br (Ir.Cbool true, t, _) -> Ir.Jmp t
+          | Ir.Br (Ir.Cbool false, _, e) -> Ir.Jmp e
+          | t -> t
+        in
+        { b with Ir.term })
+      f.Ir.blocks
+  in
+  { f with Ir.blocks }
+
+(* Redirect edges through empty forwarding blocks (an empty block whose
+   terminator is [Jmp t] forwards to t).  Cycles of empty blocks (infinite
+   empty loops) are left alone: forwarding resolution stops if it would
+   loop. *)
+let thread_jumps (f : Ir.func) : Ir.func =
+  let forward l =
+    let rec chase seen l =
+      if LSet.mem l seen then l
+      else
+        match LMap.find_opt l f.Ir.blocks with
+        | Some { Ir.instrs = []; term = Ir.Jmp t } when t <> l ->
+          chase (LSet.add l seen) t
+        | _ -> l
+    in
+    chase LSet.empty l
+  in
+  let blocks =
+    LMap.map
+      (fun (b : Ir.block) ->
+        let term =
+          match b.Ir.term with
+          | Ir.Jmp t -> Ir.Jmp (forward t)
+          | Ir.Br (c, t, e) ->
+            let t' = forward t and e' = forward e in
+            if t' = e' then Ir.Jmp t' else Ir.Br (c, t', e')
+          | t -> t
+        in
+        { b with Ir.term })
+      f.Ir.blocks
+  in
+  let entry = forward f.Ir.entry in
+  { f with Ir.blocks; entry }
+
+let remove_unreachable (f : Ir.func) : Ir.func =
+  let cfg = Mira.Analysis.cfg_of f in
+  let blocks =
+    LMap.filter (fun l _ -> LSet.mem l cfg.Mira.Analysis.reachable) f.Ir.blocks
+  in
+  { f with Ir.blocks }
+
+(* Merge b into a when a ends with [Jmp b] and b's only predecessor is a. *)
+let merge_blocks (f : Ir.func) : Ir.func =
+  let cfg = Mira.Analysis.cfg_of f in
+  let preds l = Mira.Analysis.preds cfg l in
+  let merged = ref f.Ir.blocks in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    LMap.iter
+      (fun a (ba : Ir.block) ->
+        match ba.Ir.term with
+        | Ir.Jmp b when b <> a && b <> f.Ir.entry -> begin
+          match LMap.find_opt b !merged with
+          | Some bb when preds b = [ a ] && LMap.mem a !merged ->
+            (* re-read a: it may have been extended already this round *)
+            let ba = LMap.find a !merged in
+            if ba.Ir.term = Ir.Jmp b then begin
+              merged :=
+                LMap.add a
+                  { Ir.instrs = ba.Ir.instrs @ bb.Ir.instrs; term = bb.Ir.term }
+                  !merged;
+              merged := LMap.remove b !merged;
+              changed := true
+            end
+          | _ -> ()
+        end
+        | _ -> ())
+      !merged
+  done;
+  { f with Ir.blocks = !merged }
+
+let run_func (f : Ir.func) : Ir.func =
+  let rec fix n f =
+    if n = 0 then f
+    else begin
+      let f' =
+        f |> simplify_terms |> thread_jumps |> remove_unreachable
+        |> merge_blocks
+      in
+      if f'.Ir.blocks == f.Ir.blocks || Ir.func_to_string f' = Ir.func_to_string f
+      then f'
+      else fix (n - 1) f'
+    end
+  in
+  fix 8 f
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

@@ -1,0 +1,58 @@
+module Ir = Mira.Ir
+
+(* Strength reduction: replace expensive integer operations by cheaper
+   equivalent sequences.
+
+   - x * 2^k        ->  x << k           (exact for wrap-around ints)
+   - x * 3/5/9      ->  t = x << k; d = t + x   (one extra register)
+   - x * -1         ->  0 - x
+   - x % 2^k, x / 2^k are NOT rewritten: the IR's div/rem truncate toward
+     zero while shifts floor, so the shift form is wrong for negative
+     operands and we have no range analysis to prove non-negativity.
+
+   The pass may allocate fresh registers (for the shift+add forms). *)
+
+let log2_exact n =
+  if n <= 0 then None
+  else
+    let rec go k v = if v = n then Some k else if v > n then None else go (k + 1) (v * 2) in
+    go 0 1
+
+(* rewrite one instruction; may produce several and allocate registers *)
+let rewrite nregs (i : Ir.instr) : int * Ir.instr list =
+  match i with
+  | Ir.Bin (Ir.Mul, d, x, Ir.Cint c) | Ir.Bin (Ir.Mul, d, Ir.Cint c, x) -> begin
+    match log2_exact c with
+    | Some k when k <= 62 -> (nregs, [ Ir.Bin (Ir.Shl, d, x, Ir.Cint k) ])
+    | _ -> (
+      match c with
+      | -1 -> (nregs, [ Ir.Bin (Ir.Sub, d, Ir.Cint 0, x) ])
+      | 3 | 5 | 9 ->
+        let k = match c with 3 -> 1 | 5 -> 2 | _ -> 3 in
+        let t = nregs in
+        ( nregs + 1,
+          [ Ir.Bin (Ir.Shl, t, x, Ir.Cint k); Ir.Bin (Ir.Add, d, Ir.Reg t, x) ]
+        )
+      | _ -> (nregs, [ i ]))
+  end
+  | _ -> (nregs, [ i ])
+
+let run_func (f : Ir.func) : Ir.func =
+  let nregs = ref f.Ir.nregs in
+  let blocks =
+    Ir.LMap.map
+      (fun (b : Ir.block) ->
+        let instrs =
+          List.concat_map
+            (fun i ->
+              let n', is = rewrite !nregs i in
+              nregs := n';
+              is)
+            b.Ir.instrs
+        in
+        { b with Ir.instrs })
+      f.Ir.blocks
+  in
+  { f with Ir.blocks; nregs = !nregs }
+
+let run (p : Ir.program) : Ir.program = Ir.map_funcs run_func p

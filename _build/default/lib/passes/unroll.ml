@@ -1,0 +1,256 @@
+module Ir = Mira.Ir
+
+(* Loop unrolling for canonical counted loops, by a factor k ∈ {2,4,8}.
+   The three factors are registered as three distinct passes, matching the
+   paper's footnote 1 (unroll factors counted as individual optimizations,
+   allowed at most once per sequence — the sequence generator enforces the
+   at-most-once rule).
+
+   Recognized shape (produced by `for` lowering, possibly after
+   const-prop/folding):
+
+     H:  c = icmp.lt i, B        (exactly this one instruction)
+         br c, BODY, EXIT        (BODY inside the loop, EXIT outside)
+     ... body blocks ...
+     L:  ...; i = add i, S       (last instruction of the unique latch)
+         jmp H
+
+   with S a positive integer constant, B a constant or a register with no
+   definition in the loop, i defined exactly once in the loop (the
+   increment) and c used only by H's branch.  Note the phase interaction:
+   `for` lowering materializes the step as a register, so unrolling
+   typically only fires after constant propagation has substituted it —
+   sequences that run `unroll` before `cprop` get no benefit, exactly the
+   kind of ordering effect the paper studies.
+
+   Transformation (guard + k-fold body + original remainder loop):
+
+     UH: [t = sub B, (k-1)*S]          (elided when B is constant)
+         g = icmp.lt i, t
+         br g, COPY1, H
+     COPYj: clone of the body; the latch edge goes to COPYj+1, the last
+            copy jumps back to UH; early exits keep their original targets.
+
+   All outside edges into H are redirected to UH.  Since the guard ensures
+   i + j*S < B for all j < k, the k copies run without re-testing; the
+   original loop handles the remainder.  Caveat (documented in DESIGN.md):
+   computing B - (k-1)*S wraps if B is within (k-1)*S of min_int; bounds
+   that extreme do not occur in generated code. *)
+
+module LMap = Ir.LMap
+module LSet = Ir.LSet
+
+type counted = {
+  header : Ir.label;
+  body_entry : Ir.label;
+  exit : Ir.label;
+  latch : Ir.label;
+  ivar : Ir.reg;           (* induction variable *)
+  cmp_dst : Ir.reg;
+  bound : Ir.operand;      (* Cint or invariant Reg *)
+  step : int;              (* positive constant *)
+}
+
+(* count definitions of each register across a set of blocks *)
+let defs_in (f : Ir.func) (body : LSet.t) : (int, int) Hashtbl.t =
+  let defs = Hashtbl.create 32 in
+  LSet.iter
+    (fun l ->
+      List.iter
+        (fun i ->
+          match Ir.def_of i with
+          | Some d ->
+            Hashtbl.replace defs d
+              (1 + Option.value ~default:0 (Hashtbl.find_opt defs d))
+          | None -> ())
+        (Ir.find_block f l).Ir.instrs)
+    body;
+  defs
+
+(* uses of register r anywhere in the function, excluding header's branch *)
+let used_outside_branch (f : Ir.func) (header : Ir.label) r =
+  LMap.exists
+    (fun l (b : Ir.block) ->
+      List.exists (fun i -> List.mem r (Ir.uses_of i)) b.Ir.instrs
+      || (l <> header && List.mem r (Ir.term_uses b.Ir.term)))
+    f.Ir.blocks
+
+let recognize (f : Ir.func) (loop : Mira.Analysis.loop) : counted option =
+  let header = loop.Mira.Analysis.header in
+  let body = loop.Mira.Analysis.body in
+  let hb = Ir.find_block f header in
+  match (hb.Ir.instrs, hb.Ir.term, loop.Mira.Analysis.latches) with
+  | ( [ Ir.Icmp (Ir.Lt, c, Ir.Reg i, bound) ],
+      Ir.Br (Ir.Reg c', body_entry, exit),
+      [ latch ] )
+    when c = c'
+         && body_entry <> header
+         && LSet.mem body_entry body
+         && not (LSet.mem exit body) -> begin
+    let lb = Ir.find_block f latch in
+    if lb.Ir.term <> Ir.Jmp header then None
+    else
+      match List.rev lb.Ir.instrs with
+      | Ir.Bin (Ir.Add, i', Ir.Reg i'', Ir.Cint s) :: _
+        when i' = i && i'' = i && s > 0 -> begin
+        let defs = defs_in f body in
+        let inv_bound =
+          match bound with
+          | Ir.Cint _ -> true
+          | Ir.Reg b -> not (Hashtbl.mem defs b)
+          | _ -> false
+        in
+        if
+          inv_bound
+          && Hashtbl.find_opt defs i = Some 1
+          && Hashtbl.find_opt defs c = Some 1
+          && not (used_outside_branch f header c)
+        then Some { header; body_entry; exit; latch; ivar = i; cmp_dst = c; bound; step = s }
+        else None
+      end
+      | _ -> None
+  end
+  | _ -> None
+
+let body_size (f : Ir.func) (body : LSet.t) =
+  LSet.fold (fun l acc -> acc + List.length (Ir.find_block f l).Ir.instrs) body 0
+
+let unroll_loop (f : Ir.func) (loop : Mira.Analysis.loop) (c : counted)
+    ~(k : int) : Ir.func * Ir.label =
+  let body = loop.Mira.Analysis.body in
+  let clone_set = LSet.remove c.header body in
+  (* fresh labels for k copies of every body block *)
+  let f = ref f in
+  let copy_maps =
+    Array.init k (fun _ ->
+        LSet.fold
+          (fun l acc ->
+            let f', nl = Ir.fresh_label !f in
+            f := f';
+            LMap.add l nl acc)
+          clone_set LMap.empty)
+  in
+  let fn = !f in
+  let guard_label, fn =
+    let fn, l = Ir.fresh_label fn in
+    (l, fn)
+  in
+  (* destination of the latch edge for copy j *)
+  let next_of j =
+    if j = k - 1 then guard_label
+    else LMap.find c.body_entry copy_maps.(j + 1)
+  in
+  let remap j l =
+    if l = c.header then next_of j
+    else match LMap.find_opt l copy_maps.(j) with Some nl -> nl | None -> l
+  in
+  let blocks = ref fn.Ir.blocks in
+  (* materialize the k copies *)
+  for j = 0 to k - 1 do
+    LSet.iter
+      (fun l ->
+        let b = Ir.find_block fn l in
+        let nb =
+          {
+            Ir.instrs = b.Ir.instrs;
+            term = Ir.map_term ~fo:(fun o -> o) ~fl:(remap j) b.Ir.term;
+          }
+        in
+        blocks := LMap.add (LMap.find l copy_maps.(j)) nb !blocks)
+      clone_set
+  done;
+  (* guard block *)
+  let d = (k - 1) * c.step in
+  let fn = { fn with Ir.blocks = !blocks } in
+  let fn, guard_instrs, guard_cond =
+    match c.bound with
+    | Ir.Cint b ->
+      let fn, g = Ir.fresh_reg fn in
+      (fn, [ Ir.Icmp (Ir.Lt, g, Ir.Reg c.ivar, Ir.Cint (b - d)) ], g)
+    | bound ->
+      let fn, t = Ir.fresh_reg fn in
+      let fn, g = Ir.fresh_reg fn in
+      ( fn,
+        [
+          Ir.Bin (Ir.Sub, t, bound, Ir.Cint d);
+          Ir.Icmp (Ir.Lt, g, Ir.Reg c.ivar, Ir.Reg t);
+        ],
+        g )
+  in
+  let guard_block =
+    {
+      Ir.instrs = guard_instrs;
+      term =
+        Ir.Br (Ir.Reg guard_cond, LMap.find c.body_entry copy_maps.(0), c.header);
+    }
+  in
+  let blocks = LMap.add guard_label guard_block fn.Ir.blocks in
+  (* redirect outside edges into the header to the guard *)
+  let blocks =
+    LMap.mapi
+      (fun l (b : Ir.block) ->
+        if l = guard_label || LSet.mem l body then b
+        else
+          let in_copies =
+            Array.exists (fun m -> LMap.exists (fun _ nl -> nl = l) m) copy_maps
+          in
+          if in_copies then b
+          else
+            { b with
+              Ir.term =
+                Ir.map_term ~fo:(fun o -> o)
+                  ~fl:(fun t -> if t = c.header then guard_label else t)
+                  b.Ir.term
+            })
+      blocks
+  in
+  let entry = if fn.Ir.entry = c.header then guard_label else fn.Ir.entry in
+  ({ fn with Ir.blocks; entry }, guard_label)
+
+let max_copy_size = 80
+
+let run_with_factor ~(k : int) (p : Ir.program) : Ir.program =
+  let run_func (f : Ir.func) : Ir.func =
+    (* unroll each matching innermost loop once; recompute the loop forest
+       after each transformation *)
+    let processed = ref LSet.empty in
+    let rec go f =
+      let _, loops = Mira.Analysis.natural_loops f in
+      let innermost (l : Mira.Analysis.loop) =
+        not
+          (List.exists
+             (fun (l' : Mira.Analysis.loop) ->
+               l'.Mira.Analysis.header <> l.Mira.Analysis.header
+               && LSet.mem l'.Mira.Analysis.header l.Mira.Analysis.body)
+             loops)
+      in
+      let cand =
+        List.find_opt
+          (fun (l : Mira.Analysis.loop) ->
+            (not (LSet.mem l.Mira.Analysis.header !processed))
+            && innermost l
+            && body_size f l.Mira.Analysis.body <= max_copy_size)
+          loops
+      in
+      match cand with
+      | None -> f
+      | Some loop -> begin
+        processed := LSet.add loop.Mira.Analysis.header !processed;
+        match recognize f loop with
+        | Some c ->
+          (* the unrolled copies + guard form a new counted loop themselves;
+             mark its header as processed so one pass application unrolls
+             each source loop exactly once *)
+          let f', guard = unroll_loop f loop c ~k in
+          processed := LSet.add guard !processed;
+          go f'
+        | None -> go f
+      end
+    in
+    go f
+  in
+  Ir.map_funcs run_func p
+
+let run2 p = run_with_factor ~k:2 p
+let run4 p = run_with_factor ~k:4 p
+let run8 p = run_with_factor ~k:8 p

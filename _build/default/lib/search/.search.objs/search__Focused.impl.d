@@ -1,0 +1,1 @@
+lib/search/focused.ml: Array Hashtbl Knowledge List Mlkit Passes Random Seqmodel Space Strategies

@@ -1,0 +1,1 @@
+lib/search/focused.mli: Knowledge Seqmodel Strategies

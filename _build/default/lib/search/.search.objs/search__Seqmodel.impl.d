@@ -1,0 +1,1 @@
+lib/search/seqmodel.ml: Array List Passes Random

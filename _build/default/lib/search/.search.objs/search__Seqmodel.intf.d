@@ -1,0 +1,1 @@
+lib/search/seqmodel.mli: Passes Random

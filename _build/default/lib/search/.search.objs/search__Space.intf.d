@@ -1,0 +1,1 @@
+lib/search/space.mli: Passes Random

@@ -1,0 +1,1 @@
+lib/search/strategies.ml: Array Hashtbl List Passes Random Space

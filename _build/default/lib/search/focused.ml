@@ -1,0 +1,100 @@
+(* Model-focused iterative search (the FOCUSSED line of Fig. 2b):
+
+   1. find the training programs nearest to the target in static-feature
+      space (the knowledge base holds each program's characterization);
+   2. fit a sequence distribution (IID or Markov) to those programs'
+      good sequences (within [quality] of their respective best);
+   3. sample candidate sequences from the model — without replacement —
+      and evaluate them, tracking the best-so-far curve.
+
+   Degenerate knowledge bases (no neighbours, no good sequences) fall back
+   to the uniform model, i.e. random search, which is also the correct
+   scientific control. *)
+
+module Pass = Passes.Pass
+
+type model_kind = Iid | Markov
+
+type params = {
+  neighbors : int;        (* training programs consulted *)
+  per_neighbor : int;     (* top sequences taken from each neighbour *)
+  length : int;           (* the searched space's sequence length *)
+  kind : model_kind;
+}
+
+let default_params =
+  { neighbors = 5; per_neighbor = 5; length = Space.default_length; kind = Markov }
+
+(* nearest programs by Euclidean distance over standardized static
+   features; returns closest first *)
+let nearest_programs (kb : Knowledge.Kb.t) ~(arch : string)
+    ~(target_features : (string * float) list) ~(n : int) : string list =
+  let chars =
+    List.filter (fun c -> c.Knowledge.Kb.arch = arch) kb.Knowledge.Kb.chars
+  in
+  match chars with
+  | [] -> []
+  | _ ->
+    (* align features by name against the target's schema *)
+    let names = List.map fst target_features in
+    let vec_of feats =
+      Array.of_list
+        (List.map
+           (fun name ->
+             match List.assoc_opt name feats with Some v -> v | None -> 0.0)
+           names)
+    in
+    let rows = List.map (fun c -> vec_of c.Knowledge.Kb.features) chars in
+    let scaler = Mlkit.Scaling.fit (Array.of_list rows) in
+    let target = Mlkit.Scaling.apply scaler (vec_of target_features) in
+    chars
+    |> List.map (fun c ->
+           ( c.Knowledge.Kb.prog,
+             Mlkit.Linalg.euclidean target
+               (Mlkit.Scaling.apply scaler (vec_of c.Knowledge.Kb.features)) ))
+    |> List.sort (fun (p1, d1) (p2, d2) ->
+           match compare d1 d2 with 0 -> compare p1 p2 | c -> c)
+    |> List.filteri (fun i _ -> i < n)
+    |> List.map fst
+
+(* fit the sequence model from the neighbours' good experiments *)
+let fit_model (kb : Knowledge.Kb.t) ~(arch : string) ~(params : params)
+    ~(target_features : (string * float) list) : Seqmodel.t =
+  let neighbors =
+    nearest_programs kb ~arch ~target_features ~n:params.neighbors
+  in
+  let good =
+    List.concat_map
+      (fun prog ->
+        List.map
+          (fun e -> e.Knowledge.Kb.seq)
+          (Knowledge.Kb.top_experiments kb ~prog ~arch ~k:params.per_neighbor
+             ~length:params.length ()))
+      neighbors
+  in
+  if good = [] then Seqmodel.uniform
+  else
+    match params.kind with
+    | Iid -> Seqmodel.Iid (Seqmodel.fit_iid good)
+    | Markov -> Seqmodel.Markov (Seqmodel.fit_markov good)
+
+(* focused search: sample-without-replacement from the model *)
+let search ?(seed = 1) ?(length = Space.default_length) ~budget
+    (model : Seqmodel.t) (eval : Strategies.eval) : Strategies.result =
+  let rng = Random.State.make [| seed |] in
+  let seen = Hashtbl.create (4 * budget) in
+  let fresh_sample () =
+    (* reject duplicates a bounded number of times, then accept repeats
+       (the model may be too peaked to provide [budget] distinct samples) *)
+    let rec go tries =
+      let s = Seqmodel.sample rng model ~length in
+      let key = Pass.sequence_to_string s in
+      if Hashtbl.mem seen key && tries < 50 then go (tries + 1)
+      else begin
+        Hashtbl.replace seen key ();
+        s
+      end
+    in
+    go 0
+  in
+  Strategies.run_budgeted ~budget ~next:(fun _ -> fresh_sample ()) eval

@@ -1,0 +1,33 @@
+(** Model-focused iterative search (the FOCUSSED line of the paper's
+    Fig. 2(b)): find the training programs most similar to the target,
+    fit a sequence model to their best sequences, sample-and-evaluate. *)
+
+type model_kind = Iid | Markov
+
+type params = {
+  neighbors : int;      (** training programs consulted *)
+  per_neighbor : int;   (** top sequences taken from each neighbour *)
+  length : int;         (** sequence length of the searched space *)
+  kind : model_kind;
+}
+
+val default_params : params
+
+(** training programs nearest to the target in standardized static-feature
+    space, closest first.  Features are matched by name against the
+    target's schema. *)
+val nearest_programs :
+  Knowledge.Kb.t -> arch:string -> target_features:(string * float) list ->
+  n:int -> string list
+
+(** fit the sequence model from the neighbours' best recorded experiments;
+    degenerates to {!Seqmodel.uniform} when the knowledge base has nothing
+    relevant (so the caller transparently gets random search) *)
+val fit_model :
+  Knowledge.Kb.t -> arch:string -> params:params ->
+  target_features:(string * float) list -> Seqmodel.t
+
+(** sample the model without replacement (bounded rejection) and evaluate *)
+val search :
+  ?seed:int -> ?length:int -> budget:int -> Seqmodel.t -> Strategies.eval ->
+  Strategies.result

@@ -1,0 +1,125 @@
+(* Probability models over optimization sequences, after Agakov et al. [1]
+   ("Using machine learning to focus iterative optimization"): fit a
+   distribution to the good sequences of training programs, then bias a
+   new program's search towards high-probability regions.
+
+   Two model families, both with Laplace smoothing:
+   - IID: an independent per-position distribution over passes;
+   - Markov: an initial distribution plus first-order transition matrix,
+     capturing pass-pair interactions (e.g. "unroll is only useful after
+     constant propagation") that the IID model cannot express. *)
+
+module Pass = Passes.Pass
+
+let npass = Pass.count
+
+type iid = { probs : float array }           (* length npass, sums to 1 *)
+
+type markov = {
+  init : float array;                        (* npass *)
+  trans : float array array;                 (* npass x npass *)
+}
+
+type t = Iid of iid | Markov of markov
+
+let smoothing = 0.5
+
+let normalize (a : float array) : float array =
+  let s = Array.fold_left ( +. ) 0.0 a in
+  if s <= 0.0 then Array.make (Array.length a) (1.0 /. float_of_int (Array.length a))
+  else Array.map (fun v -> v /. s) a
+
+let fit_iid (seqs : Pass.t list list) : iid =
+  let counts = Array.make npass smoothing in
+  List.iter
+    (fun seq ->
+      List.iter (fun p -> counts.(Pass.to_index p) <- counts.(Pass.to_index p) +. 1.0) seq)
+    seqs;
+  { probs = normalize counts }
+
+let fit_markov (seqs : Pass.t list list) : markov =
+  let init = Array.make npass smoothing in
+  let trans = Array.make_matrix npass npass smoothing in
+  List.iter
+    (fun seq ->
+      match seq with
+      | [] -> ()
+      | first :: rest ->
+        init.(Pass.to_index first) <- init.(Pass.to_index first) +. 1.0;
+        ignore
+          (List.fold_left
+             (fun prev p ->
+               trans.(Pass.to_index prev).(Pass.to_index p) <-
+                 trans.(Pass.to_index prev).(Pass.to_index p) +. 1.0;
+               p)
+             first rest))
+    seqs;
+  { init = normalize init; trans = Array.map normalize trans }
+
+(* draw an index from a discrete distribution, optionally masking out the
+   unroll passes (to honour the at-most-one-unroll constraint) *)
+let draw (rng : Random.State.t) (probs : float array) ~(mask_unroll : bool) :
+    int =
+  let probs =
+    if mask_unroll then
+      normalize
+        (Array.mapi
+           (fun i p -> if Pass.is_unroll (Pass.of_index i) then 0.0 else p)
+           probs)
+    else probs
+  in
+  let r = Random.State.float rng 1.0 in
+  let acc = ref 0.0 and chosen = ref (npass - 1) in
+  (try
+     Array.iteri
+       (fun i p ->
+         acc := !acc +. p;
+         if !acc >= r then begin
+           chosen := i;
+           raise Exit
+         end)
+       probs
+   with Exit -> ());
+  !chosen
+
+let sample (rng : Random.State.t) (t : t) ~(length : int) : Pass.t list =
+  let out = ref [] in
+  let unroll_used = ref false in
+  let prev = ref None in
+  for _pos = 0 to length - 1 do
+    let dist =
+      match (t, !prev) with
+      | Iid m, _ -> m.probs
+      | Markov m, None -> m.init
+      | Markov m, Some p -> m.trans.(Pass.to_index p)
+    in
+    let i = draw rng dist ~mask_unroll:!unroll_used in
+    let p = Pass.of_index i in
+    if Pass.is_unroll p then unroll_used := true;
+    out := p :: !out;
+    prev := Some p
+  done;
+  List.rev !out
+
+(* log-probability of a sequence under the model (useful for defining the
+   "predicted good region" contours of Fig. 2a) *)
+let log_prob (t : t) (seq : Pass.t list) : float =
+  match t with
+  | Iid m ->
+    List.fold_left
+      (fun acc p -> acc +. log (max 1e-12 m.probs.(Pass.to_index p)))
+      0.0 seq
+  | Markov m -> (
+    match seq with
+    | [] -> 0.0
+    | first :: rest ->
+      let acc = log (max 1e-12 m.init.(Pass.to_index first)) in
+      fst
+        (List.fold_left
+           (fun (acc, prev) p ->
+             ( acc
+               +. log (max 1e-12 m.trans.(Pass.to_index prev).(Pass.to_index p)),
+               p ))
+           (acc, first) rest))
+
+let uniform : t = Iid { probs = Array.make npass (1.0 /. float_of_int npass) }

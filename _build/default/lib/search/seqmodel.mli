@@ -1,0 +1,33 @@
+(** Probability models over optimization sequences (after Agakov et al.,
+    "Using machine learning to focus iterative optimization"): fitted to
+    the good sequences of training programs, then sampled to bias a new
+    program's search towards promising regions. *)
+
+type iid = { probs : float array }
+(** independent per-position distribution over the passes *)
+
+type markov = {
+  init : float array;
+  trans : float array array;
+}
+(** first-order chain: initial distribution + transition matrix, able to
+    express pass-pair interactions (e.g. "unroll only after cprop") *)
+
+type t = Iid of iid | Markov of markov
+
+(** Laplace smoothing constant applied to every count *)
+val smoothing : float
+
+val normalize : float array -> float array
+val fit_iid : Passes.Pass.t list list -> iid
+val fit_markov : Passes.Pass.t list list -> markov
+
+(** draw a valid sequence (at most one unroll pass) of the given length *)
+val sample : Random.State.t -> t -> length:int -> Passes.Pass.t list
+
+(** log-probability of a sequence under the model; defines the
+    "predicted good region" of the Fig. 2(a) reproduction *)
+val log_prob : t -> Passes.Pass.t list -> float
+
+(** the uniform model: focused search degenerates to random search *)
+val uniform : t

@@ -1,0 +1,102 @@
+(* The optimization-sequence space searched by every strategy: sequences of
+   [length] passes drawn from the 13-pass set, with at most one unroll pass
+   per sequence (the paper's footnote-1 constraint).  Fig. 2 uses length 5,
+   which is also our default. *)
+
+module Pass = Passes.Pass
+
+let default_length = 5
+
+(* number of valid sequences of the given length *)
+let cardinality ?(length = default_length) () =
+  let n = Pass.count in
+  let u = List.length (List.filter Pass.is_unroll Pass.all) in
+  let nu = n - u in
+  (* sequences with no unroll + sequences with exactly one unroll *)
+  let pow b e =
+    let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+    go 1 e
+  in
+  pow nu length + (length * u * pow nu (length - 1))
+
+let non_unroll = List.filter (fun p -> not (Pass.is_unroll p)) Pass.all
+
+(* uniform random valid sequence *)
+let random_seq (rng : Random.State.t) ?(length = default_length) () :
+    Pass.t list =
+  let rec pick acc n unroll_used =
+    if n = 0 then List.rev acc
+    else begin
+      let p = List.nth Pass.all (Random.State.int rng Pass.count) in
+      if Pass.is_unroll p && unroll_used then pick acc n true
+      else pick (p :: acc) (n - 1) (unroll_used || Pass.is_unroll p)
+    end
+  in
+  pick [] length false
+
+(* point mutation preserving validity: if another position already holds an
+   unroll pass, the mutated slot may only receive a non-unroll pass *)
+let mutate (rng : Random.State.t) (seq : Pass.t list) : Pass.t list =
+  let arr = Array.of_list seq in
+  let i = Random.State.int rng (Array.length arr) in
+  let other_unroll =
+    List.exists Pass.is_unroll (List.filteri (fun j _ -> j <> i) seq)
+  in
+  let choices = if other_unroll then non_unroll else Pass.all in
+  arr.(i) <- List.nth choices (Random.State.int rng (List.length choices));
+  Array.to_list arr
+
+(* one-point crossover; repairs double-unroll children by replacing later
+   unrolls with a non-unroll pass *)
+let crossover (rng : Random.State.t) (a : Pass.t list) (b : Pass.t list) :
+    Pass.t list =
+  let aa = Array.of_list a and bb = Array.of_list b in
+  let n = min (Array.length aa) (Array.length bb) in
+  let cut = 1 + Random.State.int rng (max 1 (n - 1)) in
+  let child =
+    Array.init n (fun i -> if i < cut then aa.(i) else bb.(i))
+  in
+  let seen_unroll = ref false in
+  Array.iteri
+    (fun i p ->
+      if Pass.is_unroll p then begin
+        if !seen_unroll then
+          child.(i) <- List.nth non_unroll (Random.State.int rng (List.length non_unroll))
+        else seen_unroll := true
+      end)
+    child;
+  Array.to_list child
+
+(* Fig. 2(a)'s projection of a length-5 sequence onto a 2-D plot position:
+   x encodes the length-2 prefix, y the length-3 suffix. *)
+let prefix2_index (seq : Pass.t list) : int =
+  match seq with
+  | a :: b :: _ -> (Pass.to_index a * Pass.count) + Pass.to_index b
+  | _ -> invalid_arg "Space.prefix2_index: sequence too short"
+
+let suffix3_index (seq : Pass.t list) : int =
+  match List.rev seq with
+  | c :: b :: a :: _ ->
+    (Pass.to_index a * Pass.count * Pass.count)
+    + (Pass.to_index b * Pass.count)
+    + Pass.to_index c
+  | _ -> invalid_arg "Space.suffix3_index: sequence too short"
+
+(* deterministic enumeration of [n] distinct sequences by stratified
+   sampling when full enumeration is too large; with replacement=false the
+   caller gets unique sequences *)
+let sample_distinct (rng : Random.State.t) ?(length = default_length) n :
+    Pass.t list list =
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] in
+  let tries = ref 0 in
+  while Hashtbl.length seen < n && !tries < 100 * n do
+    incr tries;
+    let s = random_seq rng ~length () in
+    let key = Pass.sequence_to_string s in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      out := s :: !out
+    end
+  done;
+  List.rev !out

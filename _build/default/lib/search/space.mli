@@ -1,0 +1,33 @@
+(** The optimization-sequence space every strategy searches: sequences of
+    [length] passes with at most one unroll pass (the paper's footnote-1
+    constraint).  The paper's Fig. 2 space uses length 5, the default. *)
+
+val default_length : int
+
+(** number of valid sequences of the given length *)
+val cardinality : ?length:int -> unit -> int
+
+(** the non-unroll passes *)
+val non_unroll : Passes.Pass.t list
+
+(** uniform random valid sequence *)
+val random_seq : Random.State.t -> ?length:int -> unit -> Passes.Pass.t list
+
+(** point mutation preserving validity *)
+val mutate : Random.State.t -> Passes.Pass.t list -> Passes.Pass.t list
+
+(** one-point crossover; children are repaired to stay valid *)
+val crossover :
+  Random.State.t -> Passes.Pass.t list -> Passes.Pass.t list ->
+  Passes.Pass.t list
+
+(** Fig. 2(a)'s plot projection: x-position encoding of the length-2
+    prefix of a sequence.  @raise Invalid_argument if too short. *)
+val prefix2_index : Passes.Pass.t list -> int
+
+(** y-position encoding of the length-3 suffix *)
+val suffix3_index : Passes.Pass.t list -> int
+
+(** up to [n] distinct random sequences (deterministic given the state) *)
+val sample_distinct :
+  Random.State.t -> ?length:int -> int -> Passes.Pass.t list list

@@ -1,0 +1,175 @@
+(* Search strategies over the optimization-sequence space.  Every strategy
+   consumes a cost oracle (lower = better; typically simulated cycles) and
+   records the best-so-far cost after every evaluation, which is exactly the
+   data Fig. 2(b) plots.  All strategies are deterministic given the seed. *)
+
+module Pass = Passes.Pass
+
+type eval = Pass.t list -> float
+
+type result = {
+  best_seq : Pass.t list;
+  best_cost : float;
+  evals : int;
+  history : float array;   (* best-so-far cost after evaluation i *)
+  seqs : Pass.t list array; (* the sequence tried at evaluation i *)
+}
+
+(* driver that tracks the running best *)
+let run_budgeted ~(budget : int) ~(next : int -> Pass.t list) (eval : eval) :
+    result =
+  if budget <= 0 then invalid_arg "Strategies: budget must be positive";
+  let history = Array.make budget infinity in
+  let seqs = Array.make budget [] in
+  let best_seq = ref [] and best_cost = ref infinity in
+  for i = 0 to budget - 1 do
+    let seq = next i in
+    let c = eval seq in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_seq := seq
+    end;
+    history.(i) <- !best_cost;
+    seqs.(i) <- seq
+  done;
+  { best_seq = !best_seq; best_cost = !best_cost; evals = budget; history; seqs }
+
+(* uniform random search (the paper's RANDOM baseline) *)
+let random ?(seed = 1) ?(length = Space.default_length) ~budget (eval : eval) :
+    result =
+  let rng = Random.State.make [| seed |] in
+  run_budgeted ~budget ~next:(fun _ -> Space.random_seq rng ~length ()) eval
+
+(* random search averaged over [trials] seeds: returns the mean best-so-far
+   curve (the paper averages 20 trials for statistical significance) *)
+let random_averaged ?(seed = 1) ?(length = Space.default_length) ~budget
+    ~trials (eval : eval) : float array =
+  let acc = Array.make budget 0.0 in
+  for t = 0 to trials - 1 do
+    let r = random ~seed:(seed + (1000 * t)) ~length ~budget eval in
+    Array.iteri (fun i c -> acc.(i) <- acc.(i) +. c) r.history
+  done;
+  Array.map (fun s -> s /. float_of_int trials) acc
+
+(* first-improvement hill climbing with random restarts *)
+let hill_climb ?(seed = 1) ?(length = Space.default_length) ~budget
+    (eval : eval) : result =
+  let rng = Random.State.make [| seed |] in
+  let current = ref (Space.random_seq rng ~length ()) in
+  let current_cost = ref infinity in
+  let stall = ref 0 in
+  run_budgeted ~budget
+    ~next:(fun i ->
+      if i = 0 then !current
+      else if !stall > 3 * length then begin
+        (* restart *)
+        stall := 0;
+        current := Space.random_seq rng ~length ();
+        current_cost := infinity;
+        !current
+      end
+      else Space.mutate rng !current)
+    (fun seq ->
+      let c = eval seq in
+      if c < !current_cost then begin
+        current_cost := c;
+        current := seq;
+        stall := 0
+      end
+      else incr stall;
+      c)
+
+(* exhaustive evaluation of an explicit list of sequences *)
+let exhaustive (seqs : Pass.t list list) (eval : eval) : result =
+  let arr = Array.of_list seqs in
+  run_budgeted ~budget:(Array.length arr) ~next:(fun i -> arr.(i)) eval
+
+(* ------------------------------------------------------------------ *)
+(* Genetic algorithm (the Cooper et al. [33] baseline, used by the
+   code-size experiment).  Tournament selection, one-point crossover,
+   per-gene mutation, elitism of 1. *)
+
+type ga_params = {
+  population : int;
+  generations : int;
+  tournament : int;
+  mutation_prob : float;
+  crossover_prob : float;
+}
+
+let default_ga =
+  {
+    population = 20;
+    generations = 10;
+    tournament = 3;
+    mutation_prob = 0.2;
+    crossover_prob = 0.8;
+  }
+
+let genetic ?(seed = 1) ?(length = Space.default_length) ?(params = default_ga)
+    (eval : eval) : result =
+  let rng = Random.State.make [| seed |] in
+  let memo : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let history = ref [] and tried = ref [] in
+  let best_seq = ref [] and best_cost = ref infinity in
+  let evals = ref 0 in
+  let cost seq =
+    let key = Pass.sequence_to_string seq in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+      let c = eval seq in
+      incr evals;
+      Hashtbl.replace memo key c;
+      if c < !best_cost then begin
+        best_cost := c;
+        best_seq := seq
+      end;
+      history := !best_cost :: !history;
+      tried := seq :: !tried;
+      c
+  in
+  let pop =
+    ref (Array.init params.population (fun _ -> Space.random_seq rng ~length ()))
+  in
+  (* force evaluation of the initial population *)
+  Array.iter (fun s -> ignore (cost s)) !pop;
+  for _gen = 1 to params.generations do
+    let select () =
+      let best = ref (Space.random_seq rng ~length ()) in
+      let bc = ref infinity in
+      for _ = 1 to params.tournament do
+        let cand = !pop.(Random.State.int rng params.population) in
+        let c = cost cand in
+        if c < !bc then begin
+          bc := c;
+          best := cand
+        end
+      done;
+      !best
+    in
+    let next =
+      Array.init params.population (fun i ->
+          if i = 0 then !best_seq   (* elitism *)
+          else begin
+            let a = select () in
+            let child =
+              if Random.State.float rng 1.0 < params.crossover_prob then
+                Space.crossover rng a (select ())
+              else a
+            in
+            if Random.State.float rng 1.0 < params.mutation_prob then
+              Space.mutate rng child
+            else child
+          end)
+    in
+    Array.iter (fun s -> ignore (cost s)) next;
+    pop := next
+  done;
+  {
+    best_seq = !best_seq;
+    best_cost = !best_cost;
+    evals = !evals;
+    history = Array.of_list (List.rev !history);
+    seqs = Array.of_list (List.rev !tried);
+  }

@@ -1,0 +1,48 @@
+(** Search strategies over the optimization-sequence space.  Each consumes
+    a cost oracle (lower = better, typically simulated cycles) and records
+    the best-so-far cost after every evaluation — the data Fig. 2(b)
+    plots.  All strategies are deterministic given their seed. *)
+
+type eval = Passes.Pass.t list -> float
+
+type result = {
+  best_seq : Passes.Pass.t list;
+  best_cost : float;
+  evals : int;
+  history : float array;        (** best-so-far cost after evaluation i *)
+  seqs : Passes.Pass.t list array;  (** sequence tried at evaluation i *)
+}
+
+(** driver: evaluate [next i] for i in [0, budget), tracking the best.
+    @raise Invalid_argument if budget <= 0 *)
+val run_budgeted :
+  budget:int -> next:(int -> Passes.Pass.t list) -> eval -> result
+
+(** uniform random search (the paper's RANDOM baseline) *)
+val random : ?seed:int -> ?length:int -> budget:int -> eval -> result
+
+(** mean best-so-far curve of [trials] independent random searches (the
+    paper averages 20 trials) *)
+val random_averaged :
+  ?seed:int -> ?length:int -> budget:int -> trials:int -> eval -> float array
+
+(** first-improvement hill climbing with random restarts *)
+val hill_climb : ?seed:int -> ?length:int -> budget:int -> eval -> result
+
+(** evaluate an explicit list of sequences *)
+val exhaustive : Passes.Pass.t list list -> eval -> result
+
+type ga_params = {
+  population : int;
+  generations : int;
+  tournament : int;
+  mutation_prob : float;
+  crossover_prob : float;
+}
+
+val default_ga : ga_params
+
+(** genetic algorithm (the Cooper et al. baseline): tournament selection,
+    one-point crossover, per-gene mutation, elitism of one.  Evaluations
+    are memoized; [result.evals] counts distinct sequences evaluated. *)
+val genetic : ?seed:int -> ?length:int -> ?params:ga_params -> eval -> result

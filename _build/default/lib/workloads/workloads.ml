@@ -1,0 +1,826 @@
+(* The benchmark suite: 16 Mira programs standing in for the suites the
+   paper draws on (MiBench, SPECINT, SPECFP, Polyhedron).  Two of them are
+   the specific subjects of the paper's figures:
+
+   - [adpcm]: the MiBench telecomm ADPCM encoder (Fig. 2's subject on the
+     TI C6713), including the real IMA step-size tables;
+   - [mcf_spars]: a network-simplex-flavoured pointer chaser standing in
+     for SPEC 181.mcf (Fig. 3/4's subject) — a large multi-array footprint
+     traversed data-dependently, with stores on the chase path, giving the
+     same extreme per-instruction L2 store-miss signature the paper shows.
+
+   All programs are deterministic, generate their own inputs (LCG), print a
+   checksum (observable output for differential testing) and finish in
+   ~0.1-1.5M dynamic instructions at -O0. *)
+
+type family = Telecomm | Automotive | Network | Office | Security | SpecInt | SpecFp | Kernel
+
+let family_name = function
+  | Telecomm -> "telecomm"
+  | Automotive -> "automotive"
+  | Network -> "network"
+  | Office -> "office"
+  | Security -> "security"
+  | SpecInt -> "specint"
+  | SpecFp -> "specfp"
+  | Kernel -> "kernel"
+
+type t = {
+  name : string;
+  family : family;
+  descr : string;
+  source : string;
+}
+
+let ima_index_table = "{-1, -1, -1, -1, 2, 4, 6, 8}"
+
+let ima_step_table =
+  "{7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, \
+   45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, \
+   209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, \
+   796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272, \
+   2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, \
+   7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, \
+   22385, 24623, 27086, 29794, 32767}"
+
+(* --------------------------------------------------------------- *)
+
+let adpcm =
+  {
+    name = "adpcm";
+    family = Telecomm;
+    descr = "IMA ADPCM encoder over a synthetic waveform (MiBench telecomm)";
+    source =
+      Printf.sprintf
+        {|global index_table: int[8] = %s;
+global step_table: int[89] = %s;
+global pcm: int[8192];
+
+fn gen_input() {
+  // synthetic speech-ish waveform: sum of two sawtooths + noise
+  var x: int = 12345;
+  for i = 0 to 8192 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    var saw1: int = ((i * 37) & 4095) - 2048;
+    var saw2: int = ((i * 11) & 1023) - 512;
+    pcm[i] = saw1 + saw2 + (x & 127) - 64;
+  }
+}
+
+fn encode() -> int {
+  var valpred: int = 0;
+  var index: int = 0;
+  var checksum: int = 0;
+  for i = 0 to 8192 {
+    var val: int = pcm[i];
+    var stepv: int = step_table[index];
+    var diff: int = val - valpred;
+    var sign: int = 0;
+    if (diff < 0) { sign = 8; diff = 0 - diff; }
+    var delta: int = 0;
+    var vpdiff: int = stepv >> 3;
+    if (diff >= stepv) { delta = 4; diff = diff - stepv; vpdiff = vpdiff + stepv; }
+    stepv = stepv >> 1;
+    if (diff >= stepv) { delta = delta | 2; diff = diff - stepv; vpdiff = vpdiff + stepv; }
+    stepv = stepv >> 1;
+    if (diff >= stepv) { delta = delta | 1; vpdiff = vpdiff + stepv; }
+    if (sign > 0) { valpred = valpred - vpdiff; }
+    else { valpred = valpred + vpdiff; }
+    if (valpred > 32767) { valpred = 32767; }
+    else { if (valpred < -32768) { valpred = -32768; } }
+    delta = delta | sign;
+    index = index + index_table[delta & 7];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    checksum = (checksum + delta * 31 + valpred) & 16777215;
+  }
+  return checksum;
+}
+
+fn main() -> int {
+  gen_input();
+  var c: int = encode();
+  print(c);
+  return c %% 65536;
+}|}
+        ima_index_table ima_step_table;
+  }
+
+let mcf_spars =
+  {
+    name = "mcf_spars";
+    family = SpecInt;
+    descr =
+      "network-simplex-style pointer chase over a 768 KiB arc structure \
+       with stores on the chase path (SPEC 181.mcf analogue)";
+    source =
+      {|global arc_next: int[32768];
+global arc_cost: int[32768];
+global arc_flow: int[32768];
+
+fn build_network() {
+  // next[] is a full-cycle affine permutation: stride odd => bijection
+  // on the power-of-two index space; consecutive hops land ~1.5 MiB
+  // apart in the flat address space, defeating both cache levels
+  for i = 0 to 32768 {
+    arc_next[i] = (i + 12289) & 32767;
+    arc_cost[i] = (i * 97 + 13) & 4095;
+    arc_flow[i] = 0;
+  }
+}
+
+fn chase(iters: int) -> int {
+  var x: int = 0;
+  var total: int = 0;
+  var neg: int = 0;
+  for it = 0 to iters {
+    var nx: int = arc_next[x];
+    var c: int = arc_cost[x] + (arc_flow[nx] >> 2);
+    if (c > 2048) { c = c - 4096; }
+    if (c < 0) { neg = neg + 1; c = 0 - c; }
+    arc_flow[x] = c & 8191;
+    // price update on a distant arc: a second store that lands on a cold
+    // line, as the simplex price sweeps do in the real mcf
+    arc_flow[(x + 16384) & 32767] = (c >> 1) & 8191;
+    total = (total + c) & 1073741823;
+    x = nx;
+  }
+  print(neg);
+  return total;
+}
+
+fn main() -> int {
+  build_network();
+  var t: int = chase(52000);
+  print(t);
+  return t % 65536;
+}|};
+  }
+
+let matmul =
+  {
+    name = "matmul";
+    family = SpecFp;
+    descr = "48x48 float matrix multiply (Polyhedron-style dense kernel)";
+    source =
+      {|global a: float[2304];
+global b: float[2304];
+global c: float[2304];
+
+fn init() {
+  for i = 0 to 2304 {
+    a[i] = float((i * 7) % 100) / 10.0;
+    b[i] = float((i * 13) % 100) / 10.0 - 5.0;
+  }
+}
+
+fn mm(n: int) {
+  for i = 0 to n {
+    for j = 0 to n {
+      var s: float = 0.0;
+      for k = 0 to n {
+        s = s + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = s;
+    }
+  }
+}
+
+fn main() -> int {
+  init();
+  mm(48);
+  var check: float = 0.0;
+  for i = 0 to 2304 step 97 { check = check + c[i]; }
+  print(check);
+  return int(check) % 65536;
+}|};
+  }
+
+let fir =
+  {
+    name = "fir";
+    family = Telecomm;
+    descr = "32-tap FIR filter over 8k samples (MiBench telecomm kernel)";
+    source =
+      {|global taps: float[32];
+global signal: float[4096];
+global out: float[4096];
+
+fn init() {
+  for i = 0 to 32 {
+    taps[i] = float(16 - i) / 64.0;
+  }
+  var x: int = 99;
+  for i = 0 to 4096 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    signal[i] = float(x % 2048) / 1024.0 - 1.0;
+  }
+}
+
+fn filter() {
+  for i = 32 to 4096 {
+    var acc: float = 0.0;
+    for t = 0 to 32 {
+      acc = acc + taps[t] * signal[i - t];
+    }
+    out[i] = acc;
+  }
+}
+
+fn main() -> int {
+  init();
+  filter();
+  var check: float = 0.0;
+  for i = 0 to 4096 step 31 { check = check + out[i]; }
+  print(check);
+  return int(check * 100.0) % 65536;
+}|};
+  }
+
+let crc32 =
+  {
+    name = "crc32";
+    family = Telecomm;
+    descr = "bitwise CRC-32 over a 24 KiB message (MiBench telecomm)";
+    source =
+      {|global msg: int[3072];
+
+fn main() -> int {
+  var x: int = 7;
+  for i = 0 to 3072 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    msg[i] = x & 255;
+  }
+  var crc: int = 4294967295;
+  for i = 0 to 3072 {
+    crc = crc ^ msg[i];
+    for bit = 0 to 8 {
+      if ((crc & 1) == 1) { crc = (crc >> 1) ^ 3988292384; }
+      else { crc = crc >> 1; }
+    }
+  }
+  crc = crc ^ 4294967295;
+  print(crc);
+  return crc % 65536;
+}|};
+  }
+
+let bitcount =
+  {
+    name = "bitcount";
+    family = Automotive;
+    descr = "population-count microkernels over 40k words (MiBench)";
+    source =
+      {|fn pop_naive(v: int) -> int {
+  var c: int = 0;
+  var x: int = v;
+  while (x != 0) {
+    c = c + (x & 1);
+    x = x >> 1;
+  }
+  return c;
+}
+
+fn pop_kernighan(v: int) -> int {
+  var c: int = 0;
+  var x: int = v;
+  while (x != 0) {
+    x = x & (x - 1);
+    c = c + 1;
+  }
+  return c;
+}
+
+fn main() -> int {
+  var x: int = 31;
+  var total: int = 0;
+  for i = 0 to 6000 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    total = total + pop_naive(x) + pop_kernighan(x);
+  }
+  print(total);
+  return total % 65536;
+}|};
+  }
+
+let dijkstra =
+  {
+    name = "dijkstra";
+    family = Network;
+    descr = "single-source shortest paths on a 96-node dense graph (MiBench)";
+    source =
+      {|global adj: int[9216];
+global dist: int[96];
+global done_: int[96];
+
+fn main() -> int {
+  var n: int = 96;
+  var x: int = 5;
+  for i = 0 to 9216 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    adj[i] = (x % 100) + 1;
+  }
+  var total: int = 0;
+  // run from 5 different sources
+  for src = 0 to 5 {
+    for i = 0 to n { dist[i] = 1000000; done_[i] = 0; }
+    dist[src * 11] = 0;
+    for round = 0 to n {
+      var best: int = -1;
+      var bestd: int = 1000001;
+      for i = 0 to n {
+        if (done_[i] == 0 && dist[i] < bestd) { best = i; bestd = dist[i]; }
+      }
+      if (best >= 0) {
+        done_[best] = 1;
+        for j = 0 to n {
+          var nd: int = dist[best] + adj[best * n + j];
+          if (nd < dist[j]) { dist[j] = nd; }
+        }
+      }
+    }
+    for i = 0 to n { total = total + dist[i]; }
+  }
+  print(total);
+  return total % 65536;
+}|};
+  }
+
+let qsort_bench =
+  {
+    name = "qsort";
+    family = Automotive;
+    descr = "recursive quicksort of 3000 pseudo-random ints (MiBench qsort)";
+    source =
+      {|global data: int[3000];
+
+fn swap(i: int, j: int) {
+  var t: int = data[i];
+  data[i] = data[j];
+  data[j] = t;
+}
+
+fn qsort_rec(lo: int, hi: int) {
+  if (lo < hi) {
+    var pivot: int = data[(lo + hi) / 2];
+    var i: int = lo;
+    var j: int = hi;
+    while (i <= j) {
+      while (data[i] < pivot) { i = i + 1; }
+      while (data[j] > pivot) { j = j - 1; }
+      if (i <= j) {
+        swap(i, j);
+        i = i + 1;
+        j = j - 1;
+      }
+    }
+    qsort_rec(lo, j);
+    qsort_rec(i, hi);
+  }
+}
+
+fn main() -> int {
+  var x: int = 1234;
+  for i = 0 to 3000 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    data[i] = x % 100000;
+  }
+  qsort_rec(0, 2999);
+  // verify sortedness and checksum
+  var bad: int = 0;
+  var check: int = 0;
+  for i = 1 to 3000 {
+    if (data[i - 1] > data[i]) { bad = bad + 1; }
+    check = (check + data[i] * i) & 16777215;
+  }
+  print(bad);
+  print(check);
+  return check % 65536;
+}|};
+  }
+
+let histogram =
+  {
+    name = "histogram";
+    family = Office;
+    descr = "256-bin histogram + cumulative equalization over 48k samples";
+    source =
+      {|global hist: int[256];
+global cdf: int[256];
+
+fn main() -> int {
+  var x: int = 42;
+  for it = 0 to 48000 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    var bin: int = (x >> 8) & 255;
+    hist[bin] = hist[bin] + 1;
+  }
+  var acc: int = 0;
+  for i = 0 to 256 {
+    acc = acc + hist[i];
+    cdf[i] = acc * 255 / 48000;
+  }
+  var check: int = 0;
+  for i = 0 to 256 { check = (check + cdf[i] * i) & 16777215; }
+  print(check);
+  return check % 65536;
+}|};
+  }
+
+let nbody =
+  {
+    name = "nbody";
+    family = SpecFp;
+    descr = "O(n^2) gravitational n-body, 48 bodies x 12 steps (SPECFP-style)";
+    source =
+      {|global px: float[48]; global py: float[48];
+global vx: float[48]; global vy: float[48];
+global fx: float[48]; global fy: float[48];
+
+fn main() -> int {
+  for i = 0 to 48 {
+    px[i] = float((i * 37) % 100) / 10.0;
+    py[i] = float((i * 61) % 100) / 10.0;
+    vx[i] = 0.0; vy[i] = 0.0;
+  }
+  for tstep = 0 to 12 {
+    for i = 0 to 48 { fx[i] = 0.0; fy[i] = 0.0; }
+    for i = 0 to 48 {
+      for j = 0 to 48 {
+        if (i != j) {
+          var dx: float = px[j] - px[i];
+          var dy: float = py[j] - py[i];
+          var d2: float = dx * dx + dy * dy + 0.25;
+          var inv: float = 1.0 / (d2 * d2);
+          fx[i] = fx[i] + dx * inv;
+          fy[i] = fy[i] + dy * inv;
+        }
+      }
+    }
+    for i = 0 to 48 {
+      vx[i] = vx[i] + fx[i] * 0.01;
+      vy[i] = vy[i] + fy[i] * 0.01;
+      px[i] = px[i] + vx[i] * 0.01;
+      py[i] = py[i] + vy[i] * 0.01;
+    }
+  }
+  var check: float = 0.0;
+  for i = 0 to 48 { check = check + px[i] + py[i]; }
+  print(check);
+  return int(check) % 65536;
+}|};
+  }
+
+let stencil2d =
+  {
+    name = "stencil2d";
+    family = Kernel;
+    descr = "5-point Jacobi stencil on a 96x96 grid, 10 sweeps";
+    source =
+      {|global grid: float[9216];
+global next: float[9216];
+
+fn main() -> int {
+  var n: int = 96;
+  for i = 0 to 9216 { grid[i] = float((i * 31) % 97) / 97.0; }
+  for sweep = 0 to 5 {
+    for i = 1 to 95 {
+      for j = 1 to 95 {
+        var idx: int = i * n + j;
+        next[idx] = 0.2 * (grid[idx] + grid[idx - 1] + grid[idx + 1]
+                           + grid[idx - n] + grid[idx + n]);
+      }
+    }
+    for i = 1 to 95 {
+      for j = 1 to 95 {
+        grid[i * n + j] = next[i * n + j];
+      }
+    }
+  }
+  var check: float = 0.0;
+  for i = 0 to 9216 step 89 { check = check + grid[i]; }
+  print(check);
+  return int(check * 1000.0) % 65536;
+}|};
+  }
+
+let susan_edge =
+  {
+    name = "susan";
+    family = Automotive;
+    descr = "SUSAN-style edge response over a synthetic 80x80 image (MiBench)";
+    source =
+      {|global img: int[6400];
+global edge: int[6400];
+
+fn main() -> int {
+  var n: int = 80;
+  var x: int = 17;
+  for i = 0 to 6400 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    // blocky image with noise: strong edges every 16 pixels
+    var block: int = ((i / 16) % 2) * 128;
+    img[i] = block + (x % 32);
+  }
+  var edges: int = 0;
+  for i = 1 to 79 {
+    for j = 1 to 79 {
+      var c: int = img[i * n + j];
+      var usan: int = 0;
+      for di = -1 to 2 {
+        for dj = -1 to 2 {
+          var v: int = img[(i + di) * n + (j + dj)];
+          var diff: int = v - c;
+          if (diff < 0) { diff = 0 - diff; }
+          if (diff < 20) { usan = usan + 1; }
+        }
+      }
+      if (usan < 6) { edge[i * n + j] = 1; edges = edges + 1; }
+    }
+  }
+  print(edges);
+  return edges % 65536;
+}|};
+  }
+
+let sha_mix =
+  {
+    name = "sha_mix";
+    family = Security;
+    descr = "SHA-flavoured integer mixing rounds over a 4 KiB block (MiBench)";
+    source =
+      {|global block: int[512];
+
+fn rotl(v: int, r: int) -> int {
+  return ((v << r) | (v >> (32 - r))) & 4294967295;
+}
+
+fn main() -> int {
+  var x: int = 0x1234;
+  for i = 0 to 512 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    block[i] = x & 4294967295;
+  }
+  var h0: int = 0x67452301;
+  var h1: int = 0xEFCDAB89;
+  var h2: int = 0x98BADCFE;
+  var h3: int = 0x10325476;
+  for round_ = 0 to 40 {
+    for i = 0 to 512 {
+      var w: int = block[i];
+      var f: int = (h1 & h2) | ((h3 ^ 4294967295) & h1);
+      var tmp: int = (rotl(h0, 5) + f + w + 0x5A827999) & 4294967295;
+      h3 = h2;
+      h2 = rotl(h1, 30);
+      h1 = h0;
+      h0 = tmp;
+    }
+  }
+  var digest: int = (h0 ^ h1 ^ h2 ^ h3) & 4294967295;
+  print(digest);
+  return digest % 65536;
+}|};
+  }
+
+let strsearch =
+  {
+    name = "strsearch";
+    family = Office;
+    descr = "naive + bad-character substring search over 16k chars (MiBench)";
+    source =
+      {|global text: int[8192];
+global pat: int[8];
+global shift: int[64];
+
+fn main() -> int {
+  var x: int = 313;
+  for i = 0 to 8192 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    text[i] = x % 64;
+  }
+  for i = 0 to 8 { pat[i] = (i * 13 + 5) % 64; }
+  // plant a few needles
+  for k = 0 to 10 {
+    var at: int = k * 790 + 37;
+    for i = 0 to 8 { text[at + i] = pat[i]; }
+  }
+  // bad-character table
+  for c = 0 to 64 { shift[c] = 8; }
+  for i = 0 to 7 { shift[pat[i]] = 7 - i; }
+  var found: int = 0;
+  // several passes amortize the input-generation cost, as repeated
+  // queries over the same document would
+  for pass = 0 to 10 {
+    var pos: int = 0;
+    while (pos <= 8184) {
+      var j: int = 7;
+      var ok: bool = true;
+      while (j >= 0 && ok) {
+        if (text[pos + j] != pat[j]) { ok = false; }
+        else { j = j - 1; }
+      }
+      if (ok) {
+        found = found + 1;
+        pos = pos + 1;
+      } else {
+        var s: int = shift[text[pos + 7]];
+        if (s < 1) { s = 1; }
+        pos = pos + s;
+      }
+    }
+  }
+  print(found);
+  return found;
+}|};
+  }
+
+let jacobi =
+  {
+    name = "jacobi";
+    family = SpecFp;
+    descr = "Jacobi iteration solving a 64-unknown diagonally dominant system";
+    source =
+      {|global a: float[4096];
+global bvec: float[64];
+global xv: float[64];
+global xn: float[64];
+
+fn main() -> int {
+  var n: int = 64;
+  for i = 0 to n {
+    for j = 0 to n {
+      if (i == j) { a[i * n + j] = float(n) + 1.0; }
+      else { a[i * n + j] = 1.0 / float(i + j + 1); }
+    }
+    bvec[i] = float((i * 7) % 13);
+    xv[i] = 0.0;
+  }
+  for iter = 0 to 25 {
+    for i = 0 to n {
+      var s: float = bvec[i];
+      for j = 0 to n {
+        if (i != j) { s = s - a[i * n + j] * xv[j]; }
+      }
+      xn[i] = s / a[i * n + i];
+    }
+    for i = 0 to n { xv[i] = xn[i]; }
+  }
+  var check: float = 0.0;
+  for i = 0 to n { check = check + xv[i]; }
+  print(check);
+  return int(check * 1000.0) % 65536;
+}|};
+  }
+
+let lud =
+  {
+    name = "lud";
+    family = Kernel;
+    descr = "LU decomposition (Doolittle, no pivoting) of a 56x56 matrix";
+    source =
+      {|global m: float[3136];
+
+fn main() -> int {
+  var n: int = 56;
+  for i = 0 to n {
+    for j = 0 to n {
+      if (i == j) { m[i * n + j] = float(n * 4); }
+      else { m[i * n + j] = float(((i * 13 + j * 7) % 19)) / 19.0; }
+    }
+  }
+  for k = 0 to n {
+    for i = k + 1 to n {
+      m[i * n + k] = m[i * n + k] / m[k * n + k];
+      for j = k + 1 to n {
+        m[i * n + j] = m[i * n + j] - m[i * n + k] * m[k * n + j];
+      }
+    }
+  }
+  var check: float = 0.0;
+  for i = 0 to n { check = check + m[i * n + i]; }
+  print(check);
+  return int(check) % 65536;
+}|};
+  }
+
+let blowfish_mix =
+  {
+    name = "blowfish";
+    family = Security;
+    descr = "Feistel rounds with table lookups (MiBench blowfish analogue)";
+    source =
+      {|global sbox0: int[256];
+global sbox1: int[256];
+global sbox2: int[256];
+global sbox3: int[256];
+
+fn f(x: int) -> int {
+  var a: int = (x >> 24) & 255;
+  var b: int = (x >> 16) & 255;
+  var c: int = (x >> 8) & 255;
+  var d: int = x & 255;
+  return (((sbox0[a] + sbox1[b]) ^ sbox2[c]) + sbox3[d]) & 4294967295;
+}
+
+fn main() -> int {
+  var x: int = 777;
+  for i = 0 to 256 {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    sbox0[i] = x & 4294967295;
+    x = (x * 1103515245 + 12345) & 1073741823;
+    sbox1[i] = x & 4294967295;
+    x = (x * 1103515245 + 12345) & 1073741823;
+    sbox2[i] = x & 4294967295;
+    x = (x * 1103515245 + 12345) & 1073741823;
+    sbox3[i] = x & 4294967295;
+  }
+  var l: int = 0x01234567;
+  var r: int = 0x89ABCDE;
+  var check: int = 0;
+  for blockn = 0 to 3000 {
+    l = l ^ blockn;
+    for round_ = 0 to 16 {
+      l = l ^ f(r);
+      var t: int = l;
+      l = r;
+      r = t;
+    }
+    check = (check + l + r) & 16777215;
+  }
+  print(check);
+  return check % 65536;
+}|};
+  }
+
+let spmv =
+  {
+    name = "spmv";
+    family = Kernel;
+    descr =
+      "sparse matrix-vector product in CSR form over a 640 KiB index \
+       structure (OSKI-style memory-bound kernel)";
+    source =
+      {|global col_idx: int[40960];
+global row_start: int[2048];
+global vals: int[40960];
+global xvec: int[16384];
+global yvec: int[2048];
+
+fn main() -> int {
+  // 2048 rows x 20 nonzeros, pseudo-random scattered columns
+  var seed: int = 91;
+  for r = 0 to 2048 { row_start[r] = r * 20; }
+  for i = 0 to 40960 {
+    seed = (seed * 1103515245 + 12345) & 1073741823;
+    col_idx[i] = seed & 16383;
+    vals[i] = (seed >> 8) & 255;
+  }
+  for i = 0 to 16384 { xvec[i] = (i * 31) & 1023; }
+  // several products amortize setup, as iterative solvers do
+  var total: int = 0;
+  for rep = 0 to 4 {
+    for r = 0 to 2048 {
+      var acc: int = 0;
+      var lo: int = row_start[r];
+      for k = lo to lo + 20 {
+        acc = acc + vals[k] * xvec[col_idx[k]];
+      }
+      yvec[r] = acc & 1048575;
+      total = (total + acc) & 1073741823;
+    }
+  }
+  print(total);
+  return total % 65536;
+}|};
+  }
+
+let all : t list =
+  [
+    adpcm; mcf_spars; matmul; fir; crc32; bitcount; dijkstra; qsort_bench;
+    histogram; nbody; stencil2d; susan_edge; sha_mix; strsearch; jacobi; lud;
+    blowfish_mix; spmv;
+  ]
+
+let names = List.map (fun w -> w.name) all
+
+let by_name n = List.find_opt (fun w -> w.name = n) all
+
+let by_name_exn n =
+  match by_name n with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.by_name_exn: unknown workload " ^ n)
+
+(* compiled programs, memoized *)
+let cache : (string, Mira.Ir.program) Hashtbl.t = Hashtbl.create 16
+
+let program (w : t) : Mira.Ir.program =
+  match Hashtbl.find_opt cache w.name with
+  | Some p -> p
+  | None ->
+    let p =
+      match Mira.Lower.compile_source w.source with
+      | Ok p -> p
+      | Error e -> failwith (Printf.sprintf "workload %s: %s" w.name e)
+    in
+    Hashtbl.replace cache w.name p;
+    p

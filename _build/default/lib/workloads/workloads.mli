@@ -1,0 +1,41 @@
+(** The benchmark suite: 18 Mira programs standing in for the suites the
+    paper draws on (MiBench, SPECINT, SPECFP, Polyhedron).  All are
+    deterministic, generate their own inputs, print a checksum (observable
+    output for the differential tests) and finish in ~0.1–2M dynamic
+    instructions at -O0.
+
+    Two members are the specific subjects of the paper's figures:
+    [adpcm] (Fig. 2, with the real IMA step tables) and [mcf_spars]
+    (Figs. 3–4, the memory-bound 181.mcf analogue). *)
+
+type family =
+  | Telecomm
+  | Automotive
+  | Network
+  | Office
+  | Security
+  | SpecInt
+  | SpecFp
+  | Kernel
+
+val family_name : family -> string
+
+type t = {
+  name : string;
+  family : family;
+  descr : string;
+  source : string;  (** Mira source text *)
+}
+
+val adpcm : t
+val mcf_spars : t
+val all : t list
+val names : string list
+val by_name : string -> t option
+
+(** @raise Invalid_argument on an unknown name *)
+val by_name_exn : string -> t
+
+(** compile (memoized).  @raise Failure if the source does not compile,
+    which the test suite rules out. *)
+val program : t -> Mira.Ir.program

@@ -1,0 +1,1 @@
+test/gen_program.ml: List Mira Printf Random String

@@ -1,0 +1,1 @@
+test/test_icc.ml: Alcotest Array Icc Knowledge Lazy List Mach Mira Passes Printf Search

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array List Mira Passes Printf QCheck QCheck_alcotest String

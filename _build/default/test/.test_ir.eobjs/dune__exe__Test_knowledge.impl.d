@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Filename Fun Knowledge List Passes Printf QCheck QCheck_alcotest Random Search Sys

@@ -1,0 +1,1 @@
+test/test_mach.ml: Alcotest List Mach Mira Passes Printf QCheck QCheck_alcotest

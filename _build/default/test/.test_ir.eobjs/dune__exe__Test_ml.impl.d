@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Float Hashtbl List Mlkit Printf QCheck QCheck_alcotest Random

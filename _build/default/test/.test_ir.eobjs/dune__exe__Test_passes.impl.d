@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Gen_program List Mach Mira Passes Printf QCheck QCheck_alcotest Random Search String

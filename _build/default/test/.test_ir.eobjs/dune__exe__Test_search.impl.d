@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Knowledge List Passes Printf QCheck QCheck_alcotest Random Search

@@ -1,0 +1,9 @@
+  $ miracc run sample.mira
+  $ miracc run sample.mira -O Ofast | head -2
+  $ miracc run sample.mira --seq cprop,cfold,licm,unroll4,cse,dce | head -2
+  $ miracc run sample.mira --seq nosuchpass
+  $ miracc features sample.mira | head -4
+  $ miracc compile sample.mira -O O2 --stats
+  $ miracc workloads | head -3
+  $ miracc counters sample.mira | head -3
+  $ miracc run sample.mira --arch pdp11

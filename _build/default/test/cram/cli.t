@@ -1,0 +1,60 @@
+The miracc driver end-to-end, on a small sample program.
+
+Run unoptimized:
+
+  $ miracc run sample.mira
+  836
+  return: 36
+  cycles: 1410  instructions: 610  CPI: 2.31
+
+Optimization levels change cycles but never behaviour:
+
+  $ miracc run sample.mira -O Ofast | head -2
+  836
+  return: 36
+
+An explicit sequence:
+
+  $ miracc run sample.mira --seq cprop,cfold,licm,unroll4,cse,dce | head -2
+  836
+  return: 36
+
+Sequences are validated:
+
+  $ miracc run sample.mira --seq nosuchpass
+  bad sequence: unknown pass "nosuchpass"
+  [1]
+
+Static features are printed name-value:
+
+  $ miracc features sample.mira | head -4
+  n_funcs                2
+  n_blocks               7
+  n_instrs               15
+  avg_block_size         2.14286
+
+Compile prints IR; --stats summarizes:
+
+  $ miracc compile sample.mira -O O2 --stats
+  passes: simplify,cfold,cprop,peephole,dce,copyprop,cse,licm,strength,simplify,cfold,dce
+  size: 22 -> 18 instrs
+
+The built-in workload suite is listed with families:
+
+  $ miracc workloads | head -3
+  adpcm      telecomm   IMA ADPCM encoder over a synthetic waveform (MiBench telecomm)
+  mcf_spars  specint    network-simplex-style pointer chase over a 768 KiB arc structure with stores on the chase path (SPEC 181.mcf analogue)
+  matmul     specfp     48x48 float matrix multiply (Polyhedron-style dense kernel)
+
+Counter characterization at -O0:
+
+  $ miracc counters sample.mira | head -3
+  TOT_INS    1.000000
+  TOT_CYC    3.085339
+  LD_INS     0.109409
+
+Unknown architectures are rejected:
+
+  $ miracc run sample.mira --arch pdp11
+  unknown architecture "pdp11" (available: amd-like, c6713-like, embedded)
+  [1]

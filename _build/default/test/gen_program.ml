@@ -1,0 +1,193 @@
+(* Random Mira program generator for differential testing.
+
+   Generated programs are trap-free by construction (array indices are
+   masked to the array size, divisors are non-zero constants, shift counts
+   are literal and in range) and always terminate (loops are counted with
+   literal bounds), so the observation of the unoptimized program is always
+   [Finished] and every optimization pass must reproduce it exactly.
+   Floats may legitimately overflow to inf/nan — that is deterministic and
+   must also be preserved. *)
+
+type ctx = {
+  rng : Random.State.t;
+  mutable depth : int;   (* remaining statement-nesting budget *)
+  mutable vars : int;    (* v0..v(vars-1) int variables in scope *)
+  mutable fvars : int;   (* g0..g(fvars-1) float variables in scope *)
+  mutable loopn : int;   (* unique loop-variable counter (never reused,
+                            so nested loops cannot shadow) *)
+}
+
+let pick ctx xs = List.nth xs (Random.State.int ctx.rng (List.length xs))
+
+let int_const ctx = string_of_int (Random.State.int ctx.rng 41 - 20)
+
+(* integer expressions; [d] bounds the tree depth *)
+let rec int_expr ctx d =
+  if d = 0 then
+    match Random.State.int ctx.rng 3 with
+    | 0 -> int_const ctx
+    | 1 when ctx.vars > 0 ->
+      Printf.sprintf "v%d" (Random.State.int ctx.rng ctx.vars)
+    | _ -> Printf.sprintf "arr[%s & 15]" (if ctx.vars > 0 then Printf.sprintf "v%d" (Random.State.int ctx.rng ctx.vars) else int_const ctx)
+  else
+    match Random.State.int ctx.rng 8 with
+    | 0 -> Printf.sprintf "(%s + %s)" (int_expr ctx (d - 1)) (int_expr ctx (d - 1))
+    | 1 -> Printf.sprintf "(%s - %s)" (int_expr ctx (d - 1)) (int_expr ctx (d - 1))
+    | 2 -> Printf.sprintf "(%s * %s)" (int_expr ctx (d - 1)) (int_expr ctx (d - 1))
+    | 3 -> Printf.sprintf "(%s & %s)" (int_expr ctx (d - 1)) (int_expr ctx (d - 1))
+    | 4 -> Printf.sprintf "(%s | %s)" (int_expr ctx (d - 1)) (int_expr ctx (d - 1))
+    | 5 -> Printf.sprintf "(%s ^ %s)" (int_expr ctx (d - 1)) (int_expr ctx (d - 1))
+    | 6 ->
+      (* trap-free division/remainder: literal non-zero divisor *)
+      let divisor = 1 + Random.State.int ctx.rng 7 in
+      let op = pick ctx [ "/"; "%" ] in
+      Printf.sprintf "(%s %s %d)" (int_expr ctx (d - 1)) op divisor
+    | _ ->
+      let count = Random.State.int ctx.rng 5 in
+      let op = pick ctx [ "<<"; ">>" ] in
+      Printf.sprintf "(%s %s %d)" (int_expr ctx (d - 1)) op count
+
+let bool_expr ctx d =
+  let cmp = pick ctx [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+  let base = Printf.sprintf "(%s %s %s)" (int_expr ctx d) cmp (int_expr ctx d) in
+  match Random.State.int ctx.rng 4 with
+  | 0 ->
+    let cmp2 = pick ctx [ "<"; ">" ] in
+    Printf.sprintf "(%s && (%s %s %s))" base (int_expr ctx d) cmp2 (int_expr ctx d)
+  | 1 ->
+    let cmp2 = pick ctx [ "=="; "!=" ] in
+    Printf.sprintf "(%s || (%s %s %s))" base (int_expr ctx d) cmp2 (int_expr ctx d)
+  | 2 -> Printf.sprintf "(!%s)" base
+  | _ -> base
+
+let float_expr ctx d =
+  let atom () =
+    if ctx.fvars > 0 && Random.State.int ctx.rng 2 = 0 then
+      Printf.sprintf "g%d" (Random.State.int ctx.rng ctx.fvars)
+    else Printf.sprintf "%d.%d" (Random.State.int ctx.rng 9) (Random.State.int ctx.rng 10)
+  in
+  let rec go d =
+    if d = 0 then atom ()
+    else
+      match Random.State.int ctx.rng 4 with
+      | 0 -> Printf.sprintf "(%s + %s)" (go (d - 1)) (go (d - 1))
+      | 1 -> Printf.sprintf "(%s - %s)" (go (d - 1)) (go (d - 1))
+      | 2 -> Printf.sprintf "(%s * %s)" (go (d - 1)) (go (d - 1))
+      | _ -> Printf.sprintf "(%s / 2.0)" (go (d - 1))
+  in
+  go d
+
+let rec stmt ctx : string =
+  let choice =
+    if ctx.depth = 0 then Random.State.int ctx.rng 5
+    else Random.State.int ctx.rng 8
+  in
+  match choice with
+  | 0 when ctx.vars > 0 ->
+    Printf.sprintf "v%d = %s;" (Random.State.int ctx.rng ctx.vars)
+      (int_expr ctx 2)
+  | 0 | 1 ->
+    (* the initializer must not see the variable being declared *)
+    let init = int_expr ctx 2 in
+    let v = ctx.vars in
+    ctx.vars <- ctx.vars + 1;
+    Printf.sprintf "var v%d: int = %s;" v init
+  | 2 ->
+    Printf.sprintf "arr[%s & 15] = %s;" (int_expr ctx 1) (int_expr ctx 2)
+  | 3 -> Printf.sprintf "print(%s);" (int_expr ctx 2)
+  | 4 ->
+    if ctx.fvars = 0 then begin
+      let init = float_expr ctx 1 in
+      ctx.fvars <- 1;
+      Printf.sprintf "var g0: float = %s;" init
+    end
+    else
+      Printf.sprintf "g%d = %s;" (Random.State.int ctx.rng ctx.fvars)
+        (float_expr ctx 2)
+  | 5 ->
+    (* declarations inside branches go out of scope at the brace: the
+       generator must forget them too *)
+    ctx.depth <- ctx.depth - 1;
+    let saved_vars = ctx.vars and saved_fvars = ctx.fvars in
+    let t = block ctx in
+    ctx.vars <- saved_vars;
+    ctx.fvars <- saved_fvars;
+    let e = if Random.State.int ctx.rng 2 = 0 then block ctx else "" in
+    ctx.vars <- saved_vars;
+    ctx.fvars <- saved_fvars;
+    ctx.depth <- ctx.depth + 1;
+    if e = "" then Printf.sprintf "if (%s) { %s }" (bool_expr ctx 1) t
+    else Printf.sprintf "if (%s) { %s } else { %s }" (bool_expr ctx 1) t e
+  | 6 ->
+    (* counted loop with literal bounds: always terminates *)
+    ctx.depth <- ctx.depth - 1;
+    let saved_vars = ctx.vars and saved_fvars = ctx.fvars in
+    let body = block ctx in
+    ctx.vars <- saved_vars;
+    ctx.fvars <- saved_fvars;
+    ctx.depth <- ctx.depth + 1;
+    let lo = Random.State.int ctx.rng 3 in
+    let hi = lo + Random.State.int ctx.rng 7 in
+    let v = ctx.loopn in
+    ctx.loopn <- ctx.loopn + 1;
+    Printf.sprintf "for lv%d = %d to %d { %s }" v lo hi body
+  | _ ->
+    (* accumulating inner computation *)
+    let init = int_expr ctx 2 in
+    let v = ctx.vars in
+    ctx.vars <- ctx.vars + 1;
+    Printf.sprintf "var v%d: int = %s; v%d = (v%d * 3) & 1023;" v init v v
+
+and block ctx : string =
+  let n = 1 + Random.State.int ctx.rng 3 in
+  String.concat " " (List.init n (fun _ -> stmt ctx))
+
+(* one generated helper function (non-recursive, pure int math) *)
+let helper ctx i =
+  let body =
+    String.concat " "
+      (List.init
+         (1 + Random.State.int ctx.rng 2)
+         (fun _ ->
+           Printf.sprintf "x = (x %s %s) & 4095;"
+             (pick ctx [ "+"; "*"; "^" ])
+             (int_const ctx)))
+  in
+  Printf.sprintf "fn h%d(x: int) -> int { %s return x; }" i body
+
+(* generate a full program from a seed *)
+let generate (seed : int) : string =
+  let ctx =
+    { rng = Random.State.make [| seed |]; depth = 2; vars = 2; fvars = 0;
+      loopn = 0 }
+  in
+  let nhelpers = Random.State.int ctx.rng 3 in
+  let helpers = List.init nhelpers (helper ctx) in
+  let body = String.concat "\n  " (List.init 6 (fun _ -> stmt ctx)) in
+  let calls =
+    String.concat " "
+      (List.init nhelpers (fun i ->
+           Printf.sprintf "acc = (acc + h%d(v0)) & 65535;" i))
+  in
+  Printf.sprintf
+    {|%s
+fn main() -> int {
+  var arr: int[16];
+  var v0: int = 3;
+  var v1: int = 7;
+  var acc: int = 0;
+  %s
+  %s
+  var sum: int = 0;
+  for i = 0 to 16 { sum = (sum + arr[i]) & 65535; }
+  print(sum);
+  return (acc + sum + v0 + v1) & 65535;
+}|}
+    (String.concat "\n" helpers)
+    body calls
+
+(* generate + compile; None when the generator produced something the
+   front end rejects (which itself would be a generator bug worth seeing
+   in test failures, so callers treat None as a failure) *)
+let compile (seed : int) : (Mira.Ir.program, string) result =
+  Mira.Lower.compile_source (generate seed)

@@ -1,0 +1,842 @@
+(* Tests for the optimization passes: per-pass unit tests for the intended
+   effect, and differential tests checking that every pass (and random
+   sequences of passes) preserves observable behaviour on a corpus of
+   programs, with the unoptimized interpreter as oracle. *)
+
+module Ir = Mira.Ir
+
+let compile src = Mira.Lower.compile_source_exn src
+
+let dyn_count ?(fuel = 10_000_000) p =
+  (Mira.Interp.run ~fuel p).Mira.Interp.steps
+
+let size = Ir.program_size
+
+(* ------------------------------------------------------------------ *)
+(* corpus of programs used for differential testing *)
+
+let corpus : (string * string) list =
+  [
+    ( "sumloop",
+      {|fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 100 { s = s + i * 2; }
+          print(s);
+          return s % 1000;
+        }|} );
+    ( "nested",
+      {|fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 20 {
+            for j = 0 to 20 { s = s + i * j + 3 * i; }
+          }
+          return s % 10007;
+        }|} );
+    ( "arrays",
+      {|fn main() -> int {
+          var a: int[64];
+          var b: int[64];
+          for i = 0 to 64 { a[i] = i * 3; }
+          for i = 0 to 64 { b[i] = a[i] + a[i]; }
+          var s: int = 0;
+          for i = 0 to 64 { s = s + b[i]; }
+          print(s);
+          return s % 997;
+        }|} );
+    ( "calls",
+      {|fn sq(x: int) -> int { return x * x; }
+        fn cube(x: int) -> int { return sq(x) * x; }
+        fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 30 { s = s + cube(i) - sq(i); }
+          return s % 100003;
+        }|} );
+    ( "branches",
+      {|fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 200 {
+            if (i % 3 == 0) { s = s + i; }
+            else { if (i % 5 == 0) { s = s - i; } else { s = s + 1; } }
+          }
+          print(s);
+          return s;
+        }|} );
+    ( "floats",
+      {|fn main() -> int {
+          var acc: float = 0.0;
+          for i = 0 to 50 {
+            var x: float = float(i) * 0.5;
+            acc = acc + x * x - x / 2.0;
+          }
+          print(acc);
+          return int(acc);
+        }|} );
+    ( "recursion",
+      {|fn fib(n: int) -> int {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        fn main() -> int { return fib(12); }|} );
+    ( "globals",
+      {|global lut: int[8] = {1, 2, 4, 8, 16, 32, 64, 128};
+        fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 8 { s = s + lut[i]; }
+          for i = 0 to 8 { lut[i] = lut[i] / 2; }
+          for i = 0 to 8 { s = s + lut[i]; }
+          return s;
+        }|} );
+    ( "whileloop",
+      {|fn main() -> int {
+          var n: int = 7919;
+          var steps: int = 0;
+          while (n != 1) {
+            if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+            steps = steps + 1;
+          }
+          return steps;
+        }|} );
+    ( "early_return",
+      {|fn find(a: int[], v: int) -> int {
+          for i = 0 to len(a) {
+            if (a[i] == v) { return i; }
+          }
+          return -1;
+        }
+        fn main() -> int {
+          var a: int[32];
+          for i = 0 to 32 { a[i] = i * 7 % 31; }
+          return find(a, 5) + 100 * find(a, 999);
+        }|} );
+    ( "shortcirc",
+      {|fn main() -> int {
+          var a: int[4];
+          a[0] = 5;
+          var c: int = 0;
+          for i = 0 to 100 {
+            if (i < 4 && a[i] > 2) { c = c + 1; }
+            if (i >= 4 || a[i] == 0) { c = c + 2; }
+          }
+          return c;
+        }|} );
+    ( "trapping",
+      {|fn main() -> int {
+          var d: int = 3;
+          var s: int = 0;
+          for i = 0 to 10 { s = s + 100 / (d - i); }
+          return s;
+        }|} );
+  ]
+
+let programs = List.map (fun (n, src) -> (n, compile src)) corpus
+
+(* ------------------------------------------------------------------ *)
+(* differential check helpers *)
+
+let check_preserves name (seq : Passes.Pass.t list) p =
+  let before = Mira.Interp.observe p in
+  let p' = Passes.Pass.apply_sequence seq p in
+  let errs = Ir.check_program p' in
+  if errs <> [] then
+    Alcotest.failf "%s: %s: ill-formed after passes: %s" name
+      (Passes.Pass.sequence_to_string seq)
+      (String.concat "; " errs);
+  let after = Mira.Interp.observe p' in
+  if not (Mira.Interp.equal_observation before after) then
+    Alcotest.failf "%s: %s: behaviour changed: %a vs %a" name
+      (Passes.Pass.sequence_to_string seq)
+      Mira.Interp.pp_observation before Mira.Interp.pp_observation after
+
+
+(* every single pass preserves behaviour on the whole corpus *)
+let test_single_pass_preserves pass () =
+  List.iter (fun (name, p) -> check_preserves name [ pass ] p) programs
+
+(* the fixed pipelines preserve behaviour *)
+let test_pipeline_preserves seq () =
+  List.iter (fun (name, p) -> check_preserves name seq p) programs
+
+(* ------------------------------------------------------------------ *)
+(* per-pass unit tests: each pass has its intended effect *)
+
+let test_const_fold_folds () =
+  let p = compile "fn main() -> int { return (2 + 3) * 4; }" in
+  (* folding exposes constants one layer at a time; interleave with
+     propagation to reach the fixpoint (itself a phase-ordering fact) *)
+  let p' =
+    Passes.Pass.apply_sequence
+      [ Passes.Pass.Const_fold; Passes.Pass.Const_prop; Passes.Pass.Const_fold;
+        Passes.Pass.Const_prop; Passes.Pass.Const_fold ]
+      p
+  in
+  (* after folding, main contains no Bin instructions *)
+  let f = Ir.find_func p' "main" in
+  let has_bin =
+    Ir.LMap.exists
+      (fun _ (b : Ir.block) ->
+        List.exists (function Ir.Bin _ -> true | _ -> false) b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "no remaining arithmetic" false has_bin
+
+let test_const_fold_keeps_trap () =
+  let src = "fn main() -> int { var z: int = 0; return 5 / (z * 1); }" in
+  let p = compile src in
+  let p' =
+    Passes.Pass.apply_sequence
+      [ Passes.Pass.Peephole; Passes.Pass.Const_prop; Passes.Pass.Const_fold ]
+      p
+  in
+  (match Mira.Interp.observe p' with
+   | Mira.Interp.Trapped _ -> ()
+   | o ->
+     Alcotest.failf "expected trap preserved, got %a" Mira.Interp.pp_observation
+       o)
+
+let test_const_fold_branch () =
+  let p =
+    compile
+      {|fn main() -> int {
+          if (2 < 3) { return 1; }
+          return 0;
+        }|}
+  in
+  let p' =
+    Passes.Pass.apply_sequence
+      [ Passes.Pass.Const_fold; Passes.Pass.Const_prop; Passes.Pass.Const_fold;
+        Passes.Pass.Simplify_cfg ]
+      p
+  in
+  (* branch folded away: no Br terminators remain *)
+  let f = Ir.find_func p' "main" in
+  let has_br =
+    Ir.LMap.exists
+      (fun _ (b : Ir.block) ->
+        match b.Ir.term with Ir.Br _ -> true | _ -> false)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "no branches" false has_br
+
+let test_const_prop_through_blocks () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var x: int = 10;
+          var y: int = 0;
+          if (true) { y = x + 1; } else { y = x + 2; }
+          return y + x;
+        }|}
+  in
+  let p' =
+    Passes.Pass.apply_sequence
+      [ Passes.Pass.Const_prop; Passes.Pass.Const_fold; Passes.Pass.Const_prop; Passes.Pass.Const_fold ]
+      p
+  in
+  (* x = 10 must have reached the uses: some Mov/instr now carries Cint 11 *)
+  let f = Ir.find_func p' "main" in
+  let mentions_11 =
+    Ir.LMap.exists
+      (fun _ (b : Ir.block) ->
+        List.exists
+          (fun i -> List.exists (fun o -> o = Ir.Cint 11) (Ir.ops_of i))
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "constant reached use" true mentions_11
+
+let test_copy_prop () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var a: int = 5;
+          var b: int = a;
+          var c: int = b;
+          return c + b + a;
+        }|}
+  in
+  let before = size p in
+  let p' =
+    Passes.Pass.apply_sequence [ Passes.Pass.Copy_prop; Passes.Pass.Dce ] p
+  in
+  Alcotest.(check bool) "copies eliminated" true (size p' < before);
+  check_preserves "copyprop-unit" [ Passes.Pass.Copy_prop; Passes.Pass.Dce ] p
+
+let test_dce_removes_dead () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var dead: int = 1 + 2 * 3;
+          var dead2: int = dead * dead;
+          var live: int = 7;
+          return live;
+        }|}
+  in
+  let p' = Passes.Pass.apply Passes.Pass.Dce p in
+  Alcotest.(check bool) "smaller" true (size p' < size p);
+  (* all dead chain removed: main is just the return after simplify *)
+  let p'' = Passes.Pass.apply_sequence [ Passes.Pass.Simplify_cfg ] p' in
+  let f = Ir.find_func p'' "main" in
+  let ninstrs =
+    Ir.LMap.fold (fun _ b acc -> acc + List.length b.Ir.instrs) f.Ir.blocks 0
+  in
+  Alcotest.(check bool) "only the live mov remains" true (ninstrs <= 1)
+
+let test_dce_keeps_possible_trap () =
+  let p =
+    compile
+      {|fn div(a: int, b: int) -> int { return a / b; }
+        fn main() -> int {
+          var z: int = 0;
+          var dead: int = div(1, z);
+          return 42;
+        }|}
+  in
+  (* the call's result is dead but the call may trap: must stay *)
+  let p' = Passes.Pass.apply Passes.Pass.Dce p in
+  match Mira.Interp.observe p' with
+  | Mira.Interp.Trapped _ -> ()
+  | o -> Alcotest.failf "trap removed: %a" Mira.Interp.pp_observation o
+
+let test_cse_dedups () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var a: int = 3;
+          var b: int = 7;
+          var x: int = a * b + a;
+          var y: int = a * b + a;
+          return x + y;
+        }|}
+  in
+  let p1 = Passes.Pass.apply_sequence [ Passes.Pass.Cse; Passes.Pass.Copy_prop; Passes.Pass.Dce ] p in
+  Alcotest.(check bool) "cse shrinks straightline code" true (size p1 < size p);
+  check_preserves "cse-unit" [ Passes.Pass.Cse ] p
+
+let test_cse_load_elim_blocked_by_store () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var a: int[4];
+          a[0] = 1;
+          var x: int = a[0];
+          a[0] = 2;
+          var y: int = a[0];
+          return x * 10 + y;
+        }|}
+  in
+  let p' = Passes.Pass.apply Passes.Pass.Cse p in
+  let r = Mira.Interp.run p' in
+  Alcotest.(check string) "store kills load CSE" "12"
+    (Mira.Interp.value_to_string r.Mira.Interp.ret)
+
+let test_licm_hoists () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var a: int = 6;
+          var b: int = 7;
+          var s: int = 0;
+          for i = 0 to 1000 { s = s + a * b; }
+          return s;
+        }|}
+  in
+  let seq = [ Passes.Pass.Const_prop; Passes.Pass.Licm ] in
+  let p' = Passes.Pass.apply_sequence seq p in
+  let d0 = dyn_count p and d1 = dyn_count p' in
+  Alcotest.(check bool)
+    (Printf.sprintf "licm reduces dynamic instructions (%d -> %d)" d0 d1)
+    true (d1 < d0);
+  check_preserves "licm-unit" seq p
+
+let test_licm_zero_trip_safe () =
+  (* hoisted code must not change behaviour when the loop never runs *)
+  let p =
+    compile
+      {|fn main() -> int {
+          var a: int = 6;
+          var b: int = 7;
+          var s: int = 99;
+          var n: int = 0;
+          for i = 0 to n { s = a * b; }
+          return s;
+        }|}
+  in
+  check_preserves "licm-zero-trip" [ Passes.Pass.Licm ] p;
+  let p' = Passes.Pass.apply Passes.Pass.Licm p in
+  let r = Mira.Interp.run p' in
+  Alcotest.(check string) "value unchanged" "99"
+    (Mira.Interp.value_to_string r.Mira.Interp.ret)
+
+let test_strength_mul_to_shift () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 10 { s = s + i * 8; }
+          return s;
+        }|}
+  in
+  let p' = Passes.Pass.apply Passes.Pass.Strength p in
+  let f = Ir.find_func p' "main" in
+  let has_mul =
+    Ir.LMap.exists
+      (fun _ (b : Ir.block) ->
+        List.exists
+          (function Ir.Bin (Ir.Mul, _, _, _) -> true | _ -> false)
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "mul replaced" false has_mul;
+  check_preserves "strength-unit" [ Passes.Pass.Strength ] p
+
+let test_strength_negative_operands () =
+  (* x * 2^k via shift must be exact for negative x too *)
+  let p =
+    compile
+      {|fn main() -> int {
+          var s: int = 0;
+          for i = -20 to 20 { s = s + i * 16 + i * 3 + i * 5 + i * 9; }
+          print(s);
+          return s;
+        }|}
+  in
+  check_preserves "strength-negative" [ Passes.Pass.Strength ] p
+
+let unroll_test_src =
+  {|fn main() -> int {
+      var s: int = 0;
+      for i = 0 to 103 { s = s + i; }
+      return s;
+    }|}
+
+let count_dyn_branches p =
+  let n = ref 0 in
+  let hooks =
+    { Mira.Interp.no_hooks with Mira.Interp.on_branch = (fun _ _ -> incr n) }
+  in
+  ignore (Mira.Interp.run ~hooks p);
+  !n
+
+let test_unroll_semantics_and_benefit () =
+  let p = compile unroll_test_src in
+  (* unroll needs const-prop to expose the constant step *)
+  let seq = [ Passes.Pass.Const_prop; Passes.Pass.Unroll4 ] in
+  check_preserves "unroll4" seq p;
+  let p' = Passes.Pass.apply_sequence seq p in
+  let b0 = count_dyn_branches p and b1 = count_dyn_branches p' in
+  Alcotest.(check bool)
+    (Printf.sprintf "unroll reduces dynamic branches (%d -> %d)" b0 b1)
+    true (b1 < b0)
+
+let test_unroll_remainder () =
+  (* trip count 103 not divisible by 4 or 8: remainder loop must run *)
+  List.iter
+    (fun pass ->
+      let p = compile unroll_test_src in
+      let seq = [ Passes.Pass.Const_prop; pass ] in
+      let p' = Passes.Pass.apply_sequence seq p in
+      let r = Mira.Interp.run p' in
+      Alcotest.(check string) "sum 0..102" "5253"
+        (Mira.Interp.value_to_string r.Mira.Interp.ret))
+    [ Passes.Pass.Unroll2; Passes.Pass.Unroll4; Passes.Pass.Unroll8 ]
+
+let test_unroll_without_cprop_is_noop () =
+  (* the documented phase interaction: without constant propagation the
+     step register hides the counted-loop shape *)
+  let p = compile unroll_test_src in
+  let p' = Passes.Pass.apply Passes.Pass.Unroll4 p in
+  Alcotest.(check int) "same size" (size p) (size p')
+
+let test_unroll_early_exit () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var a: int[100];
+          for i = 0 to 100 { a[i] = i; }
+          var found: int = -1;
+          for i = 0 to 100 {
+            if (a[i] == 37) { found = i; }
+          }
+          return found;
+        }|}
+  in
+  check_preserves "unroll-exits" [ Passes.Pass.Const_prop; Passes.Pass.Unroll8 ] p
+
+let test_inline_removes_call () =
+  let p =
+    compile
+      {|fn sq(x: int) -> int { return x * x; }
+        fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 10 { s = s + sq(i); }
+          return s;
+        }|}
+  in
+  let p' = Passes.Pass.apply Passes.Pass.Inline p in
+  let f = Ir.find_func p' "main" in
+  let has_call =
+    Ir.LMap.exists
+      (fun _ (b : Ir.block) ->
+        List.exists (function Ir.Call _ -> true | _ -> false) b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "call inlined" false has_call;
+  check_preserves "inline-unit" [ Passes.Pass.Inline ] p
+
+let test_inline_skips_recursive () =
+  let p =
+    compile
+      {|fn f(n: int) -> int { if (n < 1) { return 0; } return n + f(n - 1); }
+        fn main() -> int { return f(10); }|}
+  in
+  let p' = Passes.Pass.apply Passes.Pass.Inline p in
+  let r = Mira.Interp.run p' in
+  Alcotest.(check string) "still correct" "55"
+    (Mira.Interp.value_to_string r.Mira.Interp.ret)
+
+let test_inline_skips_local_arrays () =
+  let p =
+    compile
+      {|fn zsum() -> int {
+          var a: int[4];
+          var s: int = a[0] + a[1];
+          a[0] = 9;
+          return s;
+        }
+        fn main() -> int {
+          var t: int = 0;
+          for i = 0 to 5 { t = t + zsum(); }
+          return t;
+        }|}
+  in
+  check_preserves "inline-local-arrays" [ Passes.Pass.Inline ] p;
+  let p' = Passes.Pass.apply Passes.Pass.Inline p in
+  let r = Mira.Interp.run p' in
+  Alcotest.(check string) "zero-init per activation kept" "0"
+    (Mira.Interp.value_to_string r.Mira.Interp.ret)
+
+let test_simplify_merges () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var s: int = 0;
+          if (true) { s = 1; } else { s = 2; }
+          return s;
+        }|}
+  in
+  let p' =
+    Passes.Pass.apply_sequence [ Passes.Pass.Const_fold; Passes.Pass.Simplify_cfg ] p
+  in
+  let f = Ir.find_func p' "main" in
+  Alcotest.(check int) "merged to a single block" 1 (Ir.block_count f)
+
+let test_peephole_identities () =
+  let p =
+    compile
+      {|fn main() -> int {
+          var x: int = 9;
+          var a: int = x + 0;
+          var b: int = a * 1;
+          var c: int = b - 0;
+          var d: int = c | 0;
+          return d;
+        }|}
+  in
+  let p' =
+    Passes.Pass.apply_sequence [ Passes.Pass.Peephole; Passes.Pass.Copy_prop; Passes.Pass.Dce ] p
+  in
+  Alcotest.(check bool) "identities removed" true (size p' < size p);
+  check_preserves "peephole-unit" [ Passes.Pass.Peephole ] p
+
+(* ------------------------------------------------------------------ *)
+
+let test_pack_narrows_eligible () =
+  let p =
+    compile
+      {|global a: int[1024];
+        fn main() -> int {
+          var s: int = 0;
+          for i = 0 to 1024 { a[i] = (i * 37) & 4095; }
+          for i = 0 to 1024 { s = s + a[i]; }
+          return s % 65536;
+        }|}
+  in
+  Alcotest.(check (list string)) "a narrowed" [ "a" ]
+    (Passes.Pack.narrowable_globals p);
+  check_preserves "pack-unit" [ Passes.Pass.Pack ] p;
+  (* packing halves the footprint, so cold misses drop *)
+  let c0 = (Mach.Sim.run p).Mach.Sim.cycles in
+  let c1 =
+    (Mach.Sim.run (Passes.Pass.apply Passes.Pass.Pack p)).Mach.Sim.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "packing reduces cycles (%d -> %d)" c0 c1)
+    true (c1 < c0)
+
+let test_pack_rejects_unmasked_store () =
+  let p =
+    compile
+      {|global a: int[8];
+        fn main() -> int {
+          a[0] = 0 - 5;   // negative: must not be narrowed
+          return a[0];
+        }|}
+  in
+  Alcotest.(check (list string)) "nothing narrowed" []
+    (Passes.Pack.narrowable_globals p);
+  check_preserves "pack-negative" [ Passes.Pass.Pack ] p
+
+let test_pack_rejects_escaping_array () =
+  let p =
+    compile
+      {|global a: int[8];
+        fn poke(x: int[]) { x[0] = 0 - 1; }
+        fn main() -> int {
+          a[1] = 3 & 7;
+          poke(a);
+          return a[0] + a[1];
+        }|}
+  in
+  Alcotest.(check (list string)) "escaping array not narrowed" []
+    (Passes.Pack.narrowable_globals p);
+  check_preserves "pack-escape" [ Passes.Pass.Pack ] p
+
+let test_pack_rejects_bad_init () =
+  let p =
+    compile
+      {|global a: int[2] = {-1, 3};
+        fn main() -> int { return a[0]; }|}
+  in
+  Alcotest.(check (list string)) "negative init not narrowed" []
+    (Passes.Pack.narrowable_globals p)
+
+let test_pack_chained_loads () =
+  (* values loaded from a packed array and shifted stay provably narrow *)
+  let p =
+    compile
+      {|global a: int[64];
+        global b: int[64];
+        fn main() -> int {
+          for i = 0 to 64 { a[i] = (i * 11) & 1023; }
+          for i = 0 to 64 { b[i] = a[i] >> 1; }
+          var s: int = 0;
+          for i = 0 to 64 { s = s + b[i]; }
+          return s;
+        }|}
+  in
+  let narrowed = List.sort compare (Passes.Pack.narrowable_globals p) in
+  Alcotest.(check (list string)) "both narrowed" [ "a"; "b" ] narrowed;
+  check_preserves "pack-chain" [ Passes.Pass.Pack ] p
+
+(* ------------------------------------------------------------------ *)
+(* pipelines actually optimize *)
+
+(* weighted dynamic cost: an instruction-count proxy for cycles, so that
+   strength reduction's mul -> shl+add trade (more instructions, cheaper
+   ones) is measured the way the machine will measure it *)
+let dyn_cost p =
+  let cost = ref 0 in
+  let weight (i : Ir.instr) =
+    match i with
+    | Ir.Bin ((Ir.Mul | Ir.Div | Ir.Rem), _, _, _) -> 5
+    | Ir.Fbin _ | Ir.Fcmp _ -> 4
+    | Ir.Load _ | Ir.Store _ -> 3
+    | _ -> 1
+  in
+  let hooks =
+    { Mira.Interp.no_hooks with
+      Mira.Interp.on_instr = (fun i -> cost := !cost + weight i)
+    }
+  in
+  (match Mira.Interp.run ~hooks p with
+   | _ -> ()
+   | exception Mira.Interp.Trap _ -> ());
+  !cost
+
+let test_o2_improves () =
+  List.iter
+    (fun (name, p) ->
+      let d0 = dyn_cost p in
+      let p' = Passes.Pass.apply_sequence Passes.Pass.o2 p in
+      let d1 = dyn_cost p' in
+      if d1 > d0 then
+        Alcotest.failf "%s: O2 made it costlier (%d -> %d)" name d0 d1)
+    programs
+
+let test_ofast_improves_loops () =
+  let p = List.assoc "nested" (List.map (fun (n, p) -> (n, p)) programs) in
+  let p' = Passes.Pass.apply_sequence Passes.Pass.ofast p in
+  let d0 = dyn_count p and d1 = dyn_count p' in
+  Alcotest.(check bool)
+    (Printf.sprintf "Ofast reduces dynamic instrs (%d -> %d)" d0 d1)
+    true
+    (float_of_int d1 < 0.8 *. float_of_int d0)
+
+(* ------------------------------------------------------------------ *)
+(* random-sequence differential property *)
+
+let gen_sequence : Passes.Pass.t list QCheck.Gen.t =
+ fun st ->
+  let len = QCheck.Gen.int_range 1 6 st in
+  let rec pick acc n unroll_used =
+    if n = 0 then List.rev acc
+    else
+      let p = List.nth Passes.Pass.all
+          (QCheck.Gen.int_range 0 (Passes.Pass.count - 1) st)
+      in
+      if Passes.Pass.is_unroll p && unroll_used then pick acc n true
+      else pick (p :: acc) (n - 1) (unroll_used || Passes.Pass.is_unroll p)
+  in
+  pick [] len false
+
+let prop_random_sequences =
+  QCheck.Test.make ~name:"random pass sequences preserve behaviour" ~count:60
+    (QCheck.make ~print:(fun s -> Passes.Pass.sequence_to_string s) gen_sequence)
+    (fun seq ->
+      List.iter (fun (name, p) -> check_preserves name seq p) programs;
+      true)
+
+
+(* ------------------------------------------------------------------ *)
+(* fuzzing: random programs x random pass sequences *)
+
+let fuzz_programs n =
+  List.init n (fun i ->
+      match Gen_program.compile (1000 + i) with
+      | Ok p -> (Printf.sprintf "fuzz%d" i, p)
+      | Error e ->
+        Alcotest.failf "generator produced invalid program (seed %d): %s\n%s"
+          (1000 + i) e
+          (Gen_program.generate (1000 + i)))
+
+let test_fuzz_programs_run () =
+  (* every generated program compiles, is well-formed, and finishes *)
+  List.iter
+    (fun (name, p) ->
+      (match Ir.check_program p with
+       | [] -> ()
+       | errs -> Alcotest.failf "%s: %s" name (String.concat "; " errs));
+      match Mira.Interp.observe p with
+      | Mira.Interp.Finished _ -> ()
+      | o ->
+        Alcotest.failf "%s: generated program did not finish: %a" name
+          Mira.Interp.pp_observation o)
+    (fuzz_programs 40)
+
+let test_fuzz_differential () =
+  let rng = Random.State.make [| 77 |] in
+  List.iter
+    (fun (name, p) ->
+      (* a handful of random sequences per program *)
+      for _ = 1 to 4 do
+        let seq = Search.Space.random_seq rng () in
+        check_preserves name seq p
+      done;
+      check_preserves name Passes.Pass.ofast p)
+    (fuzz_programs 25)
+
+let test_fuzz_per_function () =
+  let rng = Random.State.make [| 99 |] in
+  List.iter
+    (fun (name, p) ->
+      let fnames =
+        List.map fst (Ir.SMap.bindings p.Ir.funcs)
+      in
+      let choices =
+        List.map
+          (fun f ->
+            ( f,
+              List.filter Passes.Pass.is_function_local
+                (Search.Space.random_seq rng ()) ))
+          fnames
+      in
+      let p' =
+        Passes.Pass.apply_per_function (fun f -> List.assoc f choices) p
+      in
+      (match Ir.check_program p' with
+       | [] -> ()
+       | errs -> Alcotest.failf "%s: %s" name (String.concat "; " errs));
+      if
+        not
+          (Mira.Interp.equal_observation (Mira.Interp.observe p)
+             (Mira.Interp.observe p'))
+      then Alcotest.failf "%s: per-function application changed behaviour" name)
+    (fuzz_programs 15)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "single-pass-preserves",
+      List.map
+        (fun p ->
+          t (Passes.Pass.name p) (test_single_pass_preserves p))
+        Passes.Pass.all );
+    ( "pipelines-preserve",
+      [
+        t "O1" (test_pipeline_preserves Passes.Pass.o1);
+        t "O2" (test_pipeline_preserves Passes.Pass.o2);
+        t "Ofast" (test_pipeline_preserves Passes.Pass.ofast);
+      ] );
+    ( "const_fold",
+      [
+        t "folds" test_const_fold_folds;
+        t "keeps trap" test_const_fold_keeps_trap;
+        t "folds branch" test_const_fold_branch;
+      ] );
+    ("const_prop", [ t "across blocks" test_const_prop_through_blocks ]);
+    ("copy_prop", [ t "eliminates copies" test_copy_prop ]);
+    ( "dce",
+      [
+        t "removes dead" test_dce_removes_dead;
+        t "keeps trapping call" test_dce_keeps_possible_trap;
+      ] );
+    ( "cse",
+      [
+        t "dedups" test_cse_dedups;
+        t "store blocks load cse" test_cse_load_elim_blocked_by_store;
+      ] );
+    ( "licm",
+      [ t "hoists" test_licm_hoists; t "zero-trip safe" test_licm_zero_trip_safe ]
+    );
+    ( "strength",
+      [
+        t "mul to shift" test_strength_mul_to_shift;
+        t "negative operands" test_strength_negative_operands;
+      ] );
+    ( "unroll",
+      [
+        t "semantics+benefit" test_unroll_semantics_and_benefit;
+        t "remainder" test_unroll_remainder;
+        t "needs cprop" test_unroll_without_cprop_is_noop;
+        t "early exits" test_unroll_early_exit;
+      ] );
+    ( "inline",
+      [
+        t "removes call" test_inline_removes_call;
+        t "skips recursive" test_inline_skips_recursive;
+        t "skips local arrays" test_inline_skips_local_arrays;
+      ] );
+    ("simplify_cfg", [ t "merges blocks" test_simplify_merges ]);
+    ("peephole", [ t "identities" test_peephole_identities ]);
+    ( "pack",
+      [
+        t "narrows eligible" test_pack_narrows_eligible;
+        t "rejects unmasked" test_pack_rejects_unmasked_store;
+        t "rejects escaping" test_pack_rejects_escaping_array;
+        t "rejects bad init" test_pack_rejects_bad_init;
+        t "chained loads" test_pack_chained_loads;
+      ] );
+    ( "pipelines-optimize",
+      [ t "O2 never slower" test_o2_improves; t "Ofast on loops" test_ofast_improves_loops ]
+    );
+    ( "properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_random_sequences ] );
+    ( "fuzz",
+      [
+        t "generated programs run" test_fuzz_programs_run;
+        Alcotest.test_case "differential" `Slow test_fuzz_differential;
+        t "per-function differential" test_fuzz_per_function;
+      ] );
+  ]
+
+let () = Alcotest.run "passes" suite

@@ -1,0 +1,275 @@
+(* Tests for the search strategies and sequence models.  Expensive
+   simulation is avoided: strategies are exercised against synthetic cost
+   oracles whose optima are known. *)
+
+module Pass = Passes.Pass
+
+let valid_seq seq = Pass.sequence_valid seq
+
+(* synthetic cost: Hamming-like distance to a planted target sequence,
+   position-weighted so there is a unique optimum *)
+let planted_target =
+  Pass.[ Const_prop; Licm; Cse; Unroll4; Dce ]
+
+let planted_cost (seq : Pass.t list) : float =
+  let cost = ref 0.0 in
+  List.iteri
+    (fun i p ->
+      match List.nth_opt planted_target i with
+      | Some t when t = p -> ()
+      | _ -> cost := !cost +. float_of_int (i + 1))
+    seq;
+  !cost +. float_of_int (abs (List.length seq - List.length planted_target))
+
+(* ------------------------------------------------------------------ *)
+
+let test_space_cardinality () =
+  (* 11 non-unroll passes, 3 unroll: 11^5 + 5*3*11^4 valid length-5 seqs *)
+  Alcotest.(check int) "length-5 cardinality" 380_666
+    (Search.Space.cardinality ());
+  Alcotest.(check int) "length-1" 14 (Search.Space.cardinality ~length:1 ())
+
+let test_sample_distinct () =
+  let rng = Random.State.make [| 3 |] in
+  let seqs = Search.Space.sample_distinct rng 200 in
+  Alcotest.(check int) "got 200" 200 (List.length seqs);
+  let keys = List.map Pass.sequence_to_string seqs in
+  Alcotest.(check int) "all distinct" 200
+    (List.length (List.sort_uniq compare keys))
+
+let test_projection_indices () =
+  let seq = planted_target in
+  let x = Search.Space.prefix2_index seq in
+  let y = Search.Space.suffix3_index seq in
+  Alcotest.(check bool) "x in range" true (x >= 0 && x < 13 * 13);
+  Alcotest.(check bool) "y in range" true (y >= 0 && y < 13 * 13 * 13);
+  (* distinct prefixes give distinct x *)
+  let seq2 = Pass.[ Dce; Licm; Cse; Unroll4; Dce ] in
+  Alcotest.(check bool) "prefix distinguishes" true
+    (Search.Space.prefix2_index seq2 <> x)
+
+let prop_random_seq_valid =
+  QCheck.Test.make ~name:"random sequences are valid" ~count:200
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed |] in
+      let s = Search.Space.random_seq rng ~length:len () in
+      List.length s = len && valid_seq s)
+
+let prop_mutate_valid =
+  QCheck.Test.make ~name:"mutation preserves validity" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let s = Search.Space.random_seq rng () in
+      let s' = Search.Space.mutate rng s in
+      List.length s' = List.length s && valid_seq s')
+
+let prop_crossover_valid =
+  QCheck.Test.make ~name:"crossover preserves validity" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let a = Search.Space.random_seq rng () in
+      let b = Search.Space.random_seq rng () in
+      let c = Search.Space.crossover rng a b in
+      List.length c = 5 && valid_seq c)
+
+(* ------------------------------------------------------------------ *)
+
+let test_history_monotone () =
+  let r = Search.Strategies.random ~seed:4 ~budget:60 planted_cost in
+  let mono = ref true in
+  for i = 1 to Array.length r.Search.Strategies.history - 1 do
+    if r.Search.Strategies.history.(i) > r.Search.Strategies.history.(i - 1)
+    then mono := false
+  done;
+  Alcotest.(check bool) "best-so-far is non-increasing" true !mono;
+  Alcotest.(check int) "one entry per eval" 60
+    (Array.length r.Search.Strategies.history)
+
+let test_random_deterministic () =
+  let r1 = Search.Strategies.random ~seed:9 ~budget:30 planted_cost in
+  let r2 = Search.Strategies.random ~seed:9 ~budget:30 planted_cost in
+  Alcotest.(check (float 0.0)) "same seed same result"
+    r1.Search.Strategies.best_cost r2.Search.Strategies.best_cost;
+  let r3 = Search.Strategies.random ~seed:10 ~budget:30 planted_cost in
+  Alcotest.(check bool) "different seed may differ" true
+    (r3.Search.Strategies.seqs <> r1.Search.Strategies.seqs)
+
+let test_hill_climb_improves () =
+  let r = Search.Strategies.hill_climb ~seed:2 ~budget:300 planted_cost in
+  let r0 = Search.Strategies.random ~seed:2 ~budget:20 planted_cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "hill climbing (%.0f) beats tiny random (%.0f)"
+       r.Search.Strategies.best_cost r0.Search.Strategies.best_cost)
+    true
+    (r.Search.Strategies.best_cost <= r0.Search.Strategies.best_cost)
+
+let test_exhaustive_finds_optimum () =
+  (* enumerate all length-2 sequences and check the planted length-2
+     optimum is found *)
+  let cost2 seq =
+    match seq with
+    | [ Pass.Const_prop; Pass.Licm ] -> 0.0
+    | _ -> 1.0 +. float_of_int (List.length seq)
+  in
+  let all2 =
+    List.concat_map
+      (fun a -> List.map (fun b -> [ a; b ]) Pass.all)
+      Pass.all
+    |> List.filter valid_seq
+  in
+  let r = Search.Strategies.exhaustive all2 cost2 in
+  Alcotest.(check (float 0.0)) "found optimum" 0.0 r.Search.Strategies.best_cost
+
+let test_genetic_beats_its_initial_population () =
+  let r = Search.Strategies.genetic ~seed:5 planted_cost in
+  (* first-population best = history at index population-1 *)
+  let pop = Search.Strategies.default_ga.Search.Strategies.population in
+  let init_best = r.Search.Strategies.history.(pop - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "GA improved %.0f -> %.0f" init_best
+       r.Search.Strategies.best_cost)
+    true
+    (r.Search.Strategies.best_cost < init_best)
+
+(* ------------------------------------------------------------------ *)
+
+let test_seqmodel_fit_and_sample () =
+  (* train on many copies of the planted target: samples should mostly
+     reproduce it *)
+  let train = List.init 20 (fun _ -> planted_target) in
+  let m = Search.Seqmodel.Markov (Search.Seqmodel.fit_markov train) in
+  let rng = Random.State.make [| 6 |] in
+  let hits = ref 0 in
+  for _ = 1 to 50 do
+    let s = Search.Seqmodel.sample rng m ~length:5 in
+    Alcotest.(check bool) "sampled sequence valid" true (valid_seq s);
+    if s = planted_target then incr hits
+  done;
+  (* with Laplace smoothing 0.5 the exact-sequence probability is ~0.2;
+     require a healthy multiple of the uniform baseline (250k sequences) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "peaked model reproduces target often (%d/50)" !hits)
+    true (!hits >= 8)
+
+let test_seqmodel_logprob_ranks () =
+  let train = List.init 10 (fun _ -> planted_target) in
+  let m = Search.Seqmodel.Markov (Search.Seqmodel.fit_markov train) in
+  let lp_target = Search.Seqmodel.log_prob m planted_target in
+  let lp_other =
+    Search.Seqmodel.log_prob m Pass.[ Dce; Dce; Dce; Dce; Dce ]
+  in
+  Alcotest.(check bool) "target more probable" true (lp_target > lp_other)
+
+let test_seqmodel_iid_marginals () =
+  let train = [ [ Pass.Dce; Pass.Dce; Pass.Cse ] ] in
+  let m = Search.Seqmodel.fit_iid train in
+  let p_dce = m.Search.Seqmodel.probs.(Pass.to_index Pass.Dce) in
+  let p_cse = m.Search.Seqmodel.probs.(Pass.to_index Pass.Cse) in
+  let p_licm = m.Search.Seqmodel.probs.(Pass.to_index Pass.Licm) in
+  Alcotest.(check bool) "dce most frequent" true (p_dce > p_cse);
+  Alcotest.(check bool) "cse beats unseen" true (p_cse > p_licm)
+
+let test_seqmodel_respects_unroll_constraint () =
+  (* a pathological model that loves unrolling still yields valid seqs *)
+  let train = List.init 10 (fun _ -> List.init 1 (fun _ -> Pass.Unroll8)) in
+  let m = Search.Seqmodel.Iid (Search.Seqmodel.fit_iid train) in
+  let rng = Random.State.make [| 8 |] in
+  for _ = 1 to 100 do
+    let s = Search.Seqmodel.sample rng m ~length:6 in
+    Alcotest.(check bool) "at most one unroll" true (valid_seq s)
+  done
+
+let test_focused_search_beats_random_on_planted () =
+  (* model trained near the planted optimum focuses the search *)
+  let train =
+    [
+      planted_target;
+      Pass.[ Const_prop; Licm; Cse; Unroll4; Peephole ];
+      Pass.[ Const_prop; Licm; Dce; Unroll4; Dce ];
+    ]
+  in
+  let m = Search.Seqmodel.Markov (Search.Seqmodel.fit_markov train) in
+  let budget = 10 in
+  let f = Search.Focused.search ~seed:3 ~budget m planted_cost in
+  let rc =
+    Search.Strategies.random_averaged ~seed:3 ~budget ~trials:10 planted_cost
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "focused %.1f < random %.1f at budget %d"
+       f.Search.Strategies.best_cost rc.(budget - 1) budget)
+    true
+    (f.Search.Strategies.best_cost < rc.(budget - 1))
+
+let test_focused_empty_kb_falls_back () =
+  let kb = Knowledge.Kb.create () in
+  let m =
+    Search.Focused.fit_model kb ~arch:"amd-like"
+      ~params:Search.Focused.default_params
+      ~target_features:[ ("branch_density", 0.1) ]
+  in
+  (* uniform fallback still produces valid samples *)
+  let rng = Random.State.make [| 1 |] in
+  let s = Search.Seqmodel.sample rng m ~length:5 in
+  Alcotest.(check bool) "fallback sample valid" true (valid_seq s)
+
+let test_nearest_programs_orders_by_distance () =
+  let kb = Knowledge.Kb.create () in
+  let add prog bd =
+    Knowledge.Kb.add_characterization kb
+      {
+        Knowledge.Kb.prog;
+        arch = "amd-like";
+        o0_cycles = 1;
+        features = [ ("branch_density", bd); ("fp_frac", 0.0) ];
+        counters = [];
+      }
+  in
+  add "far" 10.0;
+  add "near" 1.0;
+  add "mid" 4.0;
+  let got =
+    Search.Focused.nearest_programs kb ~arch:"amd-like"
+      ~target_features:[ ("branch_density", 0.0); ("fp_frac", 0.0) ]
+      ~n:3
+  in
+  Alcotest.(check (list string)) "ordered" [ "near"; "mid"; "far" ] got
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "space",
+      [
+        t "cardinality" test_space_cardinality;
+        t "sample distinct" test_sample_distinct;
+        t "projection" test_projection_indices;
+      ] );
+    ( "space-properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_random_seq_valid; prop_mutate_valid; prop_crossover_valid ] );
+    ( "strategies",
+      [
+        t "history monotone" test_history_monotone;
+        t "deterministic" test_random_deterministic;
+        t "hill climb" test_hill_climb_improves;
+        t "exhaustive optimum" test_exhaustive_finds_optimum;
+        t "genetic improves" test_genetic_beats_its_initial_population;
+      ] );
+    ( "seqmodel",
+      [
+        t "fit and sample" test_seqmodel_fit_and_sample;
+        t "logprob ranks" test_seqmodel_logprob_ranks;
+        t "iid marginals" test_seqmodel_iid_marginals;
+        t "unroll constraint" test_seqmodel_respects_unroll_constraint;
+      ] );
+    ( "focused",
+      [
+        t "beats random on planted" test_focused_search_beats_random_on_planted;
+        t "empty kb fallback" test_focused_empty_kb_falls_back;
+        t "nearest ordering" test_nearest_programs_orders_by_distance;
+      ] );
+  ]
+
+let () = Alcotest.run "search" suite

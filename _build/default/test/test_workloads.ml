@@ -1,0 +1,143 @@
+(* Tests for the benchmark suite: every workload compiles, is well-formed,
+   runs deterministically, produces the pinned checksum (guarding against
+   accidental behaviour changes), and survives the optimizing pipelines
+   with identical observable behaviour. *)
+
+module Ir = Mira.Ir
+
+(* Pinned return values: regenerate with tools/wl.exe if workloads are
+   intentionally changed. *)
+let expected_returns =
+  [
+    ("adpcm", "58366");
+    ("mcf_spars", "1650");
+    ("matmul", "-150");
+    ("fir", "441");
+    ("crc32", "39827");
+    ("bitcount", "48890");
+    ("dijkstra", "3108");
+    ("qsort", "31538");
+    ("histogram", "6444");
+    ("nbody", "464");
+    ("stencil2d", "51167");
+    ("susan", "6084");
+    ("sha_mix", "29070");
+    ("strsearch", "100");
+    ("jacobi", "5794");
+    ("lud", "12542");
+    ("blowfish", "28580");
+    ("spmv", "40576");
+  ]
+
+let test_all_compile () =
+  List.iter
+    (fun w ->
+      let p = Workloads.program w in
+      match Ir.check_program p with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "%s ill-formed: %s" w.Workloads.name
+          (String.concat "; " errs))
+    Workloads.all
+
+let test_expected_checksums () =
+  Alcotest.(check int)
+    "every workload has a pinned checksum"
+    (List.length Workloads.all)
+    (List.length expected_returns);
+  List.iter
+    (fun w ->
+      let p = Workloads.program w in
+      let r = Mira.Interp.run p in
+      let expected = List.assoc w.Workloads.name expected_returns in
+      Alcotest.(check string)
+        (w.Workloads.name ^ " checksum")
+        expected
+        (Mira.Interp.value_to_string r.Mira.Interp.ret))
+    Workloads.all
+
+let test_deterministic_cycles () =
+  List.iter
+    (fun w ->
+      let p = Workloads.program w in
+      let c1 = (Mach.Sim.run p).Mach.Sim.cycles in
+      let c2 = (Mach.Sim.run p).Mach.Sim.cycles in
+      Alcotest.(check int) (w.Workloads.name ^ " cycles stable") c1 c2)
+    [ Workloads.by_name_exn "adpcm"; Workloads.by_name_exn "crc32" ]
+
+let test_mcf_is_memory_outlier () =
+  (* the property Fig. 3 depends on: mcf_spars's per-instruction L2 store
+     misses tower over the rest of the suite *)
+  let l2stm_rate w =
+    let r = Mach.Sim.run (Workloads.program w) in
+    float_of_int (Mach.Counters.get r.Mach.Sim.counters Mach.Counters.L2_STM)
+    /. float_of_int (Mach.Counters.get r.Mach.Sim.counters Mach.Counters.TOT_INS)
+  in
+  let mcf = l2stm_rate (Workloads.by_name_exn "mcf_spars") in
+  let others =
+    List.filter (fun w -> w.Workloads.name <> "mcf_spars") Workloads.all
+  in
+  let avg =
+    List.fold_left (fun acc w -> acc +. l2stm_rate w) 0.0 others
+    /. float_of_int (List.length others)
+  in
+  let ratio = mcf /. max 1e-9 avg in
+  Alcotest.(check bool)
+    (Printf.sprintf "mcf L2_STM/ins is %.0fx the suite average" ratio)
+    true (ratio > 15.0)
+
+let test_pipelines_preserve_workloads () =
+  (* O2 and Ofast must preserve the observable behaviour of every workload *)
+  List.iter
+    (fun w ->
+      let p = Workloads.program w in
+      let before = Mira.Interp.observe p in
+      List.iter
+        (fun (lname, seq) ->
+          let p' = Passes.Pass.apply_sequence seq p in
+          (match Ir.check_program p' with
+           | [] -> ()
+           | errs ->
+             Alcotest.failf "%s/%s ill-formed: %s" w.Workloads.name lname
+               (String.concat "; " errs));
+          let after = Mira.Interp.observe p' in
+          if not (Mira.Interp.equal_observation before after) then
+            Alcotest.failf "%s: %s changed behaviour" w.Workloads.name lname)
+        [ ("O1", Passes.Pass.o1); ("O2", Passes.Pass.o2); ("Ofast", Passes.Pass.ofast) ])
+    Workloads.all
+
+let test_ofast_speeds_up_suite () =
+  (* the fixed aggressive pipeline should win on the (geometric) mean —
+     the baseline property the paper's -Ofast comparisons assume *)
+  let logsum = ref 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun w ->
+      let p = Workloads.program w in
+      let base = Mach.Sim.run p in
+      let opt = Mach.Sim.run (Passes.Pass.apply_sequence Passes.Pass.ofast p) in
+      let s = Mach.Sim.speedup ~base ~opt in
+      logsum := !logsum +. log s;
+      incr n)
+    Workloads.all;
+  let geomean = exp (!logsum /. float_of_int !n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "Ofast geomean speedup %.2fx > 1.1" geomean)
+    true (geomean > 1.1)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  [
+    ( "workloads",
+      [
+        t "all compile" test_all_compile;
+        t "pinned checksums" test_expected_checksums;
+        t "deterministic" test_deterministic_cycles;
+        t "mcf outlier" test_mcf_is_memory_outlier;
+        slow "pipelines preserve" test_pipelines_preserve_workloads;
+        slow "ofast speeds up" test_ofast_speeds_up_suite;
+      ] );
+  ]
+
+let () = Alcotest.run "workloads" suite

@@ -1,0 +1,23 @@
+(* Maintenance utility: run every workload on the simulator and print the
+   per-program stats (steps, CPI, memory-miss rates, return value).  Use it
+   to regenerate the pinned checksums in test/test_workloads.ml after an
+   intentional workload change. *)
+let () =
+  List.iter
+    (fun (w : Workloads.t) ->
+      let p = Workloads.program w in
+      match Mach.Sim.run p with
+      | r ->
+        let g c = float_of_int (Mach.Counters.get r.Mach.Sim.counters c) in
+        let tot = g Mach.Counters.TOT_INS in
+        Printf.printf
+          "%-10s steps=%8d cpi=%.2f l1stm/ki=%6.2f l2stm/ki=%6.3f ret=%s\n"
+          w.Workloads.name r.Mach.Sim.steps
+          (float_of_int r.Mach.Sim.cycles /. float_of_int r.Mach.Sim.steps)
+          (1000. *. g Mach.Counters.L1_STM /. tot)
+          (1000. *. g Mach.Counters.L2_STM /. tot)
+          (Mira.Interp.value_to_string r.Mach.Sim.ret)
+      | exception e ->
+        Printf.printf "%-10s FAILED: %s\n" w.Workloads.name
+          (Printexc.to_string e))
+    Workloads.all
