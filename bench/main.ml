@@ -31,6 +31,19 @@ let experiments : (string * string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* -j/--jobs N sizes the evaluation engine's worker pool *)
+  let rec strip_jobs = function
+    | [] -> []
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> Util.jobs := j
+       | _ ->
+         Fmt.epr "-j expects a positive integer@.";
+         exit 1);
+      strip_jobs rest
+    | a :: rest -> a :: strip_jobs rest
+  in
+  let args = strip_jobs args in
   let flags, names = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
   if List.mem "--full" flags then Util.scale := Util.Full;
   if List.mem "--list" flags then begin
@@ -55,6 +68,12 @@ let () =
       f ();
       Fmt.pr "@.[%s done in %.1fs]@." id (Unix.gettimeofday () -. t))
     selected;
-  Fmt.pr "@.all selected experiments done in %.1fs (%s scale)@."
+  Fmt.pr "@.all selected experiments done in %.1fs (%s scale, %d jobs)@."
     (Unix.gettimeofday () -. t0)
     (match !Util.scale with Util.Fast -> "fast" | Util.Full -> "full")
+    !Util.jobs;
+  Hashtbl.iter
+    (fun arch eng ->
+      Fmt.pr "@.[engine %s]@.%a" arch (Engine.pp_stats ~wall:true) eng;
+      Engine.Rcache.close (Engine.cache eng))
+    Util.engines

@@ -273,8 +273,8 @@ let tab5 () =
         let p = Workloads.program (Workloads.by_name_exn name) in
         List.concat_map
           (fun seed ->
-            Icc.Tournament.gen_instances ~config:amd ~seed ~steps:4
-              ~pairs_per_step:8 p)
+            Icc.Tournament.gen_instances ~engine:(Util.engine_for amd) ~seed
+              ~steps:4 ~pairs_per_step:8 p)
           [ 5; 17 ])
       train_names
   in
@@ -286,7 +286,9 @@ let tab5 () =
       List.fold_left
         (fun (rows, sps) name ->
           let p = Workloads.program (Workloads.by_name_exn name) in
-          let eval = Icc.Characterize.eval_sequence ~config:amd p in
+          let eval =
+            Icc.Characterize.evaluator ~engine:(Util.engine_for amd) p
+          in
           let c0 = eval [] in
           let seq = Icc.Tournament.order model ~steps:5 p in
           let ct = eval seq in

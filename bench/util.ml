@@ -8,10 +8,31 @@ let scale = ref Fast
 
 let per_program () = match !scale with Fast -> 60 | Full -> 120
 
+(* worker processes for the evaluation engine (main.ml's -j flag) *)
+let jobs = ref 1
+
 let data_dir = "bench_data"
 
 let ensure_dir () =
   if not (Sys.file_exists data_dir) then Sys.mkdir data_dir 0o755
+
+(* One evaluation engine per architecture, each backed by a persistent
+   result cache under bench_data/: re-running an experiment costs cache
+   lookups, not simulations. *)
+let engines : (string, Engine.t) Hashtbl.t = Hashtbl.create 4
+
+let engine_for (config : Mach.Config.t) : Engine.t =
+  match Hashtbl.find_opt engines config.Mach.Config.name with
+  | Some eng -> eng
+  | None ->
+    ensure_dir ();
+    let cache =
+      Engine.Rcache.open_dir
+        (Filename.concat data_dir ("rescache-" ^ config.Mach.Config.name))
+    in
+    let eng = Engine.create ~jobs:!jobs ~cache config in
+    Hashtbl.replace engines config.Mach.Config.name eng;
+    eng
 
 (* One knowledge base per (arch, per_program); built over the full workload
    suite and cached on disk.  Experiments requiring leave-one-out use
@@ -33,7 +54,8 @@ let kb_for (config : Mach.Config.t) : Knowledge.Kb.t =
       List.map (fun w -> (w.Workloads.name, Workloads.program w)) Workloads.all
     in
     let kb =
-      Icc.Characterize.build_kb ~config ~per_program:(per_program ()) programs
+      Icc.Characterize.build_kb ~engine:(engine_for config)
+        ~per_program:(per_program ()) programs
     in
     Knowledge.Kb.save kb path;
     Fmt.pr "  [knowledge base ready: %d experiments in %.0fs, cached at %s]@."

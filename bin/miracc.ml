@@ -70,6 +70,36 @@ let kb_arg =
   Arg.(required & opt (some string) None & info [ "kb" ] ~docv:"FILE"
          ~doc:"Knowledge-base file.")
 
+(* evaluation-engine args, shared by train/search *)
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Evaluate sequences on $(docv) forked workers (1 = serial).")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Persist evaluation results under $(docv) (created if \
+               missing); later runs reuse them.")
+
+let cache_stats_arg =
+  Arg.(value & flag & info [ "cache-stats" ]
+         ~doc:"Print the evaluation-engine statistics table at the end.")
+
+let make_engine ~config ~jobs ~cache =
+  let cache =
+    Option.map
+      (fun dir ->
+        try Engine.Rcache.open_dir dir
+        with Sys_error e | Failure e ->
+          Fmt.epr "cannot open cache %s: %s@." dir e;
+          exit 1)
+      cache
+  in
+  Engine.create ~jobs ?cache config
+
+let finish_engine ~cache_stats eng =
+  if cache_stats then Fmt.pr "%a" (Engine.pp_stats ~wall:true) eng;
+  Engine.Rcache.close (Engine.cache eng)
+
 (* --- compile ------------------------------------------------------- *)
 
 let compile_cmd =
@@ -163,7 +193,7 @@ let train_cmd =
   let doc =
     "Build a knowledge base by exploring the built-in workload suite."
   in
-  let run out arch per_program exclude =
+  let run out arch per_program exclude jobs cache cache_stats =
     let config = arch_of_name arch in
     let programs =
       Workloads.all
@@ -172,10 +202,14 @@ let train_cmd =
     in
     Fmt.pr "training on %d programs, %d sequences each (%s)...@."
       (List.length programs) per_program config.Mach.Config.name;
-    let kb = Icc.Characterize.build_kb ~config ~per_program programs in
+    let eng = make_engine ~config ~jobs ~cache in
+    let kb =
+      Icc.Characterize.build_kb ~engine:eng ~config ~per_program programs
+    in
     Knowledge.Kb.save kb out;
     Fmt.pr "wrote %s: %d experiments, %d programs@." out (Knowledge.Kb.size kb)
-      (List.length (Knowledge.Kb.programs kb))
+      (List.length (Knowledge.Kb.programs kb));
+    finish_engine ~cache_stats eng
   in
   let out_arg =
     Arg.(value & opt string "suite.kb" & info [ "out"; "o" ] ~docv:"FILE")
@@ -189,7 +223,9 @@ let train_cmd =
            ~doc:"Hold a workload out of training (repeatable).")
   in
   Cmd.v (Cmd.info "train" ~doc)
-    Term.(const run $ out_arg $ arch_arg $ pp_arg $ excl_arg)
+    Term.(
+      const run $ out_arg $ arch_arg $ pp_arg $ excl_arg $ jobs_arg
+      $ cache_dir_arg $ cache_stats_arg)
 
 (* --- predict ------------------------------------------------------- *)
 
@@ -231,13 +267,20 @@ let predict_cmd =
 
 let search_cmd =
   let doc = "Search the optimization space for a program." in
-  let run file arch strategy budget seed kb_path =
+  let run file arch strategy budget seed kb_path jobs cache cache_stats =
     let p = load_program file in
     let config = arch_of_name arch in
-    let eval = Icc.Characterize.eval_sequence ~config p in
+    let eng = make_engine ~config ~jobs ~cache in
+    let eval = Engine.evaluator eng p in
     let result =
       match strategy with
-      | "random" -> Search.Strategies.random ~seed ~budget eval
+      | "random" ->
+        (* batched: plan the whole random schedule up front, score it in
+           one engine batch (parallel across the pool), and replay —
+           identical by construction to the serial walk *)
+        let seqs = Search.Strategies.random_plan ~seed ~budget () in
+        let costs = Engine.costs eng p (Array.to_list seqs) in
+        Search.Strategies.replay ~seqs ~costs
       | "hill" -> Search.Strategies.hill_climb ~seed ~budget eval
       | "genetic" -> Search.Strategies.genetic ~seed eval
       | "focused" -> begin
@@ -266,7 +309,8 @@ let search_cmd =
       (Passes.Pass.sequence_to_string result.Search.Strategies.best_seq);
     Fmt.pr "cycles: %.0f -> %.0f (speedup %.2fx)@." o0
       result.Search.Strategies.best_cost
-      (o0 /. result.Search.Strategies.best_cost)
+      (o0 /. result.Search.Strategies.best_cost);
+    finish_engine ~cache_stats eng
   in
   let strategy_arg =
     Arg.(value & opt string "focused" & info [ "strategy" ] ~docv:"S")
@@ -281,7 +325,7 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc)
     Term.(
       const run $ file_arg $ arch_arg $ strategy_arg $ budget_arg $ seed_arg
-      $ kb_opt)
+      $ kb_opt $ jobs_arg $ cache_dir_arg $ cache_stats_arg)
 
 (* --- dynamic ------------------------------------------------------- *)
 

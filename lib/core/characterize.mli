@@ -16,6 +16,14 @@ val characterize :
 val eval_sequence :
   ?config:Mach.Config.t -> Mira.Ir.program -> Passes.Pass.t list -> float
 
+(** The cost oracle handed to search strategies and prediction models.
+    With [engine] it is the cached engine path (program digested once);
+    without, the direct {!eval_sequence}.  If both [engine] and [config]
+    are given, the engine's machine configuration wins. *)
+val evaluator :
+  ?engine:Engine.t -> ?config:Mach.Config.t -> Mira.Ir.program ->
+  Passes.Pass.t list -> float
+
 (** like {!eval_sequence}, also appending the experiment to the KB *)
 val record_experiment :
   ?config:Mach.Config.t -> Knowledge.Kb.t -> prog:string -> Mira.Ir.program ->
@@ -24,7 +32,10 @@ val record_experiment :
 (** Build a knowledge base by random exploration of each training
     program's sequence space (the paper's "significant training period").
     [per_program] random sequences plus the O0/O2/Ofast points are
-    evaluated per program. *)
+    evaluated per program.  With [engine], the whole build is one batch —
+    parallel across the worker pool, cached across runs — and produces a
+    KB identical to the serial path's. *)
 val build_kb :
-  ?config:Mach.Config.t -> ?seed:int -> ?per_program:int -> ?length:int ->
+  ?engine:Engine.t -> ?config:Mach.Config.t -> ?seed:int ->
+  ?per_program:int -> ?length:int ->
   (string * Mira.Ir.program) list -> Knowledge.Kb.t

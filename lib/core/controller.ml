@@ -49,8 +49,11 @@ let one_shot ?(config = Mach.Config.default) (kb : Kb.t) (p : Ir.program) :
 
 (* --- one-shot from performance counters (PCModel) ----------------- *)
 
-let one_shot_counters ?(config = Mach.Config.default) ?(trials = 1)
+let one_shot_counters ?engine ?(config = Mach.Config.default) ?(trials = 1)
     (kb : Kb.t) (p : Ir.program) : compiled =
+  let config =
+    match engine with Some eng -> Engine.config eng | None -> config
+  in
   let arch = config.Mach.Config.name in
   match Pcmodel.train kb ~arch with
   | None ->
@@ -67,7 +70,7 @@ let one_shot_counters ?(config = Mach.Config.default) ?(trials = 1)
       else begin
         let seq, _ =
           Pcmodel.predict_and_pick model ~trials counters
-            (Characterize.eval_sequence ~config p)
+            (Characterize.evaluator ?engine ~config p)
         in
         (seq, trials)
       end
@@ -84,9 +87,12 @@ let one_shot_counters ?(config = Mach.Config.default) ?(trials = 1)
 
 (* --- iterative (model-focused search) ----------------------------- *)
 
-let iterative ?(config = Mach.Config.default) ?(seed = 1) ?(budget = 20)
-    ?(params = Search.Focused.default_params) (kb : Kb.t) (p : Ir.program) :
-    compiled * Search.Strategies.result =
+let iterative ?engine ?(config = Mach.Config.default) ?(seed = 1)
+    ?(budget = 20) ?(params = Search.Focused.default_params) (kb : Kb.t)
+    (p : Ir.program) : compiled * Search.Strategies.result =
+  let config =
+    match engine with Some eng -> Engine.config eng | None -> config
+  in
   let arch = config.Mach.Config.name in
   let feats = Features.restrict_to_similarity (Features.extract p) in
   let model =
@@ -94,7 +100,7 @@ let iterative ?(config = Mach.Config.default) ?(seed = 1) ?(budget = 20)
   in
   let result =
     Search.Focused.search ~seed ~budget model
-      (Characterize.eval_sequence ~config p)
+      (Characterize.evaluator ?engine ~config p)
   in
   let neighbors =
     Search.Focused.nearest_programs kb ~arch ~target_features:feats

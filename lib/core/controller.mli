@@ -19,15 +19,18 @@ val one_shot :
 
 (** one-shot from performance counters (the paper's PCModel): spends one
     -O0 profiling run; [trials > 1] additionally evaluates the top
-    candidates online and keeps the winner *)
+    candidates online and keeps the winner.  With [engine] the candidate
+    evaluations go through the cached engine (its machine configuration
+    overrides [config]). *)
 val one_shot_counters :
-  ?config:Mach.Config.t -> ?trials:int -> Knowledge.Kb.t -> Mira.Ir.program ->
-  compiled
+  ?engine:Engine.t -> ?config:Mach.Config.t -> ?trials:int ->
+  Knowledge.Kb.t -> Mira.Ir.program -> compiled
 
 (** iterative mode: fit a focused sequence model from the KB and spend an
     evaluation [budget] searching; returns the compiled program and the
-    full search trace *)
+    full search trace.  With [engine] the budgeted evaluations go through
+    the cached engine (its machine configuration overrides [config]). *)
 val iterative :
-  ?config:Mach.Config.t -> ?seed:int -> ?budget:int ->
+  ?engine:Engine.t -> ?config:Mach.Config.t -> ?seed:int -> ?budget:int ->
   ?params:Search.Focused.params -> Knowledge.Kb.t -> Mira.Ir.program ->
   compiled * Search.Strategies.result

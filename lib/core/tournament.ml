@@ -48,11 +48,15 @@ let instance_features (p : Ir.program) (a : Pass.t) (b : Pass.t) : float array
    arbitrary intermediate states.  At each state both candidate choices
    are pursued and evaluated, per the methodology; near-ties (< 0.2%
    apart) are discarded as label noise. *)
-let gen_instances ?(config = Mach.Config.default) ?(seed = 1) ?(steps = 4)
-    ?(pairs_per_step = 6) (p : Ir.program) : instance list =
+let gen_instances ?engine ?(config = Mach.Config.default) ?(seed = 1)
+    ?(steps = 4) ?(pairs_per_step = 6) (p : Ir.program) : instance list =
   let rng = Random.State.make [| seed |] in
   let out = ref [] in
-  let cost q = Characterize.eval_sequence ~config q [] in
+  let cost q =
+    match engine with
+    | Some eng -> (Engine.eval eng q []).Engine.cost
+    | None -> Characterize.eval_sequence ~config q []
+  in
   for step = 0 to steps - 1 do
     (* a fresh random decision point of prefix length [step] *)
     let prefix =
@@ -60,6 +64,22 @@ let gen_instances ?(config = Mach.Config.default) ?(seed = 1) ?(steps = 4)
     in
     let state = Pass.apply_sequence prefix p in
     let costs = Hashtbl.create npass in
+    (* with a parallel engine, score every candidate of this decision
+       point in one batch: a few eagerly evaluated losers buy a
+       pool-wide fan-out (and a warm cache makes them free anyway) *)
+    (match engine with
+     | Some eng when Engine.jobs eng > 1 ->
+       let completed =
+         List.map
+           (fun pass ->
+             (Pass.apply_sequence completion (Pass.apply pass state), []))
+           Pass.all
+       in
+       let outs = Engine.eval_many eng completed in
+       List.iteri
+         (fun i pass -> Hashtbl.replace costs pass outs.(i).Engine.cost)
+         Pass.all
+     | _ -> ());
     let cost_of pass =
       match Hashtbl.find_opt costs pass with
       | Some c -> c

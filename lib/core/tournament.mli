@@ -15,10 +15,13 @@ val instance_features :
 
 (** Generate labelled instances from one program, pursuing both choices
     at each decision point and evaluating them on the machine model, as
-    the methodology prescribes.  Instances come in mirrored pairs. *)
+    the methodology prescribes.  Instances come in mirrored pairs.
+    With [engine], candidate evaluations go through the cached engine
+    (and, when its pool is parallel, each decision point is scored as
+    one batch); the generated instances are identical either way. *)
 val gen_instances :
-  ?config:Mach.Config.t -> ?seed:int -> ?steps:int -> ?pairs_per_step:int ->
-  Mira.Ir.program -> instance list
+  ?engine:Engine.t -> ?config:Mach.Config.t -> ?seed:int -> ?steps:int ->
+  ?pairs_per_step:int -> Mira.Ir.program -> instance list
 
 type t = { tree : Mlkit.Dtree.t }
 

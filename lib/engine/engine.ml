@@ -1,0 +1,250 @@
+(* The evaluation engine: content-addressed caching + forked parallelism
+   over the one hot operation of the whole system, "apply sequence, run
+   the simulator, read cycles and counters". *)
+
+module Rcache = Rcache
+module Pool = Pool
+module Ir = Mira.Ir
+module Pass = Passes.Pass
+
+type outcome = {
+  cost : float;
+  cycles : int option;
+  code_size : int option;
+  counters : int array option;
+  from_cache : bool;
+}
+
+type stats = {
+  mutable evals : int;
+  mutable hits : int;
+  mutable sims : int;
+  mutable failures : int;
+  mutable wall : float;
+}
+
+type t = {
+  config : Mach.Config.t;
+  config_digest : string;
+  jobs : int;
+  fuel : int;
+  task_timeout : float;
+  retries : int;
+  cache : Rcache.t;
+  stats : stats;
+}
+
+let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
+    ?(task_timeout = Pool.default_task_timeout) ?(retries = 1) config =
+  let cache =
+    match cache with Some c -> c | None -> Rcache.in_memory ()
+  in
+  {
+    config;
+    config_digest = Mach.Config.digest config;
+    jobs = max 1 jobs;
+    fuel;
+    task_timeout;
+    retries;
+    cache;
+    stats = { evals = 0; hits = 0; sims = 0; failures = 0; wall = 0.0 };
+  }
+
+let config t = t.config
+let jobs t = t.jobs
+let cache t = t.cache
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.evals <- 0;
+  s.hits <- 0;
+  s.sims <- 0;
+  s.failures <- 0;
+  s.wall <- 0.0
+
+let hit_rate t =
+  if t.stats.evals = 0 then 0.0
+  else float_of_int t.stats.hits /. float_of_int t.stats.evals
+
+let ir_digest p = Digest.to_hex (Digest.string (Ir.to_string p))
+
+(* The cache key binds everything the measurement depends on: program
+   text (via its printed IR), sequence, machine configuration, fuel, and
+   the pass-set version (DESIGN.md: bump Pass.version when any pass's
+   behaviour changes — that is the invalidation rule). *)
+let key_of t ~prog_digest seq =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            prog_digest;
+            Pass.sequence_to_string seq;
+            t.config_digest;
+            string_of_int t.fuel;
+            Pass.version;
+          ]))
+
+let key t p seq = key_of t ~prog_digest:(ir_digest p) seq
+
+(* the actual measurement: compile under [seq], simulate, read the bank *)
+let simulate t p seq : Rcache.entry =
+  let p' = Pass.apply_sequence seq p in
+  match Mach.Sim.run ~config:t.config ~fuel:t.fuel p' with
+  | r ->
+    Rcache.Measured
+      {
+        cycles = r.Mach.Sim.cycles;
+        code_size = Ir.program_size p';
+        counters = Array.copy r.Mach.Sim.counters;
+      }
+  | exception (Mira.Interp.Trap _ | Mira.Interp.Out_of_fuel) -> Rcache.Failure
+
+let outcome_of_entry ~from_cache = function
+  | Rcache.Measured { cycles; code_size; counters } ->
+    {
+      cost = float_of_int cycles;
+      cycles = Some cycles;
+      code_size = Some code_size;
+      counters = Some counters;
+      from_cache;
+    }
+  | Rcache.Failure ->
+    {
+      cost = infinity;
+      cycles = None;
+      code_size = None;
+      counters = None;
+      from_cache;
+    }
+
+let failed_outcome =
+  { cost = infinity; cycles = None; code_size = None; counters = None;
+    from_cache = false }
+
+let count_failure t o = if o.cost = infinity then t.stats.failures <- t.stats.failures + 1
+
+let eval_digested t p ~prog_digest seq =
+  let t0 = Unix.gettimeofday () in
+  let k = key_of t ~prog_digest seq in
+  t.stats.evals <- t.stats.evals + 1;
+  let o =
+    match Rcache.find t.cache k with
+    | Some e ->
+      t.stats.hits <- t.stats.hits + 1;
+      outcome_of_entry ~from_cache:true e
+    | None ->
+      t.stats.sims <- t.stats.sims + 1;
+      let e = simulate t p seq in
+      Rcache.add t.cache k e;
+      outcome_of_entry ~from_cache:false e
+  in
+  count_failure t o;
+  t.stats.wall <- t.stats.wall +. (Unix.gettimeofday () -. t0);
+  o
+
+let eval t p seq = eval_digested t p ~prog_digest:(ir_digest p) seq
+
+let evaluator t p =
+  let prog_digest = ir_digest p in
+  fun seq -> (eval_digested t p ~prog_digest seq).cost
+
+(* the shared batch core: tasks are (program, sequence) pairs with their
+   cache keys already computed *)
+let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
+    (keys : string array) : outcome array =
+  let t0 = Unix.gettimeofday () in
+  let n = Array.length tasks in
+  t.stats.evals <- t.stats.evals + n;
+  (* resolve cache hits; collect the unique misses in first-seen order so
+     the task list (and thus worker count effects) is deterministic *)
+  let resolved : (string, Rcache.entry) Hashtbl.t = Hashtbl.create n in
+  let missed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let miss_slots = ref [] in
+  Array.iteri
+    (fun i k ->
+      if not (Hashtbl.mem resolved k) then
+        match Rcache.find t.cache k with
+        | Some e -> Hashtbl.replace resolved k e
+        | None ->
+          Hashtbl.replace resolved k Rcache.Failure (* placeholder *);
+          Hashtbl.replace missed k ();
+          miss_slots := i :: !miss_slots)
+    keys;
+  let miss_slots = Array.of_list (List.rev !miss_slots) in
+  let nmiss = Array.length miss_slots in
+  t.stats.sims <- t.stats.sims + nmiss;
+  t.stats.hits <- t.stats.hits + (n - nmiss);
+  (* simulate the misses, forking when the batch and jobs warrant it *)
+  let computed =
+    Pool.map ~jobs:t.jobs ~task_timeout:t.task_timeout ~retries:t.retries
+      (fun i ->
+        let p, seq = tasks.(i) in
+        simulate t p seq)
+      miss_slots
+  in
+  let unreliable : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  Array.iteri
+    (fun j r ->
+      let k = keys.(miss_slots.(j)) in
+      match r with
+      | Pool.Done e ->
+        Hashtbl.replace resolved k e;
+        Rcache.add t.cache k e
+      | Pool.Failed _ | Pool.Crashed | Pool.Timed_out ->
+        (* cost infinity for this run, but never persisted: a crash or
+           timeout is not known to reproduce *)
+        Hashtbl.replace unreliable k ())
+    computed;
+  let out =
+    Array.map
+      (fun k ->
+        if Hashtbl.mem unreliable k then failed_outcome
+        else
+          outcome_of_entry
+            ~from_cache:(not (Hashtbl.mem missed k))
+            (Hashtbl.find resolved k))
+      keys
+  in
+  Array.iter (count_failure t) out;
+  t.stats.wall <- t.stats.wall +. (Unix.gettimeofday () -. t0);
+  out
+
+let eval_batch t p seqs =
+  let prog_digest = ir_digest p in
+  let tasks = Array.of_list (List.map (fun s -> (p, s)) seqs) in
+  let keys = Array.map (fun (_, s) -> key_of t ~prog_digest s) tasks in
+  eval_tasks t tasks keys
+
+let eval_many t pairs =
+  let tasks = Array.of_list pairs in
+  (* digest each distinct program once (physical identity is enough: the
+     same program value flows through a batch) *)
+  let seen : (Ir.program * string) list ref = ref [] in
+  let digest_of p =
+    match List.find_opt (fun (q, _) -> q == p) !seen with
+    | Some (_, d) -> d
+    | None ->
+      let d = ir_digest p in
+      seen := (p, d) :: !seen;
+      d
+  in
+  let keys =
+    Array.map (fun (p, s) -> key_of t ~prog_digest:(digest_of p) s) tasks
+  in
+  eval_tasks t tasks keys
+
+let costs t p seqs = Array.map (fun o -> o.cost) (eval_batch t p seqs)
+
+let pp_stats ?(wall = true) ppf t =
+  let s = t.stats in
+  let row k v = Fmt.pf ppf "  %-14s %s@." k v in
+  Fmt.pf ppf "engine stats@.";
+  row "evaluations" (string_of_int s.evals);
+  row "cache hits" (string_of_int s.hits);
+  row "cache misses" (string_of_int s.sims);
+  row "simulations" (string_of_int s.sims);
+  row "failures" (string_of_int s.failures);
+  row "hit rate" (Printf.sprintf "%.1f%%" (100.0 *. hit_rate t));
+  row "cache entries" (string_of_int (Rcache.known t.cache));
+  if wall then row "wall time" (Printf.sprintf "%.3fs" s.wall)

@@ -1,0 +1,97 @@
+(** The batched, parallel, cache-backed sequence-evaluation service.
+
+    Every experiment reduces to one operation — "compile program [p]
+    under sequence [s] and measure it on the simulated machine" — and
+    this module is the single path for it.  It adds, over calling the
+    simulator directly:
+
+    - a content-addressed persistent cache ({!Rcache}) keyed by the IR
+      digest, the pass sequence, the machine configuration digest, the
+      simulation fuel and the pass-set version, so identical evaluations
+      are never simulated twice, within or across runs;
+    - a [Unix.fork] worker pool ({!Pool}) for batches, with per-task
+      timeouts and crash retries, returning results in task order so a
+      parallel run is bit-identical to a serial one;
+    - a stats surface (evaluations / hits / misses / failures /
+      wall-time) printable as a table.
+
+    Failures (trap, divergence) are first-class cached results with cost
+    [infinity]: a known-broken sequence loses every comparison without
+    being re-simulated.  Worker crashes and timeouts also cost
+    [infinity] but are {e not} cached, since they may not reproduce. *)
+
+(* the submodules, re-exported: the library is wrapped, so this is the
+   public path to the result store and the worker pool *)
+module Rcache = Rcache
+module Pool = Pool
+
+type outcome = {
+  cost : float;             (** cycles, or [infinity] on failure *)
+  cycles : int option;
+  code_size : int option;
+  counters : int array option;  (** full bank, {!Mach.Counters.all} order *)
+  from_cache : bool;
+}
+
+type stats = {
+  mutable evals : int;     (** evaluations requested *)
+  mutable hits : int;      (** served without running the simulator *)
+  mutable sims : int;      (** simulator runs actually executed *)
+  mutable failures : int;  (** evaluations that trapped / diverged / died *)
+  mutable wall : float;    (** seconds spent inside the engine *)
+}
+
+type t
+
+(** [create config] builds an engine for one machine configuration.
+    [jobs] bounds the worker pool for batch calls (default 1 = serial);
+    [cache] plugs in a result store (default: a fresh in-memory one);
+    [fuel] is the simulator step budget and is part of the cache key. *)
+val create :
+  ?jobs:int ->
+  ?cache:Rcache.t ->
+  ?fuel:int ->
+  ?task_timeout:float ->
+  ?retries:int ->
+  Mach.Config.t ->
+  t
+
+val config : t -> Mach.Config.t
+val jobs : t -> int
+val cache : t -> Rcache.t
+
+(** hex digest of a program's printed IR: the program part of cache keys *)
+val ir_digest : Mira.Ir.program -> string
+
+(** the full cache key of (program, sequence) under this engine *)
+val key : t -> Mira.Ir.program -> Passes.Pass.t list -> string
+
+(** evaluate one sequence (serial: never forks) *)
+val eval : t -> Mira.Ir.program -> Passes.Pass.t list -> outcome
+
+(** Evaluate a batch, in parallel when [jobs > 1].  Results are in input
+    order; duplicate sequences are simulated once. *)
+val eval_batch : t -> Mira.Ir.program -> Passes.Pass.t list list -> outcome array
+
+(** like {!eval_batch} over (program, sequence) pairs — one pool run for
+    work spanning several programs (knowledge-base builds, tournament
+    candidate scoring) *)
+val eval_many : t -> (Mira.Ir.program * Passes.Pass.t list) list -> outcome array
+
+(** just the costs of {!eval_batch} *)
+val costs : t -> Mira.Ir.program -> Passes.Pass.t list list -> float array
+
+(** a cost oracle for the sequential search strategies
+    ({!Search.Strategies.eval}-compatible); the program digest is
+    computed once *)
+val evaluator : t -> Mira.Ir.program -> Passes.Pass.t list -> float
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** hits / evals, in [0,1]; 0 when nothing was evaluated *)
+val hit_rate : t -> float
+
+(** the printable stats table; [wall] line omitted when [wall:false]
+    (e.g. under cram, where timings are not reproducible) *)
+val pp_stats : ?wall:bool -> Format.formatter -> t -> unit

@@ -1,0 +1,215 @@
+(* Unix.fork worker pool.  Parent and each worker share two pipes: tasks
+   flow down as marshalled [task] values, results come back as marshalled
+   [(index, result)] pairs.  Each worker has at most one task in flight,
+   so one buffered channel read per select wakeup is complete and no
+   result can hide in a channel buffer behind another. *)
+
+type 'b outcome =
+  | Done of 'b
+  | Failed of string
+  | Crashed
+  | Timed_out
+
+let default_task_timeout = 300.0
+
+type 'a task_msg = Task of int * 'a | Stop
+
+(* what a worker sends back; exceptions are caught in the worker so that
+   only a real process death looks like a crash to the parent *)
+type 'b reply = int * ('b, string) result
+
+type 'b worker = {
+  pid : int;
+  to_w : out_channel;
+  from_w : in_channel;
+  from_fd : Unix.file_descr;
+  mutable inflight : (int * float) option;  (* task index, start time *)
+}
+
+let serial_map f tasks =
+  Array.map
+    (fun t ->
+      match f t with
+      | v -> Done v
+      | exception e -> Failed (Printexc.to_string e))
+    tasks
+
+let spawn_worker (f : 'a -> 'b) : 'b worker =
+  (* the child must not replay the parent's buffered output *)
+  flush stdout;
+  flush stderr;
+  let task_r, task_w = Unix.pipe ~cloexec:false () in
+  let res_r, res_w = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close task_w;
+    Unix.close res_r;
+    let ic = Unix.in_channel_of_descr task_r in
+    let oc = Unix.out_channel_of_descr res_w in
+    let rec loop () =
+      match (input_value ic : _ task_msg) with
+      | Stop -> ()
+      | Task (i, t) ->
+        let r =
+          match f t with
+          | v -> Ok v
+          | exception e -> Error (Printexc.to_string e)
+        in
+        output_value oc ((i, r) : _ reply);
+        flush oc;
+        loop ()
+    in
+    (try loop () with _ -> ());
+    (* _exit: skip at_exit handlers and inherited buffer flushes *)
+    (try flush oc with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close task_r;
+    Unix.close res_w;
+    {
+      pid;
+      to_w = Unix.out_channel_of_descr task_w;
+      from_w = Unix.in_channel_of_descr res_r;
+      from_fd = res_r;
+      inflight = None;
+    }
+
+let dispose_worker w =
+  (* _noerr: a plain close_out that fails to flush (worker already gone,
+     EPIPE) leaves the channel open, and the runtime's exit-time flush of
+     open channels would then raise SIGPIPE after our handler is restored *)
+  close_out_noerr w.to_w;
+  close_in_noerr w.from_w;
+  try ignore (Unix.waitpid [] w.pid) with _ -> ()
+
+let kill_worker w =
+  (try Unix.kill w.pid Sys.sigkill with _ -> ());
+  dispose_worker w
+
+(* send a task; false if the worker is already dead (EPIPE) *)
+let send w msg =
+  match
+    output_value w.to_w msg;
+    flush w.to_w
+  with
+  | () -> true
+  | exception _ -> false
+
+let parallel_map ~jobs ~task_timeout ~retries f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n Crashed in
+  let attempts = Array.make n 0 in
+  let pending = Queue.create () in
+  for i = 0 to n - 1 do
+    Queue.add i pending
+  done;
+  let open_slots = ref n in  (* tasks not yet resolved *)
+  let workers = ref [] in
+  let prev_sigpipe =
+    (* a worker dying mid-send must surface as EPIPE, not kill the parent *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter kill_worker !workers;
+      match prev_sigpipe with
+      | Some h -> ignore (Sys.signal Sys.sigpipe h)
+      | None -> ())
+    (fun () ->
+      (* feed the next pending task to [w]; retire idle workers *)
+      let rec feed w =
+        match Queue.take_opt pending with
+        | None ->
+          ignore (send w Stop);
+          w.inflight <- None
+        | Some i ->
+          if send w (Task (i, tasks.(i))) then
+            w.inflight <- Some (i, Unix.gettimeofday ())
+          else begin
+            (* died between tasks: nothing was in flight, just respawn *)
+            Queue.push i pending;
+            workers := List.filter (fun x -> x != w) !workers;
+            dispose_worker w;
+            let w' = spawn_worker f in
+            workers := w' :: !workers;
+            feed w'
+          end
+      in
+      (* the in-flight task of a dead/killed worker: retry or record *)
+      let lost w verdict =
+        (match w.inflight with
+         | None -> ()
+         | Some (i, _) ->
+           if verdict = Crashed && attempts.(i) <= retries then
+             Queue.push i pending
+           else begin
+             results.(i) <- verdict;
+             decr open_slots
+           end);
+        workers := List.filter (fun x -> x != w) !workers;
+        dispose_worker w;
+        if not (Queue.is_empty pending) then begin
+          let w' = spawn_worker f in
+          workers := w' :: !workers;
+          feed w'
+        end
+      in
+      workers := List.init (min jobs (max 1 n)) (fun _ -> spawn_worker f);
+      List.iter feed !workers;
+      while !open_slots > 0 do
+        let busy = List.filter (fun w -> w.inflight <> None) !workers in
+        if busy = [] then
+          (* all workers retired yet tasks unresolved: every respawn path
+             failed; give the remaining tasks up as crashed *)
+          Queue.iter
+            (fun i ->
+              results.(i) <- Crashed;
+              decr open_slots)
+            pending
+          |> fun () -> Queue.clear pending
+        else begin
+          let fds = List.map (fun w -> w.from_fd) busy in
+          let readable, _, _ =
+            try Unix.select fds [] [] 0.2
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun fd ->
+              let w = List.find (fun w -> w.from_fd = fd) busy in
+              match (input_value w.from_w : _ reply) with
+              | i, r ->
+                attempts.(i) <- attempts.(i) + 1;
+                results.(i) <-
+                  (match r with Ok v -> Done v | Error e -> Failed e);
+                decr open_slots;
+                w.inflight <- None;
+                feed w
+              | exception (End_of_file | Sys_error _) ->
+                (match w.inflight with
+                 | Some (i, _) -> attempts.(i) <- attempts.(i) + 1
+                 | None -> ());
+                lost w Crashed)
+            readable;
+          (* timeouts, checked on every wakeup *)
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun w ->
+              match w.inflight with
+              | Some (_, t0) when now -. t0 > task_timeout ->
+                (try Unix.kill w.pid Sys.sigkill with _ -> ());
+                lost w Timed_out
+              | _ -> ())
+            (List.filter (fun w -> w.inflight <> None) !workers)
+        end
+      done;
+      List.iter
+        (fun w -> if w.inflight = None then ignore (send w Stop))
+        !workers;
+      results)
+
+let map ?(jobs = 1) ?(task_timeout = default_task_timeout) ?(retries = 1) f
+    tasks =
+  if retries < 0 then invalid_arg "Pool.map: retries must be >= 0";
+  if jobs <= 1 || Array.length tasks <= 1 then serial_map f tasks
+  else parallel_map ~jobs ~task_timeout ~retries f tasks

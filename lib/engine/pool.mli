@@ -1,0 +1,37 @@
+(** A [Unix.fork]-based worker pool for embarrassingly parallel batches.
+
+    [map ~jobs f tasks] applies [f] to every task and returns the outcomes
+    in task order, so parallel runs are indistinguishable from serial ones
+    as long as [f] is deterministic.  With [jobs <= 1] (or a single task)
+    everything runs in the calling process and no processes are forked.
+
+    Failure semantics:
+    - [f] raising is an ordinary, deterministic failure: the exception
+      text is captured and the task is {e not} retried;
+    - a worker process dying (signal, [exit], OOM) loses its in-flight
+      task; the task is retried on a fresh worker up to [retries] times,
+      then reported as [Crashed];
+    - a task running past [task_timeout] seconds gets its worker killed
+      and is reported as [Timed_out] without retry (a deterministic
+      computation would only time out again).
+
+    Workers are forked once per [map] call and fed tasks on demand over
+    pipes (self-scheduling), so an expensive task does not hold up the
+    queue behind it. *)
+
+type 'b outcome =
+  | Done of 'b
+  | Failed of string  (** [f] raised; the exception text *)
+  | Crashed           (** worker died repeatedly *)
+  | Timed_out
+
+val default_task_timeout : float
+
+(** @raise Invalid_argument if [retries < 0] *)
+val map :
+  ?jobs:int ->
+  ?task_timeout:float ->
+  ?retries:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array

@@ -1,0 +1,137 @@
+(* Append-only persistent result store with a bounded LRU in front.
+
+   Log format (one record per line, header first):
+     mira-rescache 1
+     ok|<key>|<cycles>|<code_size>|<c0,c1,...>
+     fail|<key>
+   The last line for a key wins, so re-recording is just appending. *)
+
+type entry =
+  | Measured of { cycles : int; code_size : int; counters : int array }
+  | Failure
+
+(* LRU bookkeeping: every touch pushes (key, stamp) and records the stamp
+   as the key's newest; eviction pops until it finds a pair whose stamp is
+   still current (stale pairs are skipped). *)
+type t = {
+  tbl : (string, entry * int) Hashtbl.t;
+  order : (string * int) Queue.t;
+  mutable stamp : int;
+  mutable known : int;
+  capacity : int;
+  log : out_channel option;
+}
+
+let magic = "mira-rescache 1"
+let default_capacity = 262_144
+
+let touch t key entry =
+  t.stamp <- t.stamp + 1;
+  if not (Hashtbl.mem t.tbl key) then t.known <- t.known + 1;
+  Hashtbl.replace t.tbl key (entry, t.stamp);
+  Queue.add (key, t.stamp) t.order;
+  while Hashtbl.length t.tbl > t.capacity do
+    match Queue.take_opt t.order with
+    | None -> Hashtbl.reset t.tbl (* unreachable: order covers tbl *)
+    | Some (k, s) -> (
+      match Hashtbl.find_opt t.tbl k with
+      | Some (_, s') when s' = s -> Hashtbl.remove t.tbl k
+      | _ -> () (* stale pair *))
+  done
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some (e, _) ->
+    touch t key e;
+    Some e
+
+let entry_to_line key = function
+  | Measured { cycles; code_size; counters } ->
+    Printf.sprintf "ok|%s|%d|%d|%s" key cycles code_size
+      (String.concat "," (List.map string_of_int (Array.to_list counters)))
+  | Failure -> Printf.sprintf "fail|%s" key
+
+let entry_of_line line =
+  match String.split_on_char '|' line with
+  | [ "fail"; key ] -> (key, Failure)
+  | [ "ok"; key; cycles; code_size; counters ] ->
+    let counters =
+      if counters = "" then [||]
+      else
+        String.split_on_char ',' counters
+        |> List.map int_of_string |> Array.of_list
+    in
+    ( key,
+      Measured
+        {
+          cycles = int_of_string cycles;
+          code_size = int_of_string code_size;
+          counters;
+        } )
+  | _ -> failwith (Printf.sprintf "Rcache: malformed log line %S" line)
+
+let add t key entry =
+  touch t key entry;
+  match t.log with
+  | None -> ()
+  | Some oc ->
+    output_string oc (entry_to_line key entry);
+    output_char oc '\n';
+    flush oc
+
+let in_memory ?(mem_capacity = default_capacity) () =
+  {
+    tbl = Hashtbl.create 1024;
+    order = Queue.create ();
+    stamp = 0;
+    known = 0;
+    capacity = max 1 mem_capacity;
+    log = None;
+  }
+
+let open_dir ?(mem_capacity = default_capacity) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "results.log" in
+  let fresh = not (Sys.file_exists path) in
+  let t = { (in_memory ~mem_capacity ()) with log = None } in
+  if not fresh then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (match input_line ic with
+         | header when header = magic -> ()
+         | header ->
+           failwith
+             (Printf.sprintf "Rcache: %s: bad header %S" path header)
+         | exception End_of_file -> ());
+        try
+          while true do
+            let line = input_line ic in
+            if line <> "" then
+              (* a torn line (crash mid-append) must not poison the
+                 store: drop it and keep replaying *)
+              match entry_of_line line with
+              | key, e -> touch t key e
+              | exception Failure _ -> ()
+          done
+        with End_of_file -> ())
+  end;
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  if fresh then begin
+    output_string oc magic;
+    output_char oc '\n';
+    flush oc
+  end;
+  { t with log = Some oc }
+
+let resident t = Hashtbl.length t.tbl
+let known t = t.known
+
+let close t =
+  match t.log with
+  | None -> ()
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())

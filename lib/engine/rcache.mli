@@ -1,0 +1,41 @@
+(** Persistent, content-addressed store of sequence-evaluation results.
+
+    Keys are hex digests computed by {!Engine} from (IR digest, pass
+    sequence, machine configuration, pass-set version); values are the
+    measured cycles, code size and full performance-counter vector — or
+    the recorded fact that the evaluation failed (trapped / diverged),
+    so known-broken sequences are never re-simulated either.
+
+    Persistence is an append-only line-oriented log ([results.log] inside
+    the cache directory), flushed on every write: concurrent readers see
+    a prefix, a crash loses at most the unflushed tail, and re-recording
+    a key simply appends a newer line (last line wins on load).  A
+    bounded LRU sits in front so an arbitrarily large log cannot exhaust
+    memory; evicted entries are still on disk and reappear on reopen. *)
+
+type entry =
+  | Measured of { cycles : int; code_size : int; counters : int array }
+  | Failure  (** trapped or diverged: cost is infinity, reproducibly *)
+
+type t
+
+(** [open_dir dir] loads (or creates) the cache persisted under [dir].
+    @raise Sys_error when [dir] cannot be created or the log not opened
+    @raise Failure on a corrupt log file *)
+val open_dir : ?mem_capacity:int -> string -> t
+
+(** a purely in-memory cache (no directory, nothing persisted) *)
+val in_memory : ?mem_capacity:int -> unit -> t
+
+val find : t -> string -> entry option
+
+(** record (and persist) the entry for a key, replacing any older value *)
+val add : t -> string -> entry -> unit
+
+(** entries currently resident in memory *)
+val resident : t -> int
+
+(** total entries ever loaded/added this session (monotone) *)
+val known : t -> int
+
+val close : t -> unit

@@ -99,6 +99,39 @@ let all = [ amd_like; c6713_like; embedded ]
 
 let by_name n = List.find_opt (fun c -> c.name = n) all
 
+(* Canonical digest of every parameter that affects a measurement, used
+   by the evaluation engine's cache keys.  Field order is fixed; any new
+   field must be appended here or two different machines could share
+   cached results. *)
+let digest (c : t) : string =
+  let cache_cfg (k : Cache.config) =
+    Printf.sprintf "%d/%d/%d" k.Cache.size_bytes k.Cache.assoc
+      k.Cache.line_bytes
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            c.name;
+            string_of_int c.issue_width;
+            string_of_int c.lat_mul;
+            string_of_int c.lat_div;
+            string_of_int c.lat_fadd;
+            string_of_int c.lat_fmul;
+            string_of_int c.lat_fdiv;
+            string_of_int c.branch_cost;
+            string_of_int c.jump_cost;
+            string_of_int c.mispredict_penalty;
+            string_of_int c.call_overhead;
+            string_of_int c.print_cost;
+            cache_cfg c.l1;
+            string_of_int c.l1_lat;
+            cache_cfg c.l2;
+            string_of_int c.l2_lat;
+            string_of_int c.mem_lat;
+            string_of_int c.predictor_size;
+          ]))
+
 (* feature vector describing the target architecture, used by models that
    adapt across machines (Sec. III-B "architecture characterization") *)
 let features (c : t) : (string * float) list =

@@ -37,6 +37,10 @@ val default : t
 val all : t list
 val by_name : string -> t option
 
+(** canonical hex digest over {e every} field, for evaluation-cache keys:
+    two configs share a digest iff they are parameter-identical *)
+val digest : t -> string
+
 (** named feature vector describing the target, for models that adapt
     across architectures (paper Sec. III-B) *)
 val features : t -> (string * float) list

@@ -127,6 +127,14 @@ let apply_sequence (seq : t list) (p : Ir.program) : Ir.program =
 
 let sequence_to_string seq = String.concat "," (List.map name seq)
 
+(* Version tag mixed into every persistent evaluation-cache key.  Bump the
+   leading number whenever any pass's observable behaviour changes (a bug
+   fix, a strength-reduction pattern added, ...): that is the cache
+   invalidation rule, and it is deliberately manual — pass behaviour is
+   code, and code changes are what code review sees.  The pass roster is
+   included so adding or renaming a pass invalidates automatically. *)
+let version = "1:" ^ String.concat "," (List.map name all)
+
 let sequence_of_string s =
   if String.trim s = "" then Ok []
   else

@@ -63,6 +63,12 @@ val apply_per_function :
 
 val sequence_to_string : t list -> string
 
+(** Version tag of the pass set, mixed into persistent evaluation-cache
+    keys.  Bump its leading number whenever any pass's observable
+    behaviour changes; the pass roster is included, so adding or renaming
+    a pass invalidates cached results automatically. *)
+val version : string
+
 (** inverse of {!sequence_to_string}; [Error] names the unknown pass *)
 val sequence_of_string : string -> (t list, string) result
 

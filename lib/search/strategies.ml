@@ -34,11 +34,33 @@ let run_budgeted ~(budget : int) ~(next : int -> Pass.t list) (eval : eval) :
   done;
   { best_seq = !best_seq; best_cost = !best_cost; evals = budget; history; seqs }
 
+(* Replay pre-computed costs into a [result]: the bridge to the batched
+   evaluation engine.  [replay ~seqs ~costs] is exactly what a serial
+   strategy produces when [eval seqs.(i) = costs.(i)], so a parallel
+   cache-backed run is bit-identical to the serial closure path. *)
+let replay ~(seqs : Pass.t list array) ~(costs : float array) : result =
+  if Array.length seqs <> Array.length costs then
+    invalid_arg "Strategies.replay: seqs/costs length mismatch";
+  (* run_budgeted calls eval exactly once per index, in order *)
+  let i = ref (-1) in
+  run_budgeted ~budget:(Array.length seqs)
+    ~next:(fun j -> seqs.(j))
+    (fun _ ->
+      incr i;
+      costs.(!i))
+
+(* the exact sequence list [random] evaluates, for batch evaluation *)
+let random_plan ?(seed = 1) ?(length = Space.default_length) ~budget () :
+    Pass.t list array =
+  if budget <= 0 then invalid_arg "Strategies: budget must be positive";
+  let rng = Random.State.make [| seed |] in
+  Array.init budget (fun _ -> Space.random_seq rng ~length ())
+
 (* uniform random search (the paper's RANDOM baseline) *)
 let random ?(seed = 1) ?(length = Space.default_length) ~budget (eval : eval) :
     result =
-  let rng = Random.State.make [| seed |] in
-  run_budgeted ~budget ~next:(fun _ -> Space.random_seq rng ~length ()) eval
+  let plan = random_plan ~seed ~length ~budget () in
+  run_budgeted ~budget ~next:(fun i -> plan.(i)) eval
 
 (* random search averaged over [trials] seeds: returns the mean best-so-far
    curve (the paper averages 20 trials for statistical significance) *)

@@ -18,6 +18,20 @@ type result = {
 val run_budgeted :
   budget:int -> next:(int -> Passes.Pass.t list) -> eval -> result
 
+(** Replay pre-computed costs into a [result] — the bridge to the batched
+    evaluation engine: identical to running the serial strategy whose
+    i-th evaluation is [seqs.(i)] with cost [costs.(i)].
+    @raise Invalid_argument on length mismatch or empty input *)
+val replay : seqs:Passes.Pass.t list array -> costs:float array -> result
+
+(** The exact sequence list {!random} evaluates, for batch evaluation:
+    [random ~seed ~length ~budget eval] ≡
+    [replay ~seqs:(random_plan ~seed ~length ~budget ()) ~costs] when
+    [costs.(i) = eval seqs.(i)].
+    @raise Invalid_argument if budget <= 0 *)
+val random_plan :
+  ?seed:int -> ?length:int -> budget:int -> unit -> Passes.Pass.t list array
+
 (** uniform random search (the paper's RANDOM baseline) *)
 val random : ?seed:int -> ?length:int -> budget:int -> eval -> result
 

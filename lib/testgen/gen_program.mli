@@ -1,0 +1,19 @@
+(** Random Mira program generator for differential and property testing.
+
+    Generated programs are trap-free by construction (array indices are
+    masked, divisors are non-zero literals, shift counts are literal and
+    in range) and always terminate (loops are counted with literal
+    bounds), so the observation of the unoptimized program is always
+    [Finished] and every optimization pass must reproduce it exactly.
+    Floats may legitimately overflow to inf/nan — that is deterministic
+    and must also be preserved.
+
+    The same seed always yields the same program: test failures are
+    reported as seeds, and [generate seed] reproduces them. *)
+
+(** the Mira source text for [seed] *)
+val generate : int -> string
+
+(** [generate] + front end; [Error] means the generator itself produced
+    an invalid program — a generator bug, which callers should surface *)
+val compile : int -> (Mira.Ir.program, string) result

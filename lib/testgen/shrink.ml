@@ -1,0 +1,157 @@
+(* Greedy counterexample minimization over the Mira AST.  One round
+   enumerates every single-step simplification of the program, biggest
+   first; the driver restarts from the first variant that still compiles
+   and still fails, and stops at a fixpoint (or the step bound). *)
+
+open Mira.Ast
+
+(* --- expression shrinks ------------------------------------------- *)
+
+(* variants of [e], in decreasing order of ambition: a subexpression
+   replaces the whole node, then a constant does, then a child shrinks
+   in place.  Ill-typed variants are harmless — the compile gate in the
+   driver discards them. *)
+let rec shrink_expr (e : expr) : expr list =
+  let mk d = { e with e = d } in
+  let subexprs =
+    match e.e with
+    | Bin (_, a, b) -> [ a; b ]
+    | Un (_, a) -> [ a ]
+    | Index (_, i) -> [ i ]
+    | Call (_, args) -> args
+    | _ -> []
+  in
+  let consts =
+    match e.e with
+    | Int _ | Float _ | Bool _ -> []
+    | _ -> [ mk (Int 0); mk (Int 1); mk (Bool true); mk (Float 0.0) ]
+  in
+  let in_place =
+    match e.e with
+    | Bin (op, a, b) ->
+      List.map (fun a' -> mk (Bin (op, a', b))) (shrink_expr a)
+      @ List.map (fun b' -> mk (Bin (op, a, b'))) (shrink_expr b)
+    | Un (op, a) -> List.map (fun a' -> mk (Un (op, a'))) (shrink_expr a)
+    | Index (x, i) -> List.map (fun i' -> mk (Index (x, i'))) (shrink_expr i)
+    | Call (f, args) ->
+      List.concat
+        (List.mapi
+           (fun k a ->
+             List.map
+               (fun a' ->
+                 mk (Call (f, List.mapi (fun j x -> if j = k then a' else x) args)))
+               (shrink_expr a))
+           args)
+    | _ -> []
+  in
+  subexprs @ consts @ in_place
+
+(* --- statement shrinks -------------------------------------------- *)
+
+let rec shrink_stmt (s : stmt) : stmt list =
+  let mk d = { s with s = d } in
+  let on_expr rebuild e = List.map (fun e' -> mk (rebuild e')) (shrink_expr e) in
+  match s.s with
+  | SDecl (x, ty, e) -> on_expr (fun e' -> SDecl (x, ty, e')) e
+  | SArrDecl _ -> []
+  | SAssign (x, e) -> on_expr (fun e' -> SAssign (x, e')) e
+  | SStore (a, i, e) ->
+    List.map (fun i' -> mk (SStore (a, i', e))) (shrink_expr i)
+    @ List.map (fun e' -> mk (SStore (a, i, e'))) (shrink_expr e)
+  | SIf (c, t, el) ->
+    (if el <> [] then [ mk (SIf (c, t, [])) ] else [])
+    @ List.map (fun t' -> mk (SIf (c, t', el))) (shrink_body t)
+    @ List.map (fun el' -> mk (SIf (c, t, el'))) (shrink_body el)
+    @ on_expr (fun c' -> SIf (c', t, el)) c
+  | SWhile (c, b) ->
+    List.map (fun b' -> mk (SWhile (c, b'))) (shrink_body b)
+    @ on_expr (fun c' -> SWhile (c', b)) c
+  | SFor (x, lo, hi, st, b) ->
+    List.map (fun b' -> mk (SFor (x, lo, hi, st, b'))) (shrink_body b)
+    @ List.map (fun lo' -> mk (SFor (x, lo', hi, st, b))) (shrink_expr lo)
+    @ List.map (fun hi' -> mk (SFor (x, lo, hi', st, b))) (shrink_expr hi)
+  | SReturn (Some e) -> on_expr (fun e' -> SReturn (Some e')) e
+  | SReturn None -> []
+  | SExpr e -> on_expr (fun e' -> SExpr e') e
+  | SPrint e -> on_expr (fun e' -> SPrint e') e
+
+(* variants of a body: drop a statement, splice a nested body in place
+   of its construct, then shrink a statement in place *)
+and shrink_body (body : stmt list) : stmt list list =
+  match body with
+  | [] -> []
+  | s :: rest ->
+    [ rest ]
+    @ (match s.s with
+       | SIf (_, t, el) ->
+         (if t <> [] then [ t @ rest ] else [])
+         @ if el <> [] then [ el @ rest ] else []
+       | SWhile (_, b) | SFor (_, _, _, _, b) ->
+         if b <> [] then [ b @ rest ] else []
+       | _ -> [])
+    @ List.map (fun s' -> s' :: rest) (shrink_stmt s)
+    @ List.map (fun rest' -> s :: rest') (shrink_body rest)
+
+(* --- program shrinks ---------------------------------------------- *)
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+let shrink_program (p : program) : program list =
+  let drop_funcs =
+    List.filteri (fun _ f -> f.fname <> "main") p.funcs
+    |> List.map (fun f ->
+           { p with funcs = List.filter (fun g -> g.fname <> f.fname) p.funcs })
+  in
+  let drop_globals =
+    List.mapi (fun i _ -> { p with globals = drop_nth p.globals i }) p.globals
+  in
+  let body_variants =
+    List.concat
+      (List.mapi
+         (fun i f ->
+           List.map
+             (fun body' ->
+               {
+                 p with
+                 funcs =
+                   List.mapi
+                     (fun j g -> if j = i then { f with body = body' } else g)
+                     p.funcs;
+               })
+             (shrink_body f.body))
+         p.funcs)
+  in
+  drop_funcs @ drop_globals @ body_variants
+
+(* --- driver -------------------------------------------------------- *)
+
+let compiles src = Result.is_ok (Mira.Lower.compile_source src)
+
+let minimize ?(max_steps = 4000) ~(fails : string -> bool) (src : string) :
+    string =
+  match Mira.Parser.parse_result src with
+  | Error _ -> src
+  | Ok ast ->
+    let steps = ref 0 in
+    let try_one ast' =
+      if !steps >= max_steps then None
+      else begin
+        incr steps;
+        let s = to_string ast' in
+        if compiles s && fails s then Some ast' else None
+      end
+    in
+    let rec go ast =
+      if !steps >= max_steps then ast
+      else
+        match List.find_map try_one (shrink_program ast) with
+        | Some ast' -> go ast'
+        | None -> ast
+    in
+    to_string (go ast)
+
+let report ~seed ~fails src =
+  let minimal = minimize ~fails src in
+  Printf.sprintf
+    "seed %d; minimal failing program (%d bytes, from %d):\n%s" seed
+    (String.length minimal) (String.length src) minimal

@@ -1,0 +1,26 @@
+(** Greedy counterexample minimization for Mira sources.
+
+    Given a failing program (one where [fails source] is [true]), repeat
+    until a fixpoint: try every single-step simplification — drop a
+    helper function or global, delete a statement, splice a branch or
+    loop body in place of the construct, replace an expression by one of
+    its subexpressions or a constant — and restart from the first
+    variant that still fails.  Big deletions are tried before small
+    rewrites, so the descent is steep.
+
+    [fails] is only ever applied to sources that parse and compile;
+    variants the front end rejects (a deleted declaration whose uses
+    remain, an ill-typed constant) are discarded without consulting it.
+    The predicate must therefore treat its argument as a valid program
+    and answer "does the bug still reproduce?". *)
+
+(** [minimize ~fails src] is the minimized source, or [src] itself when
+    it does not parse or nothing smaller still fails.  [max_steps]
+    bounds the total number of candidate variants tried (default
+    4000). *)
+val minimize : ?max_steps:int -> fails:(string -> bool) -> string -> string
+
+(** [report ~seed ~fails src] minimizes and formats the block test
+    failures should print: the generator seed and the minimal failing
+    program *)
+val report : seed:int -> fails:(string -> bool) -> string -> string

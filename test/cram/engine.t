@@ -1,0 +1,52 @@
+The evaluation engine behind miracc: -j sizes the worker pool, --cache
+makes results persistent, --cache-stats prints the engine table.  The
+wall-time line is filtered out (not reproducible); everything else is.
+
+A cold parallel search populates the cache (budget 30 plus the -O0
+reference evaluation = 31 entries):
+
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 -j 2 --cache rc --cache-stats | grep -v "wall time"
+  evaluations: 30
+  best sequence: inline,cprop,strength,strength,unroll4
+  cycles: 1410 -> 1002 (speedup 1.41x)
+  engine stats
+    evaluations    31
+    cache hits     0
+    cache misses   31
+    simulations    31
+    failures       0
+    hit rate       0.0%
+    cache entries  31
+
+The cache directory holds an append-only result log:
+
+  $ head -1 rc/results.log
+  mira-rescache 1
+
+A warm re-run finds the same result without a single simulation:
+
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 -j 2 --cache rc --cache-stats | grep -v "wall time"
+  evaluations: 30
+  best sequence: inline,cprop,strength,strength,unroll4
+  cycles: 1410 -> 1002 (speedup 1.41x)
+  engine stats
+    evaluations    31
+    cache hits     31
+    cache misses   0
+    simulations    0
+    failures       0
+    hit rate       100.0%
+    cache entries  31
+
+Parallel and serial agree on everything but the stats table:
+
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 > par.out
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 -j 4 > ser.out
+  $ diff par.out ser.out
+
+The hill-climbing and genetic strategies run through the same engine:
+
+  $ miracc search sample.mira --strategy hill --budget 25 --seed 3 --cache rc2 --cache-stats | grep -c "engine stats"
+  1
+  $ miracc search sample.mira --strategy hill --budget 25 --seed 3 --cache rc2 --cache-stats | grep "simulations"
+    simulations    0

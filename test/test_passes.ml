@@ -700,6 +700,8 @@ let prop_random_sequences =
 (* ------------------------------------------------------------------ *)
 (* fuzzing: random programs x random pass sequences *)
 
+module Gen_program = Testgen.Gen_program
+
 let fuzz_programs n =
   List.init n (fun i ->
       match Gen_program.compile (1000 + i) with
@@ -734,6 +736,178 @@ let test_fuzz_differential () =
       done;
       check_preserves name Passes.Pass.ofast p)
     (fuzz_programs 25)
+
+(* ------------------------------------------------------------------ *)
+(* properties over generated programs (seeds 2000..2199): pass pairs
+   preserve behaviour; passes are idempotent on the IR digest *)
+
+let n_property_programs = 200
+
+let property_programs =
+  lazy
+    (List.init n_property_programs (fun i ->
+         let seed = 2000 + i in
+         match Gen_program.compile seed with
+         | Ok p -> (seed, p)
+         | Error e ->
+           Alcotest.failf "generator produced invalid program (seed %d): %s"
+             seed e))
+
+(* does [seq] break [src]?  The shrinker's oracle: false on compile
+   errors, true when the optimized program is ill-formed or observes
+   differently. *)
+let seq_breaks seq src =
+  match Mira.Lower.compile_source src with
+  | Error _ -> false
+  | Ok p ->
+    let p' = Passes.Pass.apply_sequence seq p in
+    Ir.check_program p' <> []
+    || not
+         (Mira.Interp.equal_observation (Mira.Interp.observe p)
+            (Mira.Interp.observe p'))
+
+(* a failing (seed, seq) is reported as the shrunk minimal program *)
+let fail_shrunk ~seed seq =
+  Alcotest.failf "%s broke seed %d:\n%s"
+    (Passes.Pass.sequence_to_string seq)
+    seed
+    (Testgen.Shrink.report ~seed ~fails:(seq_breaks seq)
+       (Gen_program.generate seed))
+
+let test_pass_pairs_preserve () =
+  let rng = Random.State.make [| 424242 |] in
+  let npass = Passes.Pass.count in
+  List.iter
+    (fun (seed, p) ->
+      for _ = 1 to 4 do
+        let a = Passes.Pass.of_index (Random.State.int rng npass) in
+        let b = Passes.Pass.of_index (Random.State.int rng npass) in
+        let seq = [ a; b ] in
+        if Passes.Pass.sequence_valid seq then begin
+          let before = Mira.Interp.observe p in
+          let p' = Passes.Pass.apply_sequence seq p in
+          if
+            Ir.check_program p' <> []
+            || not
+                 (Mira.Interp.equal_observation before
+                    (Mira.Interp.observe p'))
+          then fail_shrunk ~seed seq
+        end
+      done)
+    (Lazy.force property_programs)
+
+(* Idempotence on the IR digest (the engine's cache identity): applying
+   a pass twice prints the same IR as applying it once, both on the
+   fresh program and at an arbitrary optimized state.
+
+   Documented exception: the unroll family.  Unrolling leaves a residual
+   counted loop, so a second application unrolls again — which is why
+   Pass.sequence_valid forbids repeating an unroll in the first place.
+   Every other pass must be a digest fixpoint. *)
+let test_idempotent_on_digest () =
+  let rng = Random.State.make [| 31337 |] in
+  List.iter
+    (fun (seed, p) ->
+      let prefix = Search.Space.random_seq rng () in
+      let states =
+        [ ("fresh", p); ("prefixed", Passes.Pass.apply_sequence prefix p) ]
+      in
+      List.iter
+        (fun pass ->
+          if not (Passes.Pass.is_unroll pass) then
+            List.iter
+              (fun (state, q) ->
+                let once = Passes.Pass.apply pass q in
+                let twice = Passes.Pass.apply pass once in
+                if Engine.ir_digest once <> Engine.ir_digest twice then
+                  Alcotest.failf "seed %d: %s is not idempotent (%s state, \
+                                  prefix %s)"
+                    seed (Passes.Pass.name pass) state
+                    (Passes.Pass.sequence_to_string prefix))
+              states)
+        Passes.Pass.all)
+    (Lazy.force property_programs)
+
+(* the exception above is real: there exists a state where unrolling
+   twice keeps transforming (otherwise the documentation would be stale) *)
+let test_unroll_exception_is_real () =
+  let rng = Random.State.make [| 5 |] in
+  let witnessed = ref false in
+  List.iter
+    (fun (_, p) ->
+      if not !witnessed then begin
+        let prefix = Search.Space.random_seq rng () in
+        let q = Passes.Pass.apply_sequence prefix p in
+        List.iter
+          (fun u ->
+            let once = Passes.Pass.apply u q in
+            if Engine.ir_digest once
+               <> Engine.ir_digest (Passes.Pass.apply u once)
+            then witnessed := true)
+          [ Passes.Pass.Unroll2; Passes.Pass.Unroll4; Passes.Pass.Unroll8 ]
+      end)
+    (Lazy.force property_programs);
+  Alcotest.(check bool) "unroll twice keeps transforming somewhere" true
+    !witnessed
+
+(* ------------------------------------------------------------------ *)
+(* the harness catches an injected miscompilation and shrinks it *)
+
+(* a deliberately broken "pass": integer additions become subtractions *)
+let miscompile (p : Ir.program) : Ir.program =
+  Ir.map_funcs
+    (fun f ->
+      {
+        f with
+        Ir.blocks =
+          Ir.LMap.map
+            (fun (b : Ir.block) ->
+              {
+                b with
+                Ir.instrs =
+                  List.map
+                    (function
+                      | Ir.Bin (Ir.Add, d, x, y) -> Ir.Bin (Ir.Sub, d, x, y)
+                      | i -> i)
+                    b.Ir.instrs;
+              })
+            f.Ir.blocks;
+      })
+    p
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_injected_miscompile_caught_and_shrunk () =
+  let fails src =
+    match Mira.Lower.compile_source src with
+    | Error _ -> false
+    | Ok p ->
+      not
+        (Mira.Interp.equal_observation (Mira.Interp.observe p)
+           (Mira.Interp.observe
+              (miscompile (Passes.Pass.apply_sequence Passes.Pass.o2 p))))
+  in
+  let rec find i =
+    if i >= 50 then
+      Alcotest.fail "injected miscompilation never caught in 50 programs"
+    else
+      let seed = 3000 + i in
+      let src = Gen_program.generate seed in
+      if fails src then (seed, src) else find (i + 1)
+  in
+  let seed, src = find 0 in
+  let minimal = Testgen.Shrink.minimize ~fails src in
+  Alcotest.(check bool) "minimal program still fails" true (fails minimal);
+  Alcotest.(check bool) "shrinker made it smaller" true
+    (String.length minimal < String.length src);
+  let r = Testgen.Shrink.report ~seed ~fails src in
+  Alcotest.(check bool) "report names the seed" true
+    (contains ~sub:(string_of_int seed) r);
+  Alcotest.(check bool) "report embeds the minimal program" true
+    (contains ~sub:minimal r)
 
 let test_fuzz_per_function () =
   let rng = Random.State.make [| 99 |] in
@@ -830,12 +1004,20 @@ let suite =
       [ t "O2 never slower" test_o2_improves; t "Ofast on loops" test_ofast_improves_loops ]
     );
     ( "properties",
-      List.map QCheck_alcotest.to_alcotest [ prop_random_sequences ] );
+      List.map QCheck_alcotest.to_alcotest [ prop_random_sequences ]
+      @ [
+          t "pass pairs preserve (200 programs)" test_pass_pairs_preserve;
+          t "idempotent on IR digest (200 programs)"
+            test_idempotent_on_digest;
+          t "unroll exception is real" test_unroll_exception_is_real;
+        ] );
     ( "fuzz",
       [
         t "generated programs run" test_fuzz_programs_run;
         Alcotest.test_case "differential" `Slow test_fuzz_differential;
         t "per-function differential" test_fuzz_per_function;
+        t "injected miscompile caught+shrunk"
+          test_injected_miscompile_caught_and_shrunk;
       ] );
   ]
 

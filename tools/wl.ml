@@ -1,8 +1,41 @@
-(* Maintenance utility: run every workload on the simulator and print the
-   per-program stats (steps, CPI, memory-miss rates, return value).  Use it
-   to regenerate the pinned checksums in test/test_workloads.ml after an
-   intentional workload change. *)
-let () =
+(* Maintenance utility.  Default: run every workload on the simulator and
+   print the per-program stats (steps, CPI, memory-miss rates, return
+   value); use it to regenerate the pinned checksums in
+   test/test_workloads.ml after an intentional workload change.
+
+   Extra subcommands, built on the shared testgen library:
+     wl gen <seed>    print the generated Mira program for a fuzz seed
+     wl fuzz <n>      run the differential check over n generated
+                      programs; failures are printed as shrunk minimal
+                      programs with their seed *)
+
+let fuzz_seed_base = 1000
+
+(* the shared differential oracle: O2 must preserve the observation *)
+let o2_differs (src : string) : bool =
+  match Mira.Lower.compile_source src with
+  | Error _ -> false
+  | Ok p ->
+    let p' = Passes.Pass.apply_sequence Passes.Pass.o2 p in
+    not
+      (Mira.Interp.equal_observation (Mira.Interp.observe p)
+         (Mira.Interp.observe p'))
+
+let run_fuzz n =
+  let bad = ref 0 in
+  for i = 0 to n - 1 do
+    let seed = fuzz_seed_base + i in
+    let src = Testgen.Gen_program.generate seed in
+    if o2_differs src then begin
+      incr bad;
+      print_endline
+        (Testgen.Shrink.report ~seed ~fails:o2_differs src)
+    end
+  done;
+  Printf.printf "fuzz: %d programs, %d failures\n" n !bad;
+  if !bad > 0 then exit 1
+
+let run_workload_stats () =
   List.iter
     (fun (w : Workloads.t) ->
       let p = Workloads.program w in
@@ -21,3 +54,10 @@ let () =
         Printf.printf "%-10s FAILED: %s\n" w.Workloads.name
           (Printexc.to_string e))
     Workloads.all
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "gen" :: seed :: _ ->
+    print_string (Testgen.Gen_program.generate (int_of_string seed))
+  | _ :: "fuzz" :: n :: _ -> run_fuzz (int_of_string n)
+  | _ -> run_workload_stats ()
