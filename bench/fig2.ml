@@ -43,9 +43,10 @@ let fig2a () =
     (Search.Space.cardinality ());
   let rng = Random.State.make [| 20080101 |] in
   let seqs = Search.Space.sample_distinct rng n in
-  (* the whole sweep is one engine batch: parallel across the pool when
-     -j is set, and free on a warm cache *)
-  let costs = Engine.costs eng target seqs in
+  (* the sweep runs in journaled chunks (each chunk one engine batch:
+     parallel across the pool when -j is set, free on a warm cache); a
+     killed run resumes from the last completed chunk *)
+  let costs = Util.sweep_costs eng ~id:"fig2a" target seqs in
   let scored = List.mapi (fun i s -> (s, costs.(i))) seqs in
   let best_cost = List.fold_left (fun a (_, c) -> min a c) infinity scored in
   let good = List.filter (fun (_, c) -> c <= 1.05 *. best_cost) scored in

@@ -31,8 +31,9 @@ let experiments : (string * string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* -j/--jobs N sizes the evaluation engine's worker pool *)
-  let rec strip_jobs = function
+  (* -j/--jobs N sizes the evaluation engine's worker pool;
+     --inject SPEC installs a deterministic fault plan (testing) *)
+  let rec strip_opts = function
     | [] -> []
     | ("-j" | "--jobs") :: n :: rest ->
       (match int_of_string_opt n with
@@ -40,10 +41,21 @@ let () =
        | _ ->
          Fmt.epr "-j expects a positive integer@.";
          exit 1);
-      strip_jobs rest
-    | a :: rest -> a :: strip_jobs rest
+      strip_opts rest
+    | "--inject" :: spec :: rest ->
+      (match Engine.Faults.parse spec with
+       | Ok plan -> Engine.Faults.install plan
+       | Error e ->
+         Fmt.epr "bad --inject spec: %s@." e;
+         exit 1);
+      strip_opts rest
+    | a :: rest -> a :: strip_opts rest
   in
-  let args = strip_jobs args in
+  (try Engine.Faults.install_from_env ()
+   with Invalid_argument e ->
+     Fmt.epr "bad MIRA_FAULTS: %s@." e;
+     exit 1);
+  let args = strip_opts args in
   let flags, names = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
   if List.mem "--full" flags then Util.scale := Util.Full;
   if List.mem "--list" flags then begin
@@ -75,5 +87,6 @@ let () =
   Hashtbl.iter
     (fun arch eng ->
       Fmt.pr "@.[engine %s]@.%a" arch (Engine.pp_stats ~wall:true) eng;
+      if not (Engine.healthy eng) then Fmt.pr "%a@." Engine.pp_health eng;
       Engine.Rcache.close (Engine.cache eng))
     Util.engines

@@ -34,6 +34,31 @@ let engine_for (config : Mach.Config.t) : Engine.t =
     Hashtbl.replace engines config.Mach.Config.name eng;
     eng
 
+(* Checkpointed sweep: evaluate [seqs] on [target] in journaled chunks
+   (bench_data/journal-<id>.log, crash-safe appends), so a killed run —
+   ^C, OOM, power — resumes from the last completed chunk instead of
+   restarting, and produces byte-identical costs.  The journal key binds
+   the program, machine, and sequence list: any change invalidates it. *)
+let sweep_chunk = 100
+
+let sweep_costs (eng : Engine.t) ~id target seqs =
+  ensure_dir ();
+  let seqs = Array.of_list seqs in
+  let key =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            (Mach.Config.digest (Engine.config eng)
+            :: Engine.ir_digest target
+            :: Array.to_list
+                 (Array.map Passes.Pass.sequence_to_string seqs))))
+  in
+  let path = Filename.concat data_dir ("journal-" ^ id ^ ".log") in
+  Engine.Journal.run ~path ~key ~chunk_size:sweep_chunk
+    ~n:(Array.length seqs) (fun lo hi ->
+      Engine.costs eng target
+        (Array.to_list (Array.sub seqs lo (hi - lo))))
+
 (* One knowledge base per (arch, per_program); built over the full workload
    suite and cached on disk.  Experiments requiring leave-one-out use
    Kb.without_program on the loaded KB. *)

@@ -84,20 +84,53 @@ let cache_stats_arg =
   Arg.(value & flag & info [ "cache-stats" ]
          ~doc:"Print the evaluation-engine statistics table at the end.")
 
-let make_engine ~config ~jobs ~cache =
+let inject_arg =
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault injection for testing: comma-separated \
+               point@occurrence[=arg] directives (e.g. worker-crash@3, \
+               torn-append@5). Also readable from \\$MIRA_FAULTS.")
+
+let max_restarts_arg =
+  Arg.(value & opt int Engine.Pool.default_max_respawns
+       & info [ "max-worker-restarts" ] ~docv:"N"
+           ~doc:"Give up respawning dead evaluation workers after $(docv) \
+                 attempts per batch and degrade to serial execution.")
+
+(* exit code 4: the cache directory cannot be used (locked, unreadable,
+   not a cache); distinct from source errors (1), traps (2), fuel (3) *)
+let cache_error_exit = 4
+
+let make_engine ~config ~jobs ~cache ~inject ~max_restarts =
+  (match inject with
+   | Some spec -> (
+     match Engine.Faults.parse spec with
+     | Ok plan -> Engine.Faults.install plan
+     | Error e ->
+       Fmt.epr "miracc: bad --inject spec: %s@." e;
+       exit 1)
+   | None -> (
+     try Engine.Faults.install_from_env ()
+     with Invalid_argument e ->
+       Fmt.epr "miracc: bad MIRA_FAULTS: %s@." e;
+       exit 1));
   let cache =
     Option.map
       (fun dir ->
-        try Engine.Rcache.open_dir dir
-        with Sys_error e | Failure e ->
-          Fmt.epr "cannot open cache %s: %s@." dir e;
-          exit 1)
+        match Engine.Rcache.open_dir dir with
+        | c -> c
+        | exception Engine.Rcache.Cache_error e ->
+          Fmt.epr "miracc: cache error: %s@." e;
+          exit cache_error_exit
+        | exception Sys_error e ->
+          Fmt.epr "miracc: cache error: %s@." e;
+          exit cache_error_exit)
       cache
   in
-  Engine.create ~jobs ?cache config
+  Engine.create ~jobs ?cache ~max_respawns:max_restarts config
 
 let finish_engine ~cache_stats eng =
   if cache_stats then Fmt.pr "%a" (Engine.pp_stats ~wall:true) eng;
+  if not (Engine.healthy eng) then Fmt.epr "%a@." Engine.pp_health eng;
   Engine.Rcache.close (Engine.cache eng)
 
 (* --- compile ------------------------------------------------------- *)
@@ -193,7 +226,8 @@ let train_cmd =
   let doc =
     "Build a knowledge base by exploring the built-in workload suite."
   in
-  let run out arch per_program exclude jobs cache cache_stats =
+  let run out arch per_program exclude jobs cache cache_stats inject
+      max_restarts =
     let config = arch_of_name arch in
     let programs =
       Workloads.all
@@ -202,7 +236,7 @@ let train_cmd =
     in
     Fmt.pr "training on %d programs, %d sequences each (%s)...@."
       (List.length programs) per_program config.Mach.Config.name;
-    let eng = make_engine ~config ~jobs ~cache in
+    let eng = make_engine ~config ~jobs ~cache ~inject ~max_restarts in
     let kb =
       Icc.Characterize.build_kb ~engine:eng ~config ~per_program programs
     in
@@ -225,7 +259,7 @@ let train_cmd =
   Cmd.v (Cmd.info "train" ~doc)
     Term.(
       const run $ out_arg $ arch_arg $ pp_arg $ excl_arg $ jobs_arg
-      $ cache_dir_arg $ cache_stats_arg)
+      $ cache_dir_arg $ cache_stats_arg $ inject_arg $ max_restarts_arg)
 
 (* --- predict ------------------------------------------------------- *)
 
@@ -267,10 +301,11 @@ let predict_cmd =
 
 let search_cmd =
   let doc = "Search the optimization space for a program." in
-  let run file arch strategy budget seed kb_path jobs cache cache_stats =
+  let run file arch strategy budget seed kb_path jobs cache cache_stats
+      inject max_restarts =
     let p = load_program file in
     let config = arch_of_name arch in
-    let eng = make_engine ~config ~jobs ~cache in
+    let eng = make_engine ~config ~jobs ~cache ~inject ~max_restarts in
     let eval = Engine.evaluator eng p in
     let result =
       match strategy with
@@ -325,7 +360,8 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc)
     Term.(
       const run $ file_arg $ arch_arg $ strategy_arg $ budget_arg $ seed_arg
-      $ kb_opt $ jobs_arg $ cache_dir_arg $ cache_stats_arg)
+      $ kb_opt $ jobs_arg $ cache_dir_arg $ cache_stats_arg $ inject_arg
+      $ max_restarts_arg)
 
 (* --- dynamic ------------------------------------------------------- *)
 

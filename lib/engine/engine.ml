@@ -4,6 +4,8 @@
 
 module Rcache = Rcache
 module Pool = Pool
+module Faults = Faults
+module Journal = Journal
 module Ir = Mira.Ir
 module Pass = Passes.Pass
 
@@ -30,12 +32,17 @@ type t = {
   fuel : int;
   task_timeout : float;
   retries : int;
+  max_respawns : int;
+  respawn_backoff : float;
   cache : Rcache.t;
   stats : stats;
+  pool_health : Pool.health;
 }
 
 let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
-    ?(task_timeout = Pool.default_task_timeout) ?(retries = 1) config =
+    ?(task_timeout = Pool.default_task_timeout) ?(retries = 1)
+    ?(max_respawns = Pool.default_max_respawns)
+    ?(respawn_backoff = Pool.default_respawn_backoff) config =
   let cache =
     match cache with Some c -> c | None -> Rcache.in_memory ()
   in
@@ -46,8 +53,11 @@ let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
     fuel;
     task_timeout;
     retries;
+    max_respawns;
+    respawn_backoff;
     cache;
     stats = { evals = 0; hits = 0; sims = 0; failures = 0; wall = 0.0 };
+    pool_health = Pool.empty_health ();
   }
 
 let config t = t.config
@@ -178,6 +188,8 @@ let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
   (* simulate the misses, forking when the batch and jobs warrant it *)
   let computed =
     Pool.map ~jobs:t.jobs ~task_timeout:t.task_timeout ~retries:t.retries
+      ~health:t.pool_health ~max_respawns:t.max_respawns
+      ~respawn_backoff:t.respawn_backoff
       (fun i ->
         let p, seq = tasks.(i) in
         simulate t p seq)
@@ -236,6 +248,64 @@ let eval_many t pairs =
 
 let costs t p seqs = Array.map (fun o -> o.cost) (eval_batch t p seqs)
 
+(* ------------------------------------------------------------------ *)
+(* health: everything the run survived, pool- and cache-side *)
+
+type health = {
+  respawns : int;
+  spawn_failures : int;
+  crashed_workers : int;
+  timeouts : int;
+  poisoned : int;
+  serial_fallbacks : int;
+  cache_quarantined : int;
+  cache_write_errors : int;
+  stale_locks_broken : int;
+}
+
+let health t =
+  let h = t.pool_health in
+  {
+    respawns = h.Pool.respawns;
+    spawn_failures = h.Pool.spawn_failures;
+    crashed_workers = h.Pool.crashed_workers;
+    timeouts = h.Pool.timeouts;
+    poisoned = h.Pool.poisoned;
+    serial_fallbacks = h.Pool.serial_fallbacks;
+    cache_quarantined = Rcache.quarantined t.cache;
+    cache_write_errors = Rcache.write_errors t.cache;
+    stale_locks_broken = Rcache.stale_locks_broken t.cache;
+  }
+
+let healthy t =
+  Pool.is_healthy t.pool_health
+  && Rcache.quarantined t.cache = 0
+  && Rcache.write_errors t.cache = 0
+  && Rcache.stale_locks_broken t.cache = 0
+
+let pp_health ppf t =
+  if healthy t then Fmt.pf ppf "engine health: ok"
+  else begin
+    let z = health t in
+    let fields =
+      [
+        ("respawns", z.respawns);
+        ("spawn-failures", z.spawn_failures);
+        ("crashed-workers", z.crashed_workers);
+        ("timeouts", z.timeouts);
+        ("poisoned-tasks", z.poisoned);
+        ("serial-fallbacks", z.serial_fallbacks);
+        ("cache-quarantined", z.cache_quarantined);
+        ("cache-write-errors", z.cache_write_errors);
+        ("stale-locks-broken", z.stale_locks_broken);
+      ]
+      |> List.filter (fun (_, v) -> v > 0)
+    in
+    Fmt.pf ppf "engine health: degraded (%s)"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fields))
+  end
+
 let pp_stats ?(wall = true) ppf t =
   let s = t.stats in
   let row k v = Fmt.pf ppf "  %-14s %s@." k v in
@@ -247,4 +317,5 @@ let pp_stats ?(wall = true) ppf t =
   row "failures" (string_of_int s.failures);
   row "hit rate" (Printf.sprintf "%.1f%%" (100.0 *. hit_rate t));
   row "cache entries" (string_of_int (Rcache.known t.cache));
+  row "quarantined" (string_of_int (Rcache.quarantined t.cache));
   if wall then row "wall time" (Printf.sprintf "%.3fs" s.wall)

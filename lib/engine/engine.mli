@@ -21,9 +21,12 @@
     [infinity] but are {e not} cached, since they may not reproduce. *)
 
 (* the submodules, re-exported: the library is wrapped, so this is the
-   public path to the result store and the worker pool *)
+   public path to the result store, the worker pool, the fault-injection
+   layer and the sweep journal *)
 module Rcache = Rcache
 module Pool = Pool
+module Faults = Faults
+module Journal = Journal
 
 type outcome = {
   cost : float;             (** cycles, or [infinity] on failure *)
@@ -53,6 +56,8 @@ val create :
   ?fuel:int ->
   ?task_timeout:float ->
   ?retries:int ->
+  ?max_respawns:int ->
+  ?respawn_backoff:float ->
   Mach.Config.t ->
   t
 
@@ -88,6 +93,30 @@ val evaluator : t -> Mira.Ir.program -> Passes.Pass.t list -> float
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** Everything the run survived rather than died of: worker respawns and
+    fork failures, crashed/hung workers, poisoned tasks, degradations to
+    serial execution, quarantined cache lines, absorbed write errors,
+    broken stale locks.  All zero on a clean run. *)
+type health = {
+  respawns : int;
+  spawn_failures : int;
+  crashed_workers : int;
+  timeouts : int;
+  poisoned : int;
+  serial_fallbacks : int;
+  cache_quarantined : int;
+  cache_write_errors : int;
+  stale_locks_broken : int;
+}
+
+val health : t -> health
+
+(** no degradation events at all? *)
+val healthy : t -> bool
+
+(** one-line report: ["engine health: ok"] or the non-zero counters *)
+val pp_health : Format.formatter -> t -> unit
 
 (** hits / evals, in [0,1]; 0 when nothing was evaluated *)
 val hit_rate : t -> float

@@ -1,0 +1,149 @@
+(* Chunked sweep journal: Rcache's checksummed-line discipline applied
+   to "chunks k of this sweep are done, with these costs".  Costs are
+   printed as %h hex floats (lossless round-trip, including infinity),
+   so a resumed sweep reproduces an uninterrupted one bit for bit. *)
+
+let magic = "mira-journal 1"
+
+type t = {
+  path : string;
+  header : string;
+  chunks : (int, float array) Hashtbl.t;
+  mutable quarantined : int;
+  mutable oc : out_channel option;
+}
+
+let dec s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let payload_of_chunk idx costs =
+  Printf.sprintf "chunk|%d|%s" idx
+    (String.concat ","
+       (List.map (Printf.sprintf "%h") (Array.to_list costs)))
+
+let chunk_of_payload payload =
+  match String.split_on_char '|' payload with
+  | [ "chunk"; idx; costs ] when dec idx -> (
+    match
+      ( int_of_string idx,
+        if costs = "" then [||]
+        else
+          Array.of_list
+            (List.map float_of_string (String.split_on_char ',' costs)) )
+    with
+    | idx, costs -> Some (idx, costs)
+    | exception _ -> None)
+  | _ -> None
+
+let open_ ~path ~key =
+  let header = magic ^ "|" ^ key in
+  let t =
+    {
+      path;
+      header;
+      chunks = Hashtbl.create 64;
+      quarantined = 0;
+      oc = None;
+    }
+  in
+  let resumable =
+    Sys.file_exists path
+    &&
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | h when h = header ->
+          (try
+             while true do
+               let line = input_line ic in
+               if line <> "" then
+                 match
+                   Option.bind (Rcache.unseal_line line) chunk_of_payload
+                 with
+                 | Some (idx, costs) -> Hashtbl.replace t.chunks idx costs
+                 | None -> t.quarantined <- t.quarantined + 1
+             done
+           with End_of_file -> ());
+          true
+        | _ -> false (* different key or alien file: start over *)
+        | exception End_of_file -> false)
+  in
+  if resumable && t.quarantined = 0 then
+    t.oc <-
+      Some (open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path)
+  else begin
+    (* fresh start — or scrub: rewrite the valid chunks so a torn tail
+       cannot glue onto the next append *)
+    let oc = open_out path in
+    output_string oc header;
+    output_char oc '\n';
+    Hashtbl.fold (fun idx costs acc -> (idx, costs) :: acc) t.chunks []
+    |> List.sort compare
+    |> List.iter (fun (idx, costs) ->
+           output_string oc (Rcache.seal_line (payload_of_chunk idx costs));
+           output_char oc '\n');
+    flush oc;
+    t.oc <- Some oc
+  end;
+  t
+
+let find t idx = Hashtbl.find_opt t.chunks idx
+
+let record t idx costs =
+  Hashtbl.replace t.chunks idx costs;
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    let line = Rcache.seal_line (payload_of_chunk idx costs) in
+    if Faults.fires ~index:idx "sweep-torn" then
+      output_string oc (String.sub line 0 (String.length line / 2))
+    else begin
+      output_string oc line;
+      output_char oc '\n'
+    end;
+    flush oc
+
+let quarantined t = t.quarantined
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    (try close_out oc with Sys_error _ -> ());
+    t.oc <- None
+
+let remove path = if Sys.file_exists path then Sys.remove path
+
+let run ~path ~key ~chunk_size ~n eval =
+  if chunk_size <= 0 then invalid_arg "Journal.run: chunk_size must be > 0";
+  if n < 0 then invalid_arg "Journal.run: n must be >= 0";
+  (* the chunking parameters are part of the identity of the sweep *)
+  let key =
+    Digest.to_hex
+      (Digest.string (Printf.sprintf "%s\x00%d\x00%d" key chunk_size n))
+  in
+  let t = open_ ~path ~key in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      let out = Array.make n nan in
+      let nchunks = (n + chunk_size - 1) / chunk_size in
+      for c = 0 to nchunks - 1 do
+        let lo = c * chunk_size in
+        let hi = min n (lo + chunk_size) in
+        let costs =
+          match find t c with
+          | Some costs when Array.length costs = hi - lo -> costs
+          | _ ->
+            let costs = eval lo hi in
+            if Array.length costs <> hi - lo then
+              invalid_arg "Journal.run: eval returned the wrong length";
+            record t c costs;
+            (* simulate kill -9 between chunks, for the resume tests *)
+            if Faults.fires ~index:c "sweep-crash" then Unix._exit 21;
+            costs
+        in
+        Array.blit costs 0 out lo (hi - lo)
+      done;
+      out)

@@ -2,7 +2,14 @@
    flow down as marshalled [task] values, results come back as marshalled
    [(index, result)] pairs.  Each worker has at most one task in flight,
    so one buffered channel read per select wakeup is complete and no
-   result can hide in a channel buffer behind another. *)
+   result can hide in a channel buffer behind another.
+
+   Self-healing: dead workers are respawned with exponential backoff
+   against a per-call budget; tasks that keep killing workers are
+   poisoned (retired as Crashed) instead of being retried forever; and
+   when no worker can be (re)spawned at all the remaining tasks run
+   serially in the parent.  Everything survived is counted in the
+   caller's [health] record. *)
 
 type 'b outcome =
   | Done of 'b
@@ -10,7 +17,51 @@ type 'b outcome =
   | Crashed
   | Timed_out
 
+type health = {
+  mutable respawns : int;
+  mutable spawn_failures : int;
+  mutable crashed_workers : int;
+  mutable timeouts : int;
+  mutable poisoned : int;
+  mutable serial_fallbacks : int;
+}
+
+let empty_health () =
+  {
+    respawns = 0;
+    spawn_failures = 0;
+    crashed_workers = 0;
+    timeouts = 0;
+    poisoned = 0;
+    serial_fallbacks = 0;
+  }
+
+let is_healthy h =
+  h.respawns = 0 && h.spawn_failures = 0 && h.crashed_workers = 0
+  && h.timeouts = 0 && h.poisoned = 0 && h.serial_fallbacks = 0
+
+let pp_health ppf h =
+  if is_healthy h then Fmt.pf ppf "ok"
+  else begin
+    let fields =
+      [
+        ("respawns", h.respawns);
+        ("spawn-failures", h.spawn_failures);
+        ("crashed-workers", h.crashed_workers);
+        ("timeouts", h.timeouts);
+        ("poisoned-tasks", h.poisoned);
+        ("serial-fallbacks", h.serial_fallbacks);
+      ]
+      |> List.filter (fun (_, v) -> v > 0)
+    in
+    Fmt.pf ppf "degraded (%s)"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fields))
+  end
+
 let default_task_timeout = 300.0
+let default_max_respawns = 8
+let default_respawn_backoff = 0.05
 
 type 'a task_msg = Task of int * 'a | Stop
 
@@ -35,6 +86,7 @@ let serial_map f tasks =
     tasks
 
 let spawn_worker (f : 'a -> 'b) : 'b worker =
+  if Faults.fires "spawn-fail" then raise (Faults.Injected "spawn-fail");
   (* the child must not replay the parent's buffered output *)
   flush stdout;
   flush stderr;
@@ -50,6 +102,12 @@ let spawn_worker (f : 'a -> 'b) : 'b worker =
       match (input_value ic : _ task_msg) with
       | Stop -> ()
       | Task (i, t) ->
+        (* injection points: die or wedge on a named task index *)
+        if Faults.fires ~index:i "worker-crash" then Unix._exit 13;
+        (match Faults.consult ~index:i "worker-hang" with
+         | Some h ->
+           Unix.sleepf (float_of_int (Option.value h.Faults.arg ~default:3600))
+         | None -> ());
         let r =
           match f t with
           | v -> Ok v
@@ -95,16 +153,18 @@ let send w msg =
   | () -> true
   | exception _ -> false
 
-let parallel_map ~jobs ~task_timeout ~retries f tasks =
+let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
+    ~backoff f tasks =
   let n = Array.length tasks in
   let results = Array.make n Crashed in
-  let attempts = Array.make n 0 in
+  let crashes = Array.make n 0 in  (* workers each task has killed *)
   let pending = Queue.create () in
   for i = 0 to n - 1 do
     Queue.add i pending
   done;
   let open_slots = ref n in  (* tasks not yet resolved *)
   let workers = ref [] in
+  let respawn_budget = ref max_respawns in
   let prev_sigpipe =
     (* a worker dying mid-send must surface as EPIPE, not kill the parent *)
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
@@ -117,6 +177,50 @@ let parallel_map ~jobs ~task_timeout ~retries f tasks =
       | Some h -> ignore (Sys.signal Sys.sigpipe h)
       | None -> ())
     (fun () ->
+      let resolve i o =
+        results.(i) <- o;
+        decr open_slots
+      in
+      (* last resort: no worker can be (re)spawned — run what is left in
+         this process, skipping poison tasks, instead of failing *)
+      let serial_fallback () =
+        if not (Queue.is_empty pending) then begin
+          health.serial_fallbacks <- health.serial_fallbacks + 1;
+          Queue.iter
+            (fun i ->
+              if crashes.(i) > retries then begin
+                health.poisoned <- health.poisoned + 1;
+                resolve i Crashed
+              end
+              else
+                resolve i
+                  (match f tasks.(i) with
+                   | v -> Done v
+                   | exception e -> Failed (Printexc.to_string e)))
+            pending;
+          Queue.clear pending
+        end
+      in
+      (* a replacement worker, with exponential backoff across failed
+         fork attempts, against the per-call budget *)
+      let respawn () =
+        let rec go delay =
+          if !respawn_budget <= 0 then None
+          else begin
+            decr respawn_budget;
+            match spawn_worker f with
+            | w ->
+              health.respawns <- health.respawns + 1;
+              Some w
+            | exception _ ->
+              health.spawn_failures <- health.spawn_failures + 1;
+              if !respawn_budget > 0 then Unix.sleepf delay;
+              go (Float.min 1.0 (delay *. 2.0))
+          end
+        in
+        go backoff
+      in
+      let drop_worker w = workers := List.filter (fun x -> x != w) !workers in
       (* feed the next pending task to [w]; retire idle workers *)
       let rec feed w =
         match Queue.take_opt pending with
@@ -129,45 +233,53 @@ let parallel_map ~jobs ~task_timeout ~retries f tasks =
           else begin
             (* died between tasks: nothing was in flight, just respawn *)
             Queue.push i pending;
-            workers := List.filter (fun x -> x != w) !workers;
+            drop_worker w;
             dispose_worker w;
-            let w' = spawn_worker f in
-            workers := w' :: !workers;
-            feed w'
+            health.crashed_workers <- health.crashed_workers + 1;
+            match respawn () with
+            | Some w' ->
+              workers := w' :: !workers;
+              feed w'
+            | None -> if !workers = [] then serial_fallback ()
           end
       in
-      (* the in-flight task of a dead/killed worker: retry or record *)
+      (* the in-flight task of a dead/killed worker: retry, poison, or
+         record the verdict *)
       let lost w verdict =
-        (match w.inflight with
-         | None -> ()
-         | Some (i, _) ->
-           if verdict = Crashed && attempts.(i) <= retries then
-             Queue.push i pending
+        (match (w.inflight, verdict) with
+         | None, _ -> ()
+         | Some (i, _), Crashed ->
+           crashes.(i) <- crashes.(i) + 1;
+           if crashes.(i) <= retries then Queue.push i pending
            else begin
-             results.(i) <- verdict;
-             decr open_slots
-           end);
-        workers := List.filter (fun x -> x != w) !workers;
+             (* poison: this task has now killed retries+1 workers *)
+             health.poisoned <- health.poisoned + 1;
+             resolve i Crashed
+           end
+         | Some (i, _), v -> resolve i v);
+        drop_worker w;
         dispose_worker w;
-        if not (Queue.is_empty pending) then begin
-          let w' = spawn_worker f in
-          workers := w' :: !workers;
-          feed w'
-        end
+        if not (Queue.is_empty pending) then
+          match respawn () with
+          | Some w' ->
+            workers := w' :: !workers;
+            feed w'
+          | None -> if !workers = [] then serial_fallback ()
       in
-      workers := List.init (min jobs (max 1 n)) (fun _ -> spawn_worker f);
-      List.iter feed !workers;
+      (* initial spawns: tolerate partial failure; with zero workers the
+         whole batch runs serially *)
+      for _ = 1 to min jobs (max 1 n) do
+        match spawn_worker f with
+        | w -> workers := w :: !workers
+        | exception _ -> health.spawn_failures <- health.spawn_failures + 1
+      done;
+      if !workers = [] then serial_fallback ()
+      else List.iter feed !workers;
       while !open_slots > 0 do
         let busy = List.filter (fun w -> w.inflight <> None) !workers in
         if busy = [] then
-          (* all workers retired yet tasks unresolved: every respawn path
-             failed; give the remaining tasks up as crashed *)
-          Queue.iter
-            (fun i ->
-              results.(i) <- Crashed;
-              decr open_slots)
-            pending
-          |> fun () -> Queue.clear pending
+          (* all workers retired yet tasks unresolved: finish serially *)
+          serial_fallback ()
         else begin
           let fds = List.map (fun w -> w.from_fd) busy in
           let readable, _, _ =
@@ -179,16 +291,12 @@ let parallel_map ~jobs ~task_timeout ~retries f tasks =
               let w = List.find (fun w -> w.from_fd = fd) busy in
               match (input_value w.from_w : _ reply) with
               | i, r ->
-                attempts.(i) <- attempts.(i) + 1;
-                results.(i) <-
+                resolve i
                   (match r with Ok v -> Done v | Error e -> Failed e);
-                decr open_slots;
                 w.inflight <- None;
                 feed w
               | exception (End_of_file | Sys_error _) ->
-                (match w.inflight with
-                 | Some (i, _) -> attempts.(i) <- attempts.(i) + 1
-                 | None -> ());
+                health.crashed_workers <- health.crashed_workers + 1;
                 lost w Crashed)
             readable;
           (* timeouts, checked on every wakeup *)
@@ -198,6 +306,7 @@ let parallel_map ~jobs ~task_timeout ~retries f tasks =
               match w.inflight with
               | Some (_, t0) when now -. t0 > task_timeout ->
                 (try Unix.kill w.pid Sys.sigkill with _ -> ());
+                health.timeouts <- health.timeouts + 1;
                 lost w Timed_out
               | _ -> ())
             (List.filter (fun w -> w.inflight <> None) !workers)
@@ -208,8 +317,15 @@ let parallel_map ~jobs ~task_timeout ~retries f tasks =
         !workers;
       results)
 
-let map ?(jobs = 1) ?(task_timeout = default_task_timeout) ?(retries = 1) f
-    tasks =
+let map ?(jobs = 1) ?(task_timeout = default_task_timeout) ?(retries = 1)
+    ?health ?(max_respawns = default_max_respawns)
+    ?(respawn_backoff = default_respawn_backoff) f tasks =
   if retries < 0 then invalid_arg "Pool.map: retries must be >= 0";
+  if max_respawns < 0 then invalid_arg "Pool.map: max_respawns must be >= 0";
+  let health =
+    match health with Some h -> h | None -> empty_health ()
+  in
   if jobs <= 1 || Array.length tasks <= 1 then serial_map f tasks
-  else parallel_map ~jobs ~task_timeout ~retries f tasks
+  else
+    parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
+      ~backoff:respawn_backoff f tasks

@@ -9,15 +9,32 @@
     - [f] raising is an ordinary, deterministic failure: the exception
       text is captured and the task is {e not} retried;
     - a worker process dying (signal, [exit], OOM) loses its in-flight
-      task; the task is retried on a fresh worker up to [retries] times,
-      then reported as [Crashed];
+      task; the task is retried on a fresh worker up to [retries] times.
+      A task that keeps killing workers is {e poison}: it is retired as
+      [Crashed] (and counted in {!health.poisoned}) instead of taking
+      the pool down with endless respawns;
     - a task running past [task_timeout] seconds gets its worker killed
       and is reported as [Timed_out] without retry (a deterministic
-      computation would only time out again).
+      computation would only time out again);
+    - respawning a dead worker is retried with exponential backoff
+      (starting at [respawn_backoff] seconds, doubling, capped at 1 s)
+      against a budget of [max_respawns] spawn attempts per [map] call.
+      When the budget is exhausted — or no worker can be forked at all —
+      the pool {e degrades to serial execution} in the calling process
+      for the remaining (non-poison) tasks rather than failing the
+      batch.
+
+    Every degradation event is recorded in the caller-supplied
+    {!health} record, so the engine can report how the run actually
+    went.
 
     Workers are forked once per [map] call and fed tasks on demand over
     pipes (self-scheduling), so an expensive task does not hold up the
-    queue behind it. *)
+    queue behind it.
+
+    Fault-injection points consulted (see {!Faults}): [worker-crash] and
+    [worker-hang] in the worker (occurrence = task index), [spawn-fail]
+    around every fork. *)
 
 type 'b outcome =
   | Done of 'b
@@ -25,13 +42,38 @@ type 'b outcome =
   | Crashed           (** worker died repeatedly *)
   | Timed_out
 
-val default_task_timeout : float
+(** counters of everything that went wrong (and was survived) during
+    [map] calls; aggregated across calls when the same record is passed
+    to each *)
+type health = {
+  mutable respawns : int;       (** workers respawned after a death *)
+  mutable spawn_failures : int; (** fork attempts that failed *)
+  mutable crashed_workers : int;(** workers that died uncommanded *)
+  mutable timeouts : int;       (** tasks killed for exceeding the timeout *)
+  mutable poisoned : int;       (** tasks retired for crashing [> retries] workers *)
+  mutable serial_fallbacks : int;(** times the pool degraded to in-process serial *)
+}
 
-(** @raise Invalid_argument if [retries < 0] *)
+val empty_health : unit -> health
+
+(** all-zero? *)
+val is_healthy : health -> bool
+
+(** one-line rendering of the non-zero counters *)
+val pp_health : Format.formatter -> health -> unit
+
+val default_task_timeout : float
+val default_max_respawns : int
+val default_respawn_backoff : float
+
+(** @raise Invalid_argument if [retries < 0] or [max_respawns < 0] *)
 val map :
   ?jobs:int ->
   ?task_timeout:float ->
   ?retries:int ->
+  ?health:health ->
+  ?max_respawns:int ->
+  ?respawn_backoff:float ->
   ('a -> 'b) ->
   'a array ->
   'b outcome array

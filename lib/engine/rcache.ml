@@ -1,14 +1,24 @@
 (* Append-only persistent result store with a bounded LRU in front.
 
-   Log format (one record per line, header first):
-     mira-rescache 1
-     ok|<key>|<cycles>|<code_size>|<c0,c1,...>
-     fail|<key>
-   The last line for a key wins, so re-recording is just appending. *)
+   Log format v2 (one record per line, header first):
+     mira-rescache 2
+     <sum>|ok|<key>|<cycles>|<code_size>|<c0,c1,...>
+     <sum>|fail|<key>
+   <sum> = first 8 hex chars of MD5(payload).  The last line for a key
+   wins, so re-recording is just appending.  Lines that fail the
+   checksum or semantic validation are quarantined (counted, dropped),
+   and the log is then rewritten clean (self-healing).  v1 logs
+   (checksum-less payloads under header "mira-rescache 1") replay
+   transparently and are migrated to v2 on open.
+
+   Injection points consulted here (see Faults): torn-append,
+   flip-append, fail-append, stale-lock, compact-crash. *)
 
 type entry =
   | Measured of { cycles : int; code_size : int; counters : int array }
   | Failure
+
+exception Cache_error of string
 
 (* LRU bookkeeping: every touch pushes (key, stamp) and records the stamp
    as the key's newest; eviction pops until it finds a pair whose stamp is
@@ -19,11 +29,37 @@ type t = {
   mutable stamp : int;
   mutable known : int;
   capacity : int;
-  log : out_channel option;
+  mutable log : out_channel option;
+  dir : string option;
+  mutable quarantined : int;
+  mutable write_errors : int;
+  mutable stale_locks : int;
 }
 
-let magic = "mira-rescache 1"
+let magic = "mira-rescache 2"
+let magic_v1 = "mira-rescache 1"
 let default_capacity = 262_144
+
+type version = V1 | V2
+
+(* ------------------------------------------------------------------ *)
+(* checksummed lines *)
+
+let checksum payload =
+  String.sub (Digest.to_hex (Digest.string payload)) 0 8
+
+let seal_line payload = checksum payload ^ "|" ^ payload
+
+let unseal_line line =
+  if String.length line >= 9 && line.[8] = '|' then begin
+    let sum = String.sub line 0 8 in
+    let payload = String.sub line 9 (String.length line - 9) in
+    if String.equal sum (checksum payload) then Some payload else None
+  end
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* the LRU front *)
 
 let touch t key entry =
   t.stamp <- t.stamp + 1;
@@ -46,39 +82,152 @@ let find t key =
     touch t key e;
     Some e
 
+(* ------------------------------------------------------------------ *)
+(* line payloads *)
+
 let entry_to_line key = function
   | Measured { cycles; code_size; counters } ->
     Printf.sprintf "ok|%s|%d|%d|%s" key cycles code_size
       (String.concat "," (List.map string_of_int (Array.to_list counters)))
   | Failure -> Printf.sprintf "fail|%s" key
 
+(* strictly decimal, so int_of_string cannot be tricked into accepting
+   "0x10", "1_0" or a sign *)
+let dec s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
 let entry_of_line line =
+  let invalid why = Error (Printf.sprintf "%s: %S" why line) in
   match String.split_on_char '|' line with
-  | [ "fail"; key ] -> (key, Failure)
+  | [ "fail"; key ] when key <> "" -> Ok (key, Failure)
+  | [ "fail"; _ ] -> invalid "empty key"
   | [ "ok"; key; cycles; code_size; counters ] ->
-    let counters =
-      if counters = "" then [||]
+    if key = "" then invalid "empty key"
+    else if not (dec cycles && dec code_size) then
+      invalid "non-decimal cycles or size"
+    else begin
+      let fields =
+        if counters = "" then []
+        else String.split_on_char ',' counters
+      in
+      if not (List.for_all dec fields) then invalid "non-decimal counter"
       else
-        String.split_on_char ',' counters
-        |> List.map int_of_string |> Array.of_list
-    in
-    ( key,
-      Measured
-        {
-          cycles = int_of_string cycles;
-          code_size = int_of_string code_size;
-          counters;
-        } )
-  | _ -> failwith (Printf.sprintf "Rcache: malformed log line %S" line)
+        match
+          ( int_of_string cycles,
+            int_of_string code_size,
+            List.map int_of_string fields )
+        with
+        | cycles, code_size, counters ->
+          Ok
+            ( key,
+              Measured
+                { cycles; code_size; counters = Array.of_list counters } )
+        | exception Failure _ -> invalid "value out of range"
+    end
+  | _ -> invalid "malformed log line"
+
+(* ------------------------------------------------------------------ *)
+(* the single-writer advisory lock *)
+
+let lock_path dir = Filename.concat dir "cache.lock"
+
+let pid_alive pid =
+  if pid <= 0 then false
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception _ -> true (* EPERM and friends: someone is there *)
+
+let read_small_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        Some (really_input_string ic (min 64 (in_channel_length ic))))
+
+let acquire_lock t dir =
+  let path = lock_path dir in
+  if Faults.fires "stale-lock" then begin
+    (* plant a lock left behind by a dead process *)
+    let oc = open_out path in
+    output_string oc "0";
+    close_out oc
+  end;
+  (match read_small_file path with
+   | None -> ()
+   | Some content ->
+     let owner =
+       if dec (String.trim content) then int_of_string (String.trim content)
+       else -1 (* malformed lock: treat as stale *)
+     in
+     if owner = Unix.getpid () then ()
+     else if pid_alive owner then
+       raise
+         (Cache_error
+            (Printf.sprintf
+               "%s: cache is in use by running process %d (remove the \
+                lock file if that process is gone)"
+               path owner))
+     else begin
+       (try Sys.remove path with Sys_error _ -> ());
+       t.stale_locks <- t.stale_locks + 1
+     end);
+  let oc = open_out path in
+  output_string oc (string_of_int (Unix.getpid ()));
+  close_out oc
+
+let release_lock dir =
+  let path = lock_path dir in
+  match read_small_file path with
+  | Some content when String.trim content = string_of_int (Unix.getpid ())
+    ->
+    (try Sys.remove path with Sys_error _ -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* writing *)
+
+let flip_one_char s =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  end
+
+let append_line t line =
+  match t.log with
+  | None -> ()
+  | Some oc -> (
+    (* a failed write (disk full, injected) degrades to memory-only for
+       this entry instead of killing the run *)
+    match
+      let line =
+        if Faults.fires "flip-append" then flip_one_char line else line
+      in
+      if Faults.fires "torn-append" then begin
+        (* half the line, no newline: exactly what a crash mid-write
+           leaves behind *)
+        output_string oc (String.sub line 0 (String.length line / 2));
+        flush oc
+      end
+      else if Faults.fires "fail-append" then
+        raise (Faults.Injected "fail-append")
+      else begin
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      end
+    with
+    | () -> ()
+    | exception _ -> t.write_errors <- t.write_errors + 1)
 
 let add t key entry =
   touch t key entry;
-  match t.log with
-  | None -> ()
-  | Some oc ->
-    output_string oc (entry_to_line key entry);
-    output_char oc '\n';
-    flush oc
+  append_line t (seal_line (entry_to_line key entry))
 
 let in_memory ?(mem_capacity = default_capacity) () =
   {
@@ -88,50 +237,164 @@ let in_memory ?(mem_capacity = default_capacity) () =
     known = 0;
     capacity = max 1 mem_capacity;
     log = None;
+    dir = None;
+    quarantined = 0;
+    write_errors = 0;
+    stale_locks = 0;
   }
 
-let open_dir ?(mem_capacity = default_capacity) dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let path = Filename.concat dir "results.log" in
-  let fresh = not (Sys.file_exists path) in
-  let t = { (in_memory ~mem_capacity ()) with log = None } in
-  if not fresh then begin
-    let ic = open_in path in
+(* ------------------------------------------------------------------ *)
+(* replay and compaction *)
+
+let payload_of_line ~version line =
+  match version with V2 -> unseal_line line | V1 -> Some line
+
+(* stream every valid (key, payload) of [path] in file order *)
+let iter_valid_lines path ~version f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (try ignore (input_line ic) with End_of_file -> ());
+      try
+        while true do
+          let line = input_line ic in
+          if line <> "" then
+            match payload_of_line ~version line with
+            | None -> ()
+            | Some payload -> (
+              match entry_of_line payload with
+              | Ok (key, e) -> f key payload e
+              | Error _ -> ())
+        done
+      with End_of_file -> ())
+
+(* Rewrite [path] as a clean v2 log: one line per key, last value wins,
+   corruption scrubbed.  Atomic: temp file + rename. *)
+let rewrite_log path ~version =
+  let order = ref [] in
+  let latest : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+  iter_valid_lines path ~version (fun key payload _e ->
+      if not (Hashtbl.mem latest key) then order := key :: !order;
+      Hashtbl.replace latest key payload);
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  output_string oc magic;
+  output_char oc '\n';
+  List.iter
+    (fun key ->
+      output_string oc (seal_line (Hashtbl.find latest key));
+      output_char oc '\n')
+    (List.rev !order);
+  close_out oc;
+  if Faults.fires "compact-crash" then begin
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise (Faults.Injected "compact-crash")
+  end;
+  Sys.rename tmp path
+
+let log_file dir = Filename.concat dir "results.log"
+
+let open_append path =
+  open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+
+let compact t =
+  match (t.dir, t.log) with
+  | Some dir, Some oc ->
+    let path = log_file dir in
+    (* close before rename so no buffered bytes chase the old inode *)
+    flush oc;
+    close_out_noerr oc;
+    t.log <- None;
     Fun.protect
-      ~finally:(fun () -> close_in ic)
+      ~finally:(fun () -> t.log <- Some (open_append path))
+      (fun () -> rewrite_log path ~version:V2)
+  | _ -> ()
+
+let open_dir ?(mem_capacity = default_capacity) dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      raise (Cache_error (dir ^ ": not a directory"))
+  end
+  else begin
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error e ->
+      raise (Cache_error ("cannot create cache directory: " ^ e))
+  end;
+  let t = { (in_memory ~mem_capacity ()) with dir = Some dir } in
+  acquire_lock t dir;
+  match
+    let path = log_file dir in
+    let version = ref V2 in
+    let fresh = not (Sys.file_exists path) in
+    if not fresh then begin
+    let ic =
+      try open_in path
+      with Sys_error e -> raise (Cache_error ("cannot open log: " ^ e))
+    in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         (match input_line ic with
-         | header when header = magic -> ()
-         | header ->
-           failwith
-             (Printf.sprintf "Rcache: %s: bad header %S" path header)
-         | exception End_of_file -> ());
+         | h when h = magic -> ()
+         | h when h = magic_v1 -> version := V1
+         | h
+           when String.length h < String.length magic
+                && (String.starts_with ~prefix:h magic
+                   || String.starts_with ~prefix:h magic_v1) ->
+           (* a header torn by a crash during cache creation *)
+           t.quarantined <- t.quarantined + 1
+         | h ->
+           raise
+             (Cache_error
+                (Printf.sprintf "%s: not a result cache (bad header %S)"
+                   path h))
+         | exception End_of_file -> () (* empty file: treat as fresh *));
         try
           while true do
             let line = input_line ic in
             if line <> "" then
-              (* a torn line (crash mid-append) must not poison the
-                 store: drop it and keep replaying *)
-              match entry_of_line line with
-              | key, e -> touch t key e
-              | exception Failure _ -> ()
+              match payload_of_line ~version:!version line with
+              | None -> t.quarantined <- t.quarantined + 1
+              | Some payload -> (
+                match entry_of_line payload with
+                | Ok (key, e) -> touch t key e
+                | Error _ -> t.quarantined <- t.quarantined + 1)
           done
         with End_of_file -> ())
   end;
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
-  in
-  if fresh then begin
-    output_string oc magic;
-    output_char oc '\n';
-    flush oc
-  end;
-  { t with log = Some oc }
+    (* self-heal: a v1 log migrates to v2; a log that quarantined
+       anything is scrubbed (also re-terminating any torn tail, so later
+       appends cannot glue onto it) *)
+    if (not fresh) && (!version = V1 || t.quarantined > 0) then
+      rewrite_log path ~version:!version;
+    let oc = open_append path in
+    if
+      fresh
+      || (Unix.fstat (Unix.descr_of_out_channel oc)).Unix.st_size = 0
+    then begin
+      output_string oc magic;
+      output_char oc '\n';
+      flush oc
+    end;
+    t.log <- Some oc
+  with
+  | () -> t
+  | exception e ->
+    (* do not leave the lock behind on a failed open *)
+    release_lock dir;
+    raise e
 
 let resident t = Hashtbl.length t.tbl
 let known t = t.known
+let quarantined t = t.quarantined
+let write_errors t = t.write_errors
+let stale_locks_broken t = t.stale_locks
 
 let close t =
-  match t.log with
-  | None -> ()
-  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  (match t.log with
+   | None -> ()
+   | Some oc -> ( try close_out oc with Sys_error _ -> ()));
+  t.log <- None;
+  match t.dir with None -> () | Some dir -> release_lock dir

@@ -6,22 +6,43 @@
     the recorded fact that the evaluation failed (trapped / diverged),
     so known-broken sequences are never re-simulated either.
 
-    Persistence is an append-only line-oriented log ([results.log] inside
-    the cache directory), flushed on every write: concurrent readers see
-    a prefix, a crash loses at most the unflushed tail, and re-recording
-    a key simply appends a newer line (last line wins on load).  A
-    bounded LRU sits in front so an arbitrarily large log cannot exhaust
-    memory; evicted entries are still on disk and reappear on reopen. *)
+    Persistence is an append-only line-oriented log ([results.log]
+    inside the cache directory), flushed on every write.  Format v2
+    protects every record with a checksum: a line is
+    [<sum>|<payload>] where [<sum>] is the first 8 hex characters of
+    the payload's MD5.  At replay, a line whose checksum or payload
+    does not validate — torn by a crash, bit-flipped by the medium,
+    semantically out of range — is {e quarantined}: counted, dropped,
+    never fatal; the remaining entries survive.  Re-recording a key
+    appends a newer line (last line wins on load).  Whenever replay
+    quarantined anything, and whenever a v1 (checksum-less) log is
+    opened, the log is rewritten in place via {!compact} — the store is
+    self-healing, and v1 caches migrate transparently.
+
+    A single-writer advisory lock ([cache.lock], holding the writer's
+    pid) guards the directory: opening a cache locked by a live process
+    raises {!Cache_error}; a lock left by a dead process is broken
+    silently (and counted).
+
+    A bounded LRU sits in front so an arbitrarily large log cannot
+    exhaust memory; evicted entries are still on disk and reappear on
+    reopen. *)
 
 type entry =
   | Measured of { cycles : int; code_size : int; counters : int array }
   | Failure  (** trapped or diverged: cost is infinity, reproducibly *)
 
+(** environmental failures of {!open_dir} — the directory cannot be
+    created or read, the file is not a result cache, or another live
+    process holds the lock.  (Content corruption is never an error: it
+    is quarantined.) *)
+exception Cache_error of string
+
 type t
 
-(** [open_dir dir] loads (or creates) the cache persisted under [dir].
-    @raise Sys_error when [dir] cannot be created or the log not opened
-    @raise Failure on a corrupt log file *)
+(** [open_dir dir] loads (or creates) the cache persisted under [dir],
+    taking the single-writer lock.
+    @raise Cache_error as documented above *)
 val open_dir : ?mem_capacity:int -> string -> t
 
 (** a purely in-memory cache (no directory, nothing persisted) *)
@@ -29,8 +50,16 @@ val in_memory : ?mem_capacity:int -> unit -> t
 
 val find : t -> string -> entry option
 
-(** record (and persist) the entry for a key, replacing any older value *)
+(** Record (and persist) the entry for a key, replacing any older
+    value.  A failed disk write (e.g. full disk) is counted in
+    {!write_errors} and the entry kept in memory; it never raises. *)
 val add : t -> string -> entry -> unit
+
+(** Rewrite the log as one checksummed line per live key (last-wins
+    collapsed, corruption scrubbed) — atomically: the new log is built
+    as a temporary file in the same directory and [rename]d over the
+    old, so a crash mid-compaction leaves the previous log intact. *)
+val compact : t -> unit
 
 (** entries currently resident in memory *)
 val resident : t -> int
@@ -38,4 +67,33 @@ val resident : t -> int
 (** total entries ever loaded/added this session (monotone) *)
 val known : t -> int
 
+(** corrupt log lines dropped at replay this session *)
+val quarantined : t -> int
+
+(** disk appends that failed and were absorbed *)
+val write_errors : t -> int
+
+(** stale (dead-owner) locks broken at open *)
+val stale_locks_broken : t -> int
+
+(** release the lock and close the log *)
 val close : t -> unit
+
+(** {2 Checksummed-line discipline}
+
+    Exposed for {!Journal} (which journals sweep progress through the
+    same crash-safe format) and for tests that build corrupt logs. *)
+
+(** [seal_line payload] is [<sum>|<payload>] *)
+val seal_line : string -> string
+
+(** checksum validation: the payload, or [None] on any mismatch *)
+val unseal_line : string -> string option
+
+(** Parse (and semantically validate) a log-line payload.  Rejects, with
+    a reason: unknown shapes, empty keys, non-decimal or negative
+    cycles / code size / counter values, junk after the counter list. *)
+val entry_of_line : string -> (string * entry, string) result
+
+(** the inverse of {!entry_of_line} *)
+val entry_to_line : string -> entry -> string

@@ -17,11 +17,12 @@ reference evaluation = 31 entries):
     failures       0
     hit rate       0.0%
     cache entries  31
+    quarantined    0
 
-The cache directory holds an append-only result log:
+The cache directory holds an append-only, checksummed result log:
 
   $ head -1 rc/results.log
-  mira-rescache 1
+  mira-rescache 2
 
 A warm re-run finds the same result without a single simulation:
 
@@ -37,6 +38,7 @@ A warm re-run finds the same result without a single simulation:
     failures       0
     hit rate       100.0%
     cache entries  31
+    quarantined    0
 
 Parallel and serial agree on everything but the stats table:
 

@@ -1,0 +1,77 @@
+Cache failures are reported as one-line errors with their own exit code
+(4), never stack traces, and never silent corruption.
+
+A cache path that is not a directory:
+
+  $ touch not-a-dir
+  $ miracc search sample.mira --strategy random --budget 3 --seed 1 --cache not-a-dir
+  miracc: cache error: not-a-dir: not a directory
+  [4]
+
+A file that is not a result cache is refused, not clobbered:
+
+  $ mkdir alien
+  $ echo "my precious data" > alien/results.log
+  $ miracc search sample.mira --strategy random --budget 3 --seed 1 --cache alien
+  miracc: cache error: alien/results.log: not a result cache (bad header "my precious data")
+  [4]
+  $ cat alien/results.log
+  my precious data
+
+A cache held by a live process is refused (the message names the pid, so
+only the exit code is checked here):
+
+  $ mkdir locked
+  $ echo $$ > locked/cache.lock
+  $ miracc search sample.mira --strategy random --budget 3 --seed 1 --cache locked 2>/dev/null
+  [4]
+
+A lock left behind by a dead process is broken and the run proceeds:
+
+  $ echo 999999999 > locked/cache.lock
+  $ miracc search sample.mira --strategy random --budget 3 --seed 1 --cache locked > /dev/null
+  engine health: degraded (stale-locks-broken=1)
+  $ ls locked/cache.lock
+  ls: cannot access 'locked/cache.lock': No such file or directory
+  [2]
+
+A malformed --inject spec is a usage error:
+
+  $ miracc search sample.mira --strategy random --budget 3 --seed 1 --inject bogus@1
+  miracc: bad --inject spec: unknown injection point "bogus" (known: worker-crash, worker-hang, spawn-fail, torn-append, flip-append, fail-append, stale-lock, compact-crash, sweep-crash, sweep-torn)
+  [1]
+
+Self-healing: tear the last cache append mid-write (as a crash would).
+The torn line is quarantined at the next open, the lost result is
+re-simulated, and the log is rewritten clean:
+
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --cache torn --cache-stats --inject torn-append@10 2>&1 | grep -E "simulations|entries|quarantined|health"
+    simulations    11
+    cache entries  11
+    quarantined    0
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --cache torn --cache-stats 2>&1 | grep -E "simulations|entries|quarantined|health"
+    simulations    1
+    cache entries  11
+    quarantined    1
+  engine health: degraded (cache-quarantined=1)
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --cache torn --cache-stats 2>&1 | grep -E "simulations|entries|quarantined|health"
+    simulations    0
+    cache entries  11
+    quarantined    0
+
+A task that keeps killing its worker is quarantined as poisoned: it
+costs infinity (one failure), is not cached, the pool respawns workers
+and finishes everything else, and the degradation is reported:
+
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 -j 2 --max-worker-restarts 4 --inject worker-crash@2 --cache stress --cache-stats 2>health.log | grep -E "failures|entries"
+    failures       1
+    cache entries  10
+  $ grep -c "poisoned-tasks=1" health.log
+  1
+
+The crash was not cached as a result, so a clean warm run measures the
+poisoned sequence for real:
+
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 -j 2 --cache stress --cache-stats 2>&1 | grep -E "failures|entries|health"
+    failures       0
+    cache entries  11

@@ -168,6 +168,8 @@ let test_rcache_roundtrip () =
       output_string oc "ok|torn-key|12";
       close_out oc;
       let c3 = Engine.Rcache.open_dir dir in
+      Alcotest.(check int) "torn line quarantined" 1
+        (Engine.Rcache.quarantined c3);
       Alcotest.(check (option entry)) "torn line dropped" None
         (Engine.Rcache.find c3 "torn-key");
       Alcotest.(check (option entry)) "intact entries survive" (Some m)
