@@ -42,6 +42,16 @@ let () =
          Fmt.epr "-j expects a positive integer@.";
          exit 1);
       strip_opts rest
+    | "--json" :: rest ->
+      Util.micro_json := true;
+      strip_opts rest
+    | "--engine" :: e :: rest ->
+      (match Mach.Sim.engine_of_string e with
+       | Some eng -> Mach.Sim.default_engine := eng
+       | None ->
+         Fmt.epr "--engine expects ref or flat@.";
+         exit 1);
+      strip_opts rest
     | "--inject" :: spec :: rest ->
       (match Engine.Faults.parse spec with
        | Ok plan -> Engine.Faults.install plan

@@ -11,6 +11,9 @@ let per_program () = match !scale with Fast -> 60 | Full -> 120
 (* worker processes for the evaluation engine (main.ml's -j flag) *)
 let jobs = ref 1
 
+(* main.ml's --json flag: the micro experiment writes BENCH_micro.json *)
+let micro_json = ref false
+
 let data_dir = "bench_data"
 
 let ensure_dir () =

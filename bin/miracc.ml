@@ -70,6 +70,20 @@ let kb_arg =
   Arg.(required & opt (some string) None & info [ "kb" ] ~docv:"FILE"
          ~doc:"Knowledge-base file.")
 
+(* every command that executes programs takes --engine; the chosen
+   engine is installed as the process-wide default so train/search
+   evaluations inherit it too *)
+let engine_conv = Arg.enum [ ("ref", Mach.Sim.Ref); ("flat", Mach.Sim.Flat) ]
+
+let engine_arg =
+  Arg.(value & opt engine_conv Mach.Sim.Flat & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Execution engine: $(b,flat) (pre-decoded bytecode, the \
+               default) or $(b,ref) (the reference interpreter).  Both \
+               produce bit-identical results; ref is kept as the \
+               semantics oracle.")
+
+let set_engine e = Mach.Sim.default_engine := e
+
 (* evaluation-engine args, shared by train/search *)
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
@@ -157,11 +171,37 @@ let compile_cmd =
 
 let run_cmd =
   let doc = "Compile and execute on the cycle-level machine simulator." in
-  let run file arch level seq show_counters =
+  let run file arch level seq show_counters engine profile =
+    set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
     let p' = Passes.Pass.apply_sequence (parse_seq ~level ~seq) p in
-    match Mach.Sim.run ~config p' with
+    (* --profile: one line on stderr with the decode/execute wall-time
+       split (the ref engine has no decode stage, reported as such) *)
+    let execute () =
+      if not profile then Mach.Sim.run ~config p'
+      else
+        match engine with
+        | Mach.Sim.Flat ->
+          let t0 = Unix.gettimeofday () in
+          let dp = Mira.Decode.decode p' in
+          let t1 = Unix.gettimeofday () in
+          let r = Mach.Sim.run_decoded ~config dp in
+          let t2 = Unix.gettimeofday () in
+          let d = (t1 -. t0) *. 1e3 and e = (t2 -. t1) *. 1e3 in
+          Fmt.epr "profile: decode %.3f ms, execute %.3f ms (decode %.1f%% \
+                   of total)@."
+            d e
+            (100. *. d /. Float.max 1e-9 (d +. e));
+          r
+        | Mach.Sim.Ref ->
+          let t0 = Unix.gettimeofday () in
+          let r = Mach.Sim.run ~config p' in
+          let e = (Unix.gettimeofday () -. t0) *. 1e3 in
+          Fmt.epr "profile: decode n/a (ref engine), execute %.3f ms@." e;
+          r
+    in
+    match execute () with
     | r ->
       print_string r.Mach.Sim.output;
       Fmt.pr "return: %s@." (Mira.Interp.value_to_string r.Mach.Sim.ret);
@@ -179,8 +219,13 @@ let run_cmd =
   let counters_flag =
     Arg.(value & flag & info [ "counters" ] ~doc:"Dump the raw counter bank.")
   in
+  let profile_flag =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Print a one-line decode/execute wall-time split on stderr.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ file_arg $ arch_arg $ level_arg $ seq_arg $ counters_flag)
+    Term.(const run $ file_arg $ arch_arg $ level_arg $ seq_arg $ counters_flag
+          $ engine_arg $ profile_flag)
 
 (* --- features ------------------------------------------------------ *)
 
@@ -196,7 +241,8 @@ let features_cmd =
 
 let counters_cmd =
   let doc = "Profile at -O0 and print per-instruction counter rates." in
-  let run file arch =
+  let run file arch engine =
+    set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
     let r = Mach.Sim.run ~config p in
@@ -204,7 +250,8 @@ let counters_cmd =
       (fun (n, v) -> Fmt.pr "%-10s %.6f@." n v)
       (Icc.Characterize.counter_assoc r.Mach.Sim.counters)
   in
-  Cmd.v (Cmd.info "counters" ~doc) Term.(const run $ file_arg $ arch_arg)
+  Cmd.v (Cmd.info "counters" ~doc)
+    Term.(const run $ file_arg $ arch_arg $ engine_arg)
 
 (* --- workloads ----------------------------------------------------- *)
 
@@ -227,7 +274,8 @@ let train_cmd =
     "Build a knowledge base by exploring the built-in workload suite."
   in
   let run out arch per_program exclude jobs cache cache_stats inject
-      max_restarts =
+      max_restarts engine =
+    set_engine engine;
     let config = arch_of_name arch in
     let programs =
       Workloads.all
@@ -259,13 +307,15 @@ let train_cmd =
   Cmd.v (Cmd.info "train" ~doc)
     Term.(
       const run $ out_arg $ arch_arg $ pp_arg $ excl_arg $ jobs_arg
-      $ cache_dir_arg $ cache_stats_arg $ inject_arg $ max_restarts_arg)
+      $ cache_dir_arg $ cache_stats_arg $ inject_arg $ max_restarts_arg
+      $ engine_arg)
 
 (* --- predict ------------------------------------------------------- *)
 
 let predict_cmd =
   let doc = "One-shot optimization prediction from a knowledge base." in
-  let run file arch kb_path use_counters trials =
+  let run file arch kb_path use_counters trials engine =
+    set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
     let kb = Knowledge.Kb.load kb_path in
@@ -295,14 +345,16 @@ let predict_cmd =
            ~doc:"Evaluate the top N counter-model candidates online.")
   in
   Cmd.v (Cmd.info "predict" ~doc)
-    Term.(const run $ file_arg $ arch_arg $ kb_arg $ counters_flag $ trials_arg)
+    Term.(const run $ file_arg $ arch_arg $ kb_arg $ counters_flag
+          $ trials_arg $ engine_arg)
 
 (* --- search -------------------------------------------------------- *)
 
 let search_cmd =
   let doc = "Search the optimization space for a program." in
   let run file arch strategy budget seed kb_path jobs cache cache_stats
-      inject max_restarts =
+      inject max_restarts engine =
+    set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
     let eng = make_engine ~config ~jobs ~cache ~inject ~max_restarts in
@@ -361,7 +413,7 @@ let search_cmd =
     Term.(
       const run $ file_arg $ arch_arg $ strategy_arg $ budget_arg $ seed_arg
       $ kb_opt $ jobs_arg $ cache_dir_arg $ cache_stats_arg $ inject_arg
-      $ max_restarts_arg)
+      $ max_restarts_arg $ engine_arg)
 
 (* --- dynamic ------------------------------------------------------- *)
 

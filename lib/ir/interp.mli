@@ -55,7 +55,17 @@ type result = {
 }
 
 val value_to_string : value -> string
+val arr_len : arr -> int
 val default_fuel : int
+
+(** {2 Address-space layout}
+
+    Shared with the flat engine ({!Decode}): both engines must hand the
+    machine simulator identical byte addresses. *)
+
+val global_base : int
+val stack_base : int
+val align64 : int -> int
 
 (** Run a program from its main function.
     @raise Trap on runtime errors

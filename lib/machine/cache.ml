@@ -13,6 +13,9 @@ let sets cfg = max 1 (lines cfg / cfg.assoc)
 type t = {
   cfg : config;
   nsets : int;
+  line_shift : int;      (* log2 line_bytes (checked power of two) *)
+  set_mask : int;        (* nsets - 1 when nsets is a power of two, else -1 *)
+  set_shift : int;       (* log2 nsets when it is a power of two *)
   tags : int array;      (* nsets * assoc; -1 = invalid *)
   dirty : bool array;
   age : int array;       (* LRU stamps *)
@@ -34,12 +37,21 @@ let check_config cfg =
   if cfg.assoc <= 0 || lines cfg mod cfg.assoc <> 0 then
     invalid_arg "Cache: associativity does not divide the line count"
 
+let log2_exact n =
+  let rec go i = if 1 lsl i >= n then i else go (i + 1) in
+  go 0
+
 let make cfg =
   check_config cfg;
   let n = sets cfg * cfg.assoc in
+  let nsets = sets cfg in
+  let pow2 x = x > 0 && x land (x - 1) = 0 in
   {
     cfg;
-    nsets = sets cfg;
+    nsets;
+    line_shift = log2_exact cfg.line_bytes;
+    set_mask = (if pow2 nsets then nsets - 1 else -1);
+    set_shift = (if pow2 nsets then log2_exact nsets else 0);
     tags = Array.make n (-1);
     dirty = Array.make n false;
     age = Array.make n 0;
@@ -68,9 +80,10 @@ type outcome = {
 let access (t : t) ~(addr : int) ~(write : bool) : outcome =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
-  let line = addr / t.cfg.line_bytes in
-  let set = line mod t.nsets in
-  let tag = line / t.nsets in
+  (* addresses are non-negative, so shift/mask equal the divisions *)
+  let line = addr lsr t.line_shift in
+  let set = if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets in
+  let tag = if t.set_mask >= 0 then line lsr t.set_shift else line / t.nsets in
   let base = set * t.cfg.assoc in
   let rec find i =
     if i = t.cfg.assoc then None

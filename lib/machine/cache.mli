@@ -17,6 +17,9 @@ val sets : config -> int
 type t = {
   cfg : config;
   nsets : int;
+  line_shift : int;  (** log2 of [cfg.line_bytes] *)
+  set_mask : int;    (** [nsets - 1] when [nsets] is a power of two, else -1 *)
+  set_shift : int;   (** log2 of [nsets] when it is a power of two *)
   tags : int array;
   dirty : bool array;
   age : int array;

@@ -1,0 +1,490 @@
+module Interp = Mira.Interp
+module D = Mira.Decode
+
+(* Cycle-level simulator over Decode bytecode, with Sim's accounting
+   fused into the dispatch arms.  See flatsim.mli for the contract; the
+   execution arms mirror Decode.exec and the accounting mirrors
+   Sim.on_instr / on_branch / hooks_of, both line for line.  The
+   reference calls on_instr *before* evaluating operands, evaluates a
+   Br condition *before* on_branch, and fires on_jump for Ret *before*
+   evaluating the return operand — the arm ordering below preserves all
+   of that, so counters and cycles match even on trapping runs. *)
+
+type result = {
+  cycles : int;
+  counters : Counters.bank;
+  ret : Interp.value;
+  output : string;
+  steps : int;
+}
+
+(* timing state; machine parameters pre-extracted from Config.t so the
+   hot loop reads flat record fields *)
+type mt = {
+  bank : Counters.bank;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  bp : Predictor.t;
+  mutable cycles : int;
+  mutable bundle : int;
+  mutable bundle_id : int;
+  mutable stamps : int array;
+  issue_width : int;
+  lat_mul : int;
+  lat_div : int;
+  lat_fadd : int;
+  lat_fmul : int;
+  lat_fdiv : int;
+  branch_cost : int;
+  jump_cost : int;
+  mispredict_penalty : int;
+  call_overhead : int;
+  print_cost : int;
+  l1_lat : int;
+  l2_lat : int;
+  mem_lat : int;
+}
+
+let mk_mt (cfg : Config.t) : mt =
+  {
+    bank = Counters.make ();
+    l1 = Cache.make cfg.Config.l1;
+    l2 = Cache.make cfg.Config.l2;
+    bp = Predictor.make ~size:cfg.Config.predictor_size ();
+    cycles = 0;
+    bundle = 0;
+    bundle_id = 1;
+    stamps = Array.make 256 0;
+    issue_width = cfg.Config.issue_width;
+    lat_mul = cfg.Config.lat_mul;
+    lat_div = cfg.Config.lat_div;
+    lat_fadd = cfg.Config.lat_fadd;
+    lat_fmul = cfg.Config.lat_fmul;
+    lat_fdiv = cfg.Config.lat_fdiv;
+    branch_cost = cfg.Config.branch_cost;
+    jump_cost = cfg.Config.jump_cost;
+    mispredict_penalty = cfg.Config.mispredict_penalty;
+    call_overhead = cfg.Config.call_overhead;
+    print_cost = cfg.Config.print_cost;
+    l1_lat = cfg.Config.l1_lat;
+    l2_lat = cfg.Config.l2_lat;
+    mem_lat = cfg.Config.mem_lat;
+  }
+
+(* Raw counter-bank slots (resolved once via Counters.to_index) bumped
+   through a tiny helper the compiler inlines: the fused loop touches
+   counters several times per instruction, so the [Counters.incr] call
+   pair (incr + to_index) is measurable at this granularity.  Every
+   index is < Counters.count = bank length, so the unsafe accesses are
+   in bounds. *)
+let c_tot_ins = Counters.to_index Counters.TOT_INS
+let c_ld_ins = Counters.to_index Counters.LD_INS
+let c_sr_ins = Counters.to_index Counters.SR_INS
+let c_br_ins = Counters.to_index Counters.BR_INS
+let c_br_tkn = Counters.to_index Counters.BR_TKN
+let c_br_msp = Counters.to_index Counters.BR_MSP
+let c_fp_ins = Counters.to_index Counters.FP_INS
+let c_int_ins = Counters.to_index Counters.INT_INS
+let c_mul_ins = Counters.to_index Counters.MUL_INS
+let c_div_ins = Counters.to_index Counters.DIV_INS
+let c_call_ins = Counters.to_index Counters.CALL_INS
+let c_l1_tca = Counters.to_index Counters.L1_TCA
+let c_l1_tcm = Counters.to_index Counters.L1_TCM
+let c_l1_ldm = Counters.to_index Counters.L1_LDM
+let c_l1_stm = Counters.to_index Counters.L1_STM
+let c_l2_tca = Counters.to_index Counters.L2_TCA
+let c_l2_tcm = Counters.to_index Counters.L2_TCM
+let c_l2_ldm = Counters.to_index Counters.L2_LDM
+let c_l2_stm = Counters.to_index Counters.L2_STM
+
+let[@inline] bump (b : Counters.bank) i =
+  Array.unsafe_set b i (Array.unsafe_get b i + 1)
+
+let ensure_stamp mt r =
+  if r >= Array.length mt.stamps then begin
+    let n = Array.make (max (r + 1) (2 * Array.length mt.stamps)) 0 in
+    Array.blit mt.stamps 0 n 0 (Array.length mt.stamps);
+    mt.stamps <- n
+  end
+
+let close_bundle mt =
+  if mt.bundle > 0 then mt.cycles <- mt.cycles + 1;
+  mt.bundle <- 0;
+  mt.bundle_id <- mt.bundle_id + 1
+
+(* Sim.issue_simple over the decoder's precomputed use array; [d] is the
+   defined register (simple ops always have one).  The stamp reads stay
+   bounds-checked: a malformed register index must raise the same
+   Invalid_argument the reference's [st.stamps.(r)] does. *)
+let issue_simple mt (uses : int array) (d : int) =
+  let stamps = mt.stamps in
+  let slen = Array.length stamps in
+  let dep = ref false in
+  for i = 0 to Array.length uses - 1 do
+    let r = Array.unsafe_get uses i in
+    if r < slen && stamps.(r) = mt.bundle_id then dep := true
+  done;
+  if !dep then close_bundle mt;
+  mt.bundle <- mt.bundle + 1;
+  ensure_stamp mt d;
+  mt.stamps.(d) <- mt.bundle_id;
+  if mt.bundle >= mt.issue_width then close_bundle mt
+
+let issue_long mt lat =
+  close_bundle mt;
+  mt.cycles <- mt.cycles + lat
+
+let mem_access mt ~write addr =
+  let b = mt.bank in
+  bump b c_l1_tca;
+  let o1 = Cache.access mt.l1 ~addr ~write in
+  let lat = ref mt.l1_lat in
+  (if not o1.Cache.hit then begin
+     bump b c_l1_tcm;
+     bump b (if write then c_l1_stm else c_l1_ldm);
+     bump b c_l2_tca;
+     let o2 = Cache.access mt.l2 ~addr ~write:false in
+     lat := !lat + mt.l2_lat;
+     if not o2.Cache.hit then begin
+       bump b c_l2_tcm;
+       bump b (if write then c_l2_stm else c_l2_ldm);
+       lat := !lat + mt.mem_lat
+     end;
+     match o1.Cache.writeback with
+     | Some wb_addr ->
+       bump b c_l2_tca;
+       let o2w = Cache.access mt.l2 ~addr:wb_addr ~write:true in
+       if not o2w.Cache.hit then begin
+         bump b c_l2_tcm;
+         bump b c_l2_stm
+       end
+     | None -> ()
+   end);
+  issue_long mt !lat
+
+let rec exec (rt : D.rt) (mt : mt) (fr : D.frame) : unit =
+  let code = fr.D.df.D.code in
+  let bank = mt.bank in
+  let pc = ref fr.D.df.D.entry_pc in
+  let running = ref true in
+  while !running do
+    let di = Array.unsafe_get code !pc in
+    rt.D.fuel <- rt.D.fuel - 1;
+    rt.D.steps <- rt.D.steps + 1;
+    if rt.D.fuel <= 0 then raise Interp.Out_of_fuel;
+    incr pc;
+    match di.D.op with
+    | D.OAdd ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a + b)
+    | D.OSub ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a - b)
+    | D.OMul ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      bump bank c_mul_ins;
+      issue_long mt mt.lat_mul;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a * b)
+    | D.ODiv ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      bump bank c_div_ins;
+      issue_long mt mt.lat_div;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if b = 0 then D.trap "division by zero" else D.set_int fr di.D.dst (a / b)
+    | D.ORem ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      bump bank c_div_ins;
+      issue_long mt mt.lat_div;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if b = 0 then D.trap "remainder by zero"
+      else D.set_int fr di.D.dst (a mod b)
+    | D.OAnd ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a land b)
+    | D.OOr ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a lor b)
+    | D.OXor ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a lxor b)
+    | D.OShl ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if D.shift_ok b then D.set_int fr di.D.dst (a lsl b)
+      else D.trap "shift count %d" b
+    | D.OShr ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if D.shift_ok b then D.set_int fr di.D.dst (a asr b)
+      else D.trap "shift count %d" b
+    | D.OFAdd ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a +. b)
+    | D.OFSub ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a -. b)
+    | D.OFMul ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fmul;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a *. b)
+    | D.OFDiv ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fdiv;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a /. b)
+    | D.OIeq ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      D.do_icmp rt fr di 0
+    | D.OIne ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      D.do_icmp rt fr di 1
+    | D.OIlt ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      D.do_icmp rt fr di 2
+    | D.OIle ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      D.do_icmp rt fr di 3
+    | D.OIgt ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      D.do_icmp rt fr di 4
+    | D.OIge ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      D.do_icmp rt fr di 5
+    | D.OFeq ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      D.do_fcmp rt fr di 0
+    | D.OFne ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      D.do_fcmp rt fr di 1
+    | D.OFlt ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      D.do_fcmp rt fr di 2
+    | D.OFle ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      D.do_fcmp rt fr di 3
+    | D.OFgt ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      D.do_fcmp rt fr di 4
+    | D.OFge ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      D.do_fcmp rt fr di 5
+    | D.ONot ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let x = D.getb rt fr di.D.ak di.D.a in
+      D.set_bool fr di.D.dst (not x)
+    | D.OMov ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      D.eval_any rt fr di.D.ak di.D.a;
+      D.set_scratch rt fr di.D.dst
+    | D.OI2f ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (float_of_int a)
+    | D.OF2i ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      issue_long mt mt.lat_fadd;
+      let f = D.getf rt fr di.D.ak di.D.a in
+      if Float.is_nan f || Float.abs f > 4.6e18 then
+        D.trap "float-to-int overflow on %g" f
+      else D.set_int fr di.D.dst (int_of_float f)
+    | D.OLoad ->
+      bump bank c_tot_ins;
+      bump bank c_ld_ins;
+      let ix = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geta rt fr di.D.ak di.D.a in
+      let len = D.arr_len a in
+      if ix < 0 || ix >= len then
+        D.trap "load out of bounds: index %d, length %d" ix len;
+      mem_access mt ~write:false (a.Interp.base + (ix * a.Interp.esize));
+      (match a.Interp.payload with
+      | Interp.IA x -> D.set_int fr di.D.dst (Array.unsafe_get x ix)
+      | Interp.FA x -> D.set_flt fr di.D.dst (Array.unsafe_get x ix))
+    | D.OStore ->
+      bump bank c_tot_ins;
+      bump bank c_sr_ins;
+      D.eval_any rt fr di.D.ck di.D.c;
+      let vtag = rt.D.s_tag in
+      let vi = rt.D.s_int and vf = rt.D.s_flt in
+      let ix = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geta rt fr di.D.ak di.D.a in
+      let len = D.arr_len a in
+      if ix < 0 || ix >= len then
+        D.trap "store out of bounds: index %d, length %d" ix len;
+      (* the cache sees the store before the element-type check, exactly
+         like the reference's on_store hook *)
+      mem_access mt ~write:true (a.Interp.base + (ix * a.Interp.esize));
+      (match a.Interp.payload with
+      | Interp.IA x ->
+        if vtag = 1 then
+          Array.unsafe_set x ix
+            (if a.Interp.mask32 then vi land 0xFFFFFFFF else vi)
+        else D.trap "storing non-int into int array"
+      | Interp.FA x ->
+        if vtag = 2 then Array.unsafe_set x ix vf
+        else D.trap "storing non-float into float array")
+    | D.OAlen ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      issue_simple mt di.D.uses di.D.dst;
+      let a = D.geta rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (D.arr_len a)
+    | D.OCall ->
+      bump bank c_tot_ins;
+      bump bank c_call_ins;
+      issue_long mt mt.call_overhead;
+      let args = di.D.args in
+      let nargs = Array.length args / 2 in
+      for j = 0 to nargs - 1 do
+        D.eval_any rt fr
+          (Array.unsafe_get args (2 * j))
+          (Array.unsafe_get args ((2 * j) + 1));
+        D.save_arg rt j
+      done;
+      if di.D.callee < 0 then D.trap "call to unknown function %s" di.D.sname;
+      do_call rt mt di.D.callee nargs;
+      if di.D.dst >= 0 then D.set_scratch rt fr di.D.dst
+    | D.OPrint ->
+      bump bank c_tot_ins;
+      issue_long mt mt.print_cost;
+      D.eval_any rt fr di.D.ak di.D.a;
+      Buffer.add_string rt.D.buf
+        (match rt.D.s_tag with
+        | 1 -> string_of_int rt.D.s_int
+        | 2 -> Printf.sprintf "%.6g" rt.D.s_flt
+        | 3 -> if rt.D.s_int <> 0 then "true" else "false"
+        | _ -> "<array>");
+      Buffer.add_char rt.D.buf '\n'
+    | D.OJmp ->
+      issue_long mt mt.jump_cost;
+      pc := di.D.dst
+    | D.OBr ->
+      (* condition evaluates (and may trap) before any branch
+         accounting, like the reference's [as_bool] before on_branch *)
+      let taken = D.getb rt fr di.D.ak di.D.a in
+      bump bank c_br_ins;
+      if taken then bump bank c_br_tkn;
+      let mis = Predictor.update mt.bp di.D.c ~taken in
+      let cost = mt.branch_cost + if mis then mt.mispredict_penalty else 0 in
+      if mis then bump bank c_br_msp;
+      issue_long mt cost;
+      pc := if taken then di.D.dst else di.D.b
+    | D.ORetN ->
+      issue_long mt mt.jump_cost;
+      rt.D.s_tag <- 0;
+      running := false
+    | D.ORetV ->
+      (* on_jump fires before the return operand is evaluated *)
+      issue_long mt mt.jump_cost;
+      D.eval_any rt fr di.D.ak di.D.a;
+      running := false
+    | D.OBadLabel ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "Ir.find_block: no block %d in %s" di.D.a
+              fr.D.df.D.fname))
+  done
+
+and do_call (rt : D.rt) (mt : mt) fidx nargs : unit =
+  let df = rt.D.dp.D.funcs.(fidx) in
+  if nargs <> Array.length df.D.params then
+    D.trap "arity mismatch calling %s" df.D.fname;
+  let fr = D.new_frame rt.D.dp fidx in
+  D.bind_params rt fr nargs;
+  let saved_sp = rt.D.sp in
+  fr.D.locals <- D.alloc_locals rt df;
+  exec rt mt fr;
+  rt.D.sp <- saved_sp
+
+let run ~(config : Config.t) ~(fuel : int) (dp : D.t) : result =
+  let rt = D.make_rt ~fuel dp in
+  let mt = mk_mt config in
+  if dp.D.main_idx < 0 then
+    D.trap "call to unknown function %s" dp.D.main_name;
+  do_call rt mt dp.D.main_idx 0;
+  if mt.bundle > 0 then mt.cycles <- mt.cycles + 1;
+  Counters.set mt.bank Counters.TOT_CYC mt.cycles;
+  let r = D.result_of rt in
+  {
+    cycles = mt.cycles;
+    counters = mt.bank;
+    ret = r.Interp.ret;
+    output = r.Interp.output;
+    steps = r.Interp.steps;
+  }

@@ -1,0 +1,33 @@
+(** Cycle-level simulation of a pre-decoded program.
+
+    The flat counterpart of {!Sim}: instead of hanging five closure
+    hooks off the reference interpreter, this module runs its own
+    dispatch loop over {!Mira.Decode} bytecode with the timing and
+    counter accounting fused directly into every opcode arm — no hook
+    dispatch, no boxed values, no per-instruction [uses_of] allocation
+    (the decoder precomputed the use arrays the issue model needs).
+
+    The model itself is {e identical} to {!Sim}'s: same bundle issue
+    rules, same cache hierarchy and predictor state evolution, same
+    counter increments in the same order, and the accounting fires at
+    the same points relative to operand evaluation as the reference
+    hooks (e.g. an instruction's class counters are charged before its
+    operands can trap, a store's cache access happens before its
+    element-type check).  The differential tests compare cycles and the
+    full counter bank against {!Sim} run with the reference engine.
+
+    The dispatch loop mirrors [Decode.exec]; a semantics change there
+    needs a mirror change here. *)
+
+type result = {
+  cycles : int;
+  counters : Counters.bank;
+  ret : Mira.Interp.value;
+  output : string;
+  steps : int;
+}
+
+(** Run a decoded program on the simulated machine.
+    @raise Mira.Interp.Trap on runtime errors
+    @raise Mira.Interp.Out_of_fuel when the step budget is exhausted *)
+val run : config:Config.t -> fuel:int -> Mira.Decode.t -> result

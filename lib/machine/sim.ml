@@ -181,10 +181,22 @@ let hooks_of st : Interp.hooks =
 
 let default_fuel = 200_000_000
 
-(* Run [p] on the simulated machine.  Raises the engine's exceptions
-   (Trap, Out_of_fuel) like the plain interpreter. *)
-let run ?(config = Config.default) ?(fuel = default_fuel) (p : Ir.program) :
-    result =
+type engine = Ref | Flat
+
+(* The flat engine is bit-identical to the hooked reference interpreter
+   (the differential tests enforce it), so it is the default everywhere;
+   [Ref] remains forcible for oracle runs and A/B debugging. *)
+let default_engine = ref Flat
+
+let engine_of_string = function
+  | "ref" -> Some Ref
+  | "flat" -> Some Flat
+  | _ -> None
+
+let engine_name = function Ref -> "ref" | Flat -> "flat"
+
+(* Reference path: the hooked interpreter over the program AST. *)
+let run_ref ~config ~fuel (p : Ir.program) : result =
   let st = mk_state config in
   let r = Interp.run ~fuel ~hooks:(hooks_of st) p in
   (* drain the trailing partially-filled bundle *)
@@ -198,11 +210,49 @@ let run ?(config = Config.default) ?(fuel = default_fuel) (p : Ir.program) :
     steps = r.Interp.steps;
   }
 
-(* cycles, or None if the program trapped / ran out of fuel *)
-let cycles_of ?config ?fuel p : int option =
-  match run ?config ?fuel p with
-  | r -> Some r.cycles
-  | exception (Interp.Trap _ | Interp.Out_of_fuel) -> None
+(* Flat path: decode once, run the fused loop. *)
+let run_flat ~config ~fuel (p : Ir.program) : result =
+  let r = Flatsim.run ~config ~fuel (Mira.Decode.decode p) in
+  {
+    cycles = r.Flatsim.cycles;
+    counters = r.Flatsim.counters;
+    ret = r.Flatsim.ret;
+    output = r.Flatsim.output;
+    steps = r.Flatsim.steps;
+  }
+
+(* Run [p] on the simulated machine.  Raises the engine's exceptions
+   (Trap, Out_of_fuel) like the plain interpreter. *)
+let run ?engine ?(config = Config.default) ?(fuel = default_fuel)
+    (p : Ir.program) : result =
+  match
+    match engine with Some e -> e | None -> !default_engine
+  with
+  | Ref -> run_ref ~config ~fuel p
+  | Flat -> run_flat ~config ~fuel p
+
+(* run a pre-decoded program (callers that execute the same program many
+   times, e.g. the benchmarks, pay the decode cost once) *)
+let run_decoded ?(config = Config.default) ?(fuel = default_fuel) dp : result =
+  let r = Flatsim.run ~config ~fuel dp in
+  {
+    cycles = r.Flatsim.cycles;
+    counters = r.Flatsim.counters;
+    ret = r.Flatsim.ret;
+    output = r.Flatsim.output;
+    steps = r.Flatsim.steps;
+  }
+
+(* Outcome of a run for callers that must react to the failure mode:
+   a fuel-exhausted sequence will exhaust fuel again on retry, while a
+   trap may be specific to the optimization under test. *)
+type outcome = Cycles of int | Trapped of string | Exhausted
+
+let cycles_of ?engine ?config ?fuel p : outcome =
+  match run ?engine ?config ?fuel p with
+  | r -> Cycles r.cycles
+  | exception Interp.Trap m -> Trapped m
+  | exception Interp.Out_of_fuel -> Exhausted
 
 let speedup ~(base : result) ~(opt : result) : float =
   float_of_int base.cycles /. float_of_int (max 1 opt.cycles)

@@ -18,13 +18,38 @@ type result = {
 
 val default_fuel : int
 
+(** Which execution engine carries out the run.  Both are bit-identical
+    (same results, traps, steps, cycles and counters — enforced by the
+    differential tests); [Flat] pre-decodes the program into flat
+    bytecode ({!Mira.Decode}) and runs the fused loop ({!Flatsim}),
+    roughly an order of magnitude faster.  [Ref] forces the original
+    hooked interpreter, kept as the semantics oracle. *)
+type engine = Ref | Flat
+
+(** engine used when {!run} is not given [?engine]; starts as [Flat] *)
+val default_engine : engine ref
+
+val engine_of_string : string -> engine option
+val engine_name : engine -> string
+
 (** Run a program on the simulated machine.
     @raise Mira.Interp.Trap on runtime errors
     @raise Mira.Interp.Out_of_fuel when the step budget is exhausted *)
-val run : ?config:Config.t -> ?fuel:int -> Mira.Ir.program -> result
+val run :
+  ?engine:engine -> ?config:Config.t -> ?fuel:int -> Mira.Ir.program -> result
 
-(** cycles, or [None] if the program trapped or ran out of fuel *)
-val cycles_of : ?config:Config.t -> ?fuel:int -> Mira.Ir.program -> int option
+(** run an already-decoded program on the flat engine (decode once,
+    measure many) *)
+val run_decoded : ?config:Config.t -> ?fuel:int -> Mira.Decode.t -> result
+
+(** How a measured run ended.  [Trapped] and [Exhausted] are distinct on
+    purpose: fuel exhaustion is deterministic, so search strategies can
+    drop such a sequence instead of re-trying it, while a trap may be
+    specific to the optimization under test. *)
+type outcome = Cycles of int | Trapped of string | Exhausted
+
+val cycles_of :
+  ?engine:engine -> ?config:Config.t -> ?fuel:int -> Mira.Ir.program -> outcome
 
 (** [speedup ~base ~opt] = base cycles / opt cycles *)
 val speedup : base:result -> opt:result -> float

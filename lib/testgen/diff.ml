@@ -1,0 +1,103 @@
+module Interp = Mira.Interp
+
+(* Strict value representation: floats by bit pattern, so an engine that
+   returns -0.0 where the other returns 0.0 (or a different NaN payload)
+   is caught even though both print the same. *)
+let value_repr (v : Interp.value) : string =
+  match v with
+  | Interp.VFloat f ->
+    Printf.sprintf "%s[bits %Lx]" (Interp.value_to_string v)
+      (Int64.bits_of_float f)
+  | _ -> Interp.value_to_string v
+
+let field name ref_v flat_v acc =
+  if ref_v = flat_v then acc
+  else Printf.sprintf "%s: ref=%s flat=%s" name ref_v flat_v :: acc
+
+(* ------------------------------------------------------------------ *)
+(* Plain interpretation *)
+
+type 'a outcome = Done of 'a | Trapped of string | Exhausted
+
+let outcome_repr = function
+  | Done _ -> "finished"
+  | Trapped m -> Printf.sprintf "trap %S" m
+  | Exhausted -> "out of fuel"
+
+let catching f =
+  match f () with
+  | r -> Done r
+  | exception Interp.Trap m -> Trapped m
+  | exception Interp.Out_of_fuel -> Exhausted
+
+let diff_plain ?fuel (p : Mira.Ir.program) : string list =
+  let a = catching (fun () -> Interp.run ?fuel p) in
+  let b = catching (fun () -> Mira.Decode.run_program ?fuel p) in
+  match (a, b) with
+  | Done ra, Done rb ->
+    []
+    |> field "ret" (value_repr ra.Interp.ret) (value_repr rb.Interp.ret)
+    |> field "output"
+         (Printf.sprintf "%S" ra.Interp.output)
+         (Printf.sprintf "%S" rb.Interp.output)
+    |> field "steps"
+         (string_of_int ra.Interp.steps)
+         (string_of_int rb.Interp.steps)
+    |> List.rev
+  | a, b ->
+    if outcome_repr a = outcome_repr b then []
+    else [ Printf.sprintf "outcome: ref=%s flat=%s" (outcome_repr a)
+             (outcome_repr b) ]
+
+(* ------------------------------------------------------------------ *)
+(* Under the machine simulator *)
+
+let diff_sim ?(config = Mach.Config.default) ?fuel (p : Mira.Ir.program) :
+    string list =
+  let a =
+    catching (fun () -> Mach.Sim.run ~engine:Mach.Sim.Ref ~config ?fuel p)
+  in
+  let b =
+    catching (fun () -> Mach.Sim.run ~engine:Mach.Sim.Flat ~config ?fuel p)
+  in
+  match (a, b) with
+  | Done ra, Done rb ->
+    let counters acc =
+      List.fold_left
+        (fun acc c ->
+          field
+            (Printf.sprintf "counter %s" (Mach.Counters.name c))
+            (string_of_int (Mach.Counters.get ra.Mach.Sim.counters c))
+            (string_of_int (Mach.Counters.get rb.Mach.Sim.counters c))
+            acc)
+        acc Mach.Counters.all
+    in
+    []
+    |> field "ret" (value_repr ra.Mach.Sim.ret) (value_repr rb.Mach.Sim.ret)
+    |> field "output"
+         (Printf.sprintf "%S" ra.Mach.Sim.output)
+         (Printf.sprintf "%S" rb.Mach.Sim.output)
+    |> field "steps"
+         (string_of_int ra.Mach.Sim.steps)
+         (string_of_int rb.Mach.Sim.steps)
+    |> field "cycles"
+         (string_of_int ra.Mach.Sim.cycles)
+         (string_of_int rb.Mach.Sim.cycles)
+    |> counters
+    |> List.rev
+  | a, b ->
+    if outcome_repr a = outcome_repr b then []
+    else [ Printf.sprintf "sim outcome: ref=%s flat=%s" (outcome_repr a)
+             (outcome_repr b) ]
+
+let diff_all ?fuel p = diff_plain ?fuel p @ diff_sim ?fuel p
+
+let disagrees ?(transform = fun p -> p) (src : string) : bool =
+  match Mira.Lower.compile_source src with
+  | Error _ -> false
+  | Ok p -> (
+    match transform p with
+    | p -> diff_all p <> []
+    (* a transform that itself crashes is a pass bug, not an engine
+       mismatch; the pass-oracle fuzz line covers those *)
+    | exception _ -> false)

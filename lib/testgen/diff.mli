@@ -1,0 +1,29 @@
+(** Differential testing of the two execution engines.
+
+    The flat engine ({!Mira.Decode} / [Mach.Flatsim]) must be
+    bit-identical to the reference interpreter: same return value (to
+    the bit, for floats), same printed output, same [steps], same trap
+    message or fuel exhaustion, and — under the machine simulator — the
+    same cycle count and the same value in every counter of the bank.
+    This module runs a program through both engines and reports every
+    field that disagrees, as human-readable one-line strings suitable
+    for test-failure messages and shrinker reports. *)
+
+(** plain interpretation: [Interp.run] vs [Decode.run] (ret, output,
+    steps, outcome kind incl. exact trap message) *)
+val diff_plain : ?fuel:int -> Mira.Ir.program -> string list
+
+(** under the machine simulator: [Sim.run ~engine:Ref] vs [~engine:Flat]
+    (everything above plus cycles and the full counter bank) *)
+val diff_sim :
+  ?config:Mach.Config.t -> ?fuel:int -> Mira.Ir.program -> string list
+
+(** {!diff_plain} @ {!diff_sim} on the default machine config *)
+val diff_all : ?fuel:int -> Mira.Ir.program -> string list
+
+(** Shrinker oracle: does compiling [src] (and applying [transform],
+    default identity — pass a pass-sequence application here) yield a
+    program on which the engines disagree?  Sources that fail to
+    compile return [false], as {!Shrink.minimize} requires. *)
+val disagrees :
+  ?transform:(Mira.Ir.program -> Mira.Ir.program) -> string -> bool

@@ -21,6 +21,25 @@ let o2_differs (src : string) : bool =
       (Mira.Interp.equal_observation (Mira.Interp.observe p)
          (Mira.Interp.observe p'))
 
+(* a deterministic random (valid) pass sequence per seed, so the engine
+   oracle also sees optimized shapes the fixed pipelines never produce *)
+let random_seq_for seed =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let rec pick () =
+    let len = 1 + Random.State.int st 8 in
+    let s =
+      List.init len (fun _ ->
+          Passes.Pass.of_index (Random.State.int st Passes.Pass.count))
+    in
+    if Passes.Pass.sequence_valid s then s else pick ()
+  in
+  pick ()
+
+(* the engine oracle: reference and flat engines must agree bit-for-bit
+   (ret, output, steps, trap message, cycles, every counter) *)
+let engines_differ seq (src : string) : bool =
+  Testgen.Diff.disagrees ~transform:(Passes.Pass.apply_sequence seq) src
+
 let run_fuzz n =
   let bad = ref 0 in
   for i = 0 to n - 1 do
@@ -30,7 +49,21 @@ let run_fuzz n =
       incr bad;
       print_endline
         (Testgen.Shrink.report ~seed ~fails:o2_differs src)
-    end
+    end;
+    List.iter
+      (fun (label, seq) ->
+        let fails = engines_differ seq in
+        if fails src then begin
+          incr bad;
+          Printf.printf "engine mismatch after %s (%s):\n" label
+            (Passes.Pass.sequence_to_string seq);
+          print_endline (Testgen.Shrink.report ~seed ~fails src)
+        end)
+      [
+        ("no passes", []);
+        ("O2", Passes.Pass.o2);
+        ("a random sequence", random_seq_for seed);
+      ]
   done;
   Printf.printf "fuzz: %d programs, %d failures\n" n !bad;
   if !bad > 0 then exit 1
