@@ -30,9 +30,12 @@ let experiments : (string * string * (unit -> unit)) list =
   ]
 
 let () =
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.Trace.set_pid (Unix.getpid ());
   let args = List.tl (Array.to_list Sys.argv) in
   (* -j/--jobs N sizes the evaluation engine's worker pool;
-     --inject SPEC installs a deterministic fault plan (testing) *)
+     --inject SPEC installs a deterministic fault plan (testing);
+     --trace/--metrics enable the Obs layer like miracc's flags do *)
   let rec strip_opts = function
     | [] -> []
     | ("-j" | "--jobs") :: n :: rest ->
@@ -58,6 +61,32 @@ let () =
        | Error e ->
          Fmt.epr "bad --inject spec: %s@." e;
          exit 1);
+      strip_opts rest
+    | "--trace" :: path :: rest ->
+      (match open_out path with
+       | oc ->
+         Obs.Trace.enable_stream oc;
+         let owner = Unix.getpid () in
+         at_exit (fun () ->
+             if Unix.getpid () = owner then begin
+               Obs.Trace.finish ();
+               close_out_noerr oc
+             end)
+       | exception Sys_error e ->
+         Fmt.epr "cannot open trace file: %s@." e;
+         exit 1);
+      strip_opts rest
+    | "--metrics" :: path :: rest ->
+      Obs.Metrics.timing := true;
+      let owner = Unix.getpid () in
+      at_exit (fun () ->
+          if Unix.getpid () = owner then
+            match open_out path with
+            | oc ->
+              output_string oc (Obs.Metrics.to_jsonl ());
+              close_out_noerr oc
+            | exception Sys_error e ->
+              Fmt.epr "cannot write metrics file: %s@." e);
       strip_opts rest
     | a :: rest -> a :: strip_opts rest
   in

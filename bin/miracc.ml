@@ -70,6 +70,63 @@ let kb_arg =
   Arg.(required & opt (some string) None & info [ "kb" ] ~docv:"FILE"
          ~doc:"Knowledge-base file.")
 
+(* --- observability ------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.json"
+         ~doc:"Stream a Chrome trace_event JSON trace of this run to \
+               $(docv); load it in chrome://tracing or Perfetto.  The \
+               file is flushed per event, so a crashed run still leaves \
+               a loadable trace.")
+
+let metrics_arg =
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+       & info [ "metrics" ] ~docv:"FILE.jsonl"
+           ~doc:"Record metrics (counters, gauges, timing histograms).  \
+                 Without $(docv) the table is printed to stdout at exit; \
+                 with $(docv), one JSON object per metric is written \
+                 there.")
+
+(* Both sinks are finalized from [at_exit] so even error exits (trap,
+   fuel, cache) report what happened up to that point.  Forked pool
+   workers inherit these hooks; the pid guard keeps a worker from
+   closing the parent's trace or printing its table. *)
+let obs_setup trace metrics =
+  (match metrics with
+   | Some _ -> Obs.Metrics.timing := true
+   | None -> ());
+  (match trace with
+   | None -> ()
+   | Some path -> (
+     match open_out path with
+     | oc ->
+       Obs.Trace.enable_stream oc;
+       let owner = Unix.getpid () in
+       at_exit (fun () ->
+           if Unix.getpid () = owner then begin
+             Obs.Trace.finish ();
+             close_out_noerr oc
+           end)
+     | exception Sys_error e ->
+       Fmt.epr "miracc: cannot open trace file: %s@." e;
+       exit 1));
+  match metrics with
+  | None -> ()
+  | Some dest ->
+    let owner = Unix.getpid () in
+    at_exit (fun () ->
+        if Unix.getpid () = owner then
+          if dest = "" then Fmt.pr "%a" Obs.Metrics.pp_table ()
+          else
+            match open_out dest with
+            | oc ->
+              output_string oc (Obs.Metrics.to_jsonl ());
+              close_out_noerr oc
+            | exception Sys_error e ->
+              Fmt.epr "miracc: cannot write metrics file: %s@." e)
+
+let obs_term = Cmdliner.Term.(const obs_setup $ trace_arg $ metrics_arg)
+
 (* every command that executes programs takes --engine; the chosen
    engine is installed as the process-wide default so train/search
    evaluations inherit it too *)
@@ -171,35 +228,32 @@ let compile_cmd =
 
 let run_cmd =
   let doc = "Compile and execute on the cycle-level machine simulator." in
-  let run file arch level seq show_counters engine profile =
+  let run file arch level seq show_counters engine profile () =
     set_engine engine;
+    if profile then Obs.Metrics.timing := true;
     let p = load_program file in
     let config = arch_of_name arch in
     let p' = Passes.Pass.apply_sequence (parse_seq ~level ~seq) p in
     (* --profile: one line on stderr with the decode/execute wall-time
-       split (the ref engine has no decode stage, reported as such) *)
+       split, read back from the instrumentation histograms the run
+       fills (the ref engine never decodes, reported as such) *)
     let execute () =
       if not profile then Mach.Sim.run ~config p'
-      else
-        match engine with
-        | Mach.Sim.Flat ->
-          let t0 = Unix.gettimeofday () in
-          let dp = Mira.Decode.decode p' in
-          let t1 = Unix.gettimeofday () in
-          let r = Mach.Sim.run_decoded ~config dp in
-          let t2 = Unix.gettimeofday () in
-          let d = (t1 -. t0) *. 1e3 and e = (t2 -. t1) *. 1e3 in
-          Fmt.epr "profile: decode %.3f ms, execute %.3f ms (decode %.1f%% \
-                   of total)@."
-            d e
-            (100. *. d /. Float.max 1e-9 (d +. e));
-          r
-        | Mach.Sim.Ref ->
-          let t0 = Unix.gettimeofday () in
-          let r = Mach.Sim.run ~config p' in
-          let e = (Unix.gettimeofday () -. t0) *. 1e3 in
-          Fmt.epr "profile: decode n/a (ref engine), execute %.3f ms@." e;
-          r
+      else begin
+        let decode_h = Obs.Metrics.histogram "decode.translate_ms" in
+        let execute_h = Obs.Metrics.histogram "sim.execute_ms" in
+        let r = Mach.Sim.run ~config p' in
+        let e = Obs.Metrics.hist_sum execute_h in
+        (if Obs.Metrics.hist_count decode_h = 0 then
+           Fmt.epr "profile: decode n/a (ref engine), execute %.3f ms@." e
+         else
+           let d = Obs.Metrics.hist_sum decode_h in
+           Fmt.epr "profile: decode %.3f ms, execute %.3f ms (decode %.1f%% \
+                    of total)@."
+             d e
+             (100. *. d /. Float.max 1e-9 (d +. e)));
+        r
+      end
     in
     match execute () with
     | r ->
@@ -225,7 +279,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ file_arg $ arch_arg $ level_arg $ seq_arg $ counters_flag
-          $ engine_arg $ profile_flag)
+          $ engine_arg $ profile_flag $ obs_term)
 
 (* --- features ------------------------------------------------------ *)
 
@@ -241,7 +295,7 @@ let features_cmd =
 
 let counters_cmd =
   let doc = "Profile at -O0 and print per-instruction counter rates." in
-  let run file arch engine =
+  let run file arch engine () =
     set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
@@ -251,7 +305,7 @@ let counters_cmd =
       (Icc.Characterize.counter_assoc r.Mach.Sim.counters)
   in
   Cmd.v (Cmd.info "counters" ~doc)
-    Term.(const run $ file_arg $ arch_arg $ engine_arg)
+    Term.(const run $ file_arg $ arch_arg $ engine_arg $ obs_term)
 
 (* --- workloads ----------------------------------------------------- *)
 
@@ -274,7 +328,7 @@ let train_cmd =
     "Build a knowledge base by exploring the built-in workload suite."
   in
   let run out arch per_program exclude jobs cache cache_stats inject
-      max_restarts engine =
+      max_restarts engine () =
     set_engine engine;
     let config = arch_of_name arch in
     let programs =
@@ -308,13 +362,13 @@ let train_cmd =
     Term.(
       const run $ out_arg $ arch_arg $ pp_arg $ excl_arg $ jobs_arg
       $ cache_dir_arg $ cache_stats_arg $ inject_arg $ max_restarts_arg
-      $ engine_arg)
+      $ engine_arg $ obs_term)
 
 (* --- predict ------------------------------------------------------- *)
 
 let predict_cmd =
   let doc = "One-shot optimization prediction from a knowledge base." in
-  let run file arch kb_path use_counters trials engine =
+  let run file arch kb_path use_counters trials engine () =
     set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
@@ -346,14 +400,14 @@ let predict_cmd =
   in
   Cmd.v (Cmd.info "predict" ~doc)
     Term.(const run $ file_arg $ arch_arg $ kb_arg $ counters_flag
-          $ trials_arg $ engine_arg)
+          $ trials_arg $ engine_arg $ obs_term)
 
 (* --- search -------------------------------------------------------- *)
 
 let search_cmd =
   let doc = "Search the optimization space for a program." in
   let run file arch strategy budget seed kb_path jobs cache cache_stats
-      inject max_restarts engine =
+      inject max_restarts engine () =
     set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
@@ -413,7 +467,7 @@ let search_cmd =
     Term.(
       const run $ file_arg $ arch_arg $ strategy_arg $ budget_arg $ seed_arg
       $ kb_opt $ jobs_arg $ cache_dir_arg $ cache_stats_arg $ inject_arg
-      $ max_restarts_arg $ engine_arg)
+      $ max_restarts_arg $ engine_arg $ obs_term)
 
 (* --- dynamic ------------------------------------------------------- *)
 
@@ -437,6 +491,9 @@ let dynamic_cmd =
   Cmd.v (Cmd.info "dynamic" ~doc) Term.(const run $ phases_arg $ per_arg)
 
 let () =
+  (* real time for the observability layer (Obs itself is clockless) *)
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.Trace.set_pid (Unix.getpid ());
   let doc = "an intelligent compiler for the Mira language" in
   let info = Cmd.info "miracc" ~version:"1.0.0" ~doc in
   exit

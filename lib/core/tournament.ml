@@ -31,6 +31,10 @@ let completion : Pass.t list =
 
 type instance = { feats : float array; label : int (* 1 = first wins *) }
 
+(* observability: training-data generation and compile-time ordering are
+   the two tournament phases worth seeing in a trace *)
+let m_instances = Obs.Metrics.counter "tournament.instances"
+
 let npass = Pass.count
 
 let instance_features (p : Ir.program) (a : Pass.t) (b : Pass.t) : float array
@@ -58,6 +62,12 @@ let gen_instances ?engine ?(config = Mach.Config.default) ?(seed = 1)
     | None -> Characterize.eval_sequence ~config q []
   in
   for step = 0 to steps - 1 do
+    (if not (Obs.Trace.enabled ()) then fun f -> f ()
+     else
+       Obs.Trace.with_span ~cat:"search"
+         ~args:[ ("step", Obs.Trace.Int step) ]
+         "tournament.step")
+    @@ fun () ->
     (* a fresh random decision point of prefix length [step] *)
     let prefix =
       List.init step (fun _ -> List.nth Pass.all (Random.State.int rng npass))
@@ -107,6 +117,7 @@ let gen_instances ?engine ?(config = Mach.Config.default) ?(seed = 1)
       end
     done
   done;
+  Obs.Metrics.incr ~by:(List.length !out) m_instances;
   !out
 
 type t = { tree : Mlkit.Dtree.t }
@@ -130,6 +141,7 @@ let prefers (t : t) (p : Ir.program) (a : Pass.t) (b : Pass.t) : bool =
 (* Derive a phase ordering by running a tournament at each step; the
    returned sequence ends with the completion cleanup the labels assumed. *)
 let order (t : t) ?(steps = 5) (p : Ir.program) : Pass.t list =
+  Obs.span ~cat:"search" "tournament.order" @@ fun () ->
   let current = ref p in
   let chosen = ref [] in
   let unroll_used = ref false in

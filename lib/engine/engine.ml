@@ -25,6 +25,16 @@ type stats = {
   mutable wall : float;
 }
 
+(* Observability: the per-engine [stats] record stays (pp_stats output is
+   pinned by the cram tests and callers can hold several engines), but
+   every increment is mirrored into the global registry so `--metrics`
+   shows engine traffic next to pool/cache health in one table. *)
+let m_evals = Obs.Metrics.counter "engine.evals"
+let m_hits = Obs.Metrics.counter "engine.cache.hits"
+let m_misses = Obs.Metrics.counter "engine.cache.misses"
+let m_failures = Obs.Metrics.counter "engine.failures"
+let eval_ms = Obs.Metrics.histogram "engine.eval_ms"
+
 type t = {
   config : Mach.Config.t;
   config_digest : string;
@@ -132,26 +142,40 @@ let failed_outcome =
   { cost = infinity; cycles = None; code_size = None; counters = None;
     from_cache = false }
 
-let count_failure t o = if o.cost = infinity then t.stats.failures <- t.stats.failures + 1
+let count_failure t o =
+  if o.cost = infinity then begin
+    t.stats.failures <- t.stats.failures + 1;
+    Obs.Metrics.incr m_failures
+  end
 
 let eval_digested t p ~prog_digest seq =
-  let t0 = Unix.gettimeofday () in
-  let k = key_of t ~prog_digest seq in
-  t.stats.evals <- t.stats.evals + 1;
-  let o =
-    match Rcache.find t.cache k with
-    | Some e ->
-      t.stats.hits <- t.stats.hits + 1;
-      outcome_of_entry ~from_cache:true e
-    | None ->
-      t.stats.sims <- t.stats.sims + 1;
-      let e = simulate t p seq in
-      Rcache.add t.cache k e;
-      outcome_of_entry ~from_cache:false e
+  let go () =
+    let t0 = Unix.gettimeofday () in
+    let k = key_of t ~prog_digest seq in
+    t.stats.evals <- t.stats.evals + 1;
+    Obs.Metrics.incr m_evals;
+    let o =
+      match Rcache.find t.cache k with
+      | Some e ->
+        t.stats.hits <- t.stats.hits + 1;
+        Obs.Metrics.incr m_hits;
+        outcome_of_entry ~from_cache:true e
+      | None ->
+        t.stats.sims <- t.stats.sims + 1;
+        Obs.Metrics.incr m_misses;
+        let e = simulate t p seq in
+        Rcache.add t.cache k e;
+        outcome_of_entry ~from_cache:false e
+    in
+    count_failure t o;
+    t.stats.wall <- t.stats.wall +. (Unix.gettimeofday () -. t0);
+    o
   in
-  count_failure t o;
-  t.stats.wall <- t.stats.wall +. (Unix.gettimeofday () -. t0);
-  o
+  Obs.span_with ~cat:"engine" ~hist:eval_ms "engine.eval"
+    ~end_args:(fun o ->
+      [ ("from_cache", Obs.Trace.Bool o.from_cache);
+        ("cost", Obs.Trace.Float o.cost) ])
+    go
 
 let eval t p seq = eval_digested t p ~prog_digest:(ir_digest p) seq
 
@@ -163,9 +187,11 @@ let evaluator t p =
    cache keys already computed *)
 let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
     (keys : string array) : outcome array =
+  let go () =
   let t0 = Unix.gettimeofday () in
   let n = Array.length tasks in
   t.stats.evals <- t.stats.evals + n;
+  Obs.Metrics.incr ~by:n m_evals;
   (* resolve cache hits; collect the unique misses in first-seen order so
      the task list (and thus worker count effects) is deterministic *)
   let resolved : (string, Rcache.entry) Hashtbl.t = Hashtbl.create n in
@@ -185,6 +211,8 @@ let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
   let nmiss = Array.length miss_slots in
   t.stats.sims <- t.stats.sims + nmiss;
   t.stats.hits <- t.stats.hits + (n - nmiss);
+  Obs.Metrics.incr ~by:nmiss m_misses;
+  Obs.Metrics.incr ~by:(n - nmiss) m_hits;
   (* simulate the misses, forking when the batch and jobs warrant it *)
   let computed =
     Pool.map ~jobs:t.jobs ~task_timeout:t.task_timeout ~retries:t.retries
@@ -220,7 +248,20 @@ let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
   in
   Array.iter (count_failure t) out;
   t.stats.wall <- t.stats.wall +. (Unix.gettimeofday () -. t0);
-  out
+  (n, nmiss, out)
+  in
+  if not (Obs.Trace.enabled ()) then
+    let _, _, out = go () in
+    out
+  else
+    let n, nmiss, out =
+      Obs.Trace.with_span ~cat:"engine" "engine.batch" go
+    in
+    Obs.Trace.instant ~cat:"engine"
+      ~args:
+        [ ("tasks", Obs.Trace.Int n); ("misses", Obs.Trace.Int nmiss) ]
+      "engine.batch-done";
+    out
 
 let eval_batch t p seqs =
   let prog_digest = ir_digest p in

@@ -5,6 +5,15 @@
 
 let magic = "mira-journal 1"
 
+(* observability: checkpoint lifecycle.  Chunks replayed from disk vs
+   evaluated fresh tell a resume-vs-cold story in one table; each fresh
+   chunk is a span so sweeps read as a sequence of checkpoints in the
+   trace. *)
+let m_recorded = Obs.Metrics.counter "journal.chunks_recorded"
+let m_reused = Obs.Metrics.counter "journal.chunks_reused"
+let m_quarantined = Obs.Metrics.counter "journal.quarantined"
+let chunk_ms = Obs.Metrics.histogram "journal.chunk_ms"
+
 type t = {
   path : string;
   header : string;
@@ -62,7 +71,9 @@ let open_ ~path ~key =
                    Option.bind (Rcache.unseal_line line) chunk_of_payload
                  with
                  | Some (idx, costs) -> Hashtbl.replace t.chunks idx costs
-                 | None -> t.quarantined <- t.quarantined + 1
+                 | None ->
+                   t.quarantined <- t.quarantined + 1;
+                   Obs.Metrics.incr m_quarantined
              done
            with End_of_file -> ());
           true
@@ -134,12 +145,24 @@ let run ~path ~key ~chunk_size ~n eval =
         let hi = min n (lo + chunk_size) in
         let costs =
           match find t c with
-          | Some costs when Array.length costs = hi - lo -> costs
+          | Some costs when Array.length costs = hi - lo ->
+            Obs.Metrics.incr m_reused;
+            Obs.Trace.instant ~cat:"journal"
+              ~args:[ ("chunk", Obs.Trace.Int c) ]
+              "journal.chunk-reused";
+            costs
           | _ ->
-            let costs = eval lo hi in
+            let costs =
+              Obs.span_with ~cat:"journal" ~hist:chunk_ms "journal.chunk"
+                ~end_args:(fun _ ->
+                  [ ("chunk", Obs.Trace.Int c); ("lo", Obs.Trace.Int lo);
+                    ("hi", Obs.Trace.Int hi) ])
+                (fun () -> eval lo hi)
+            in
             if Array.length costs <> hi - lo then
               invalid_arg "Journal.run: eval returned the wrong length";
             record t c costs;
+            Obs.Metrics.incr m_recorded;
             (* simulate kill -9 between chunks, for the resume tests *)
             if Faults.fires ~index:c "sweep-crash" then Unix._exit 21;
             costs

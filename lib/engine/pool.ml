@@ -65,9 +65,59 @@ let default_respawn_backoff = 0.05
 
 type 'a task_msg = Task of int * 'a | Stop
 
-(* what a worker sends back; exceptions are caught in the worker so that
-   only a real process death looks like a crash to the parent *)
-type 'b reply = int * ('b, string) result
+(* What a worker sends back; exceptions are caught in the worker so that
+   only a real process death looks like a crash to the parent.  The
+   third component is the worker's span batch: trace events accumulated
+   while running the task (empty when tracing is off), replayed into the
+   parent's trace with the worker's pid — that is how worker spans land
+   in the one trace file with correct pids. *)
+type 'b reply = int * ('b, string) result * Obs.Trace.event array
+
+(* pool observability: task-lifecycle counters mirror every [health]
+   increment into the global metrics registry, so `--metrics` reports
+   restarts / poison tasks / fallbacks across all pools in one table *)
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+let m_respawns = Obs.Metrics.counter "pool.respawns"
+let m_spawn_failures = Obs.Metrics.counter "pool.spawn_failures"
+let m_crashed = Obs.Metrics.counter "pool.crashed_workers"
+let m_timeouts = Obs.Metrics.counter "pool.timeouts"
+let m_poisoned = Obs.Metrics.counter "pool.poisoned"
+let m_serial_fallbacks = Obs.Metrics.counter "pool.serial_fallbacks"
+let task_ms = Obs.Metrics.histogram "pool.task_ms"
+
+let note_respawn h =
+  h.respawns <- h.respawns + 1;
+  Obs.Metrics.incr m_respawns;
+  Obs.Trace.instant ~cat:"pool" "pool.respawn"
+
+let note_spawn_failure h =
+  h.spawn_failures <- h.spawn_failures + 1;
+  Obs.Metrics.incr m_spawn_failures
+
+let note_crashed h =
+  h.crashed_workers <- h.crashed_workers + 1;
+  Obs.Metrics.incr m_crashed;
+  Obs.Trace.instant ~cat:"pool" "pool.worker-crash"
+
+let note_timeout h =
+  h.timeouts <- h.timeouts + 1;
+  Obs.Metrics.incr m_timeouts;
+  Obs.Trace.instant ~cat:"pool" "pool.task-timeout"
+
+let note_poisoned h =
+  h.poisoned <- h.poisoned + 1;
+  Obs.Metrics.incr m_poisoned;
+  Obs.Trace.instant ~cat:"pool" "pool.task-poisoned"
+
+let note_serial_fallback h =
+  h.serial_fallbacks <- h.serial_fallbacks + 1;
+  Obs.Metrics.incr m_serial_fallbacks;
+  Obs.Trace.instant ~cat:"pool" "pool.serial-fallback"
+
+let run_task f t i =
+  Obs.span_with ~cat:"pool" ~hist:task_ms "pool.task"
+    ~end_args:(fun _ -> [ ("task", Obs.Trace.Int i) ])
+    (fun () -> f t)
 
 type 'b worker = {
   pid : int;
@@ -78,9 +128,9 @@ type 'b worker = {
 }
 
 let serial_map f tasks =
-  Array.map
-    (fun t ->
-      match f t with
+  Array.mapi
+    (fun i t ->
+      match run_task f t i with
       | v -> Done v
       | exception e -> Failed (Printexc.to_string e))
     tasks
@@ -96,6 +146,10 @@ let spawn_worker (f : 'a -> 'b) : 'b worker =
   | 0 ->
     Unix.close task_w;
     Unix.close res_r;
+    (* worker-side tracing: a private memory buffer stamped with this
+       worker's pid; each reply carries the events drained since the
+       previous one *)
+    Obs.Trace.on_fork ~pid:(Unix.getpid ());
     let ic = Unix.in_channel_of_descr task_r in
     let oc = Unix.out_channel_of_descr res_w in
     let rec loop () =
@@ -109,11 +163,11 @@ let spawn_worker (f : 'a -> 'b) : 'b worker =
            Unix.sleepf (float_of_int (Option.value h.Faults.arg ~default:3600))
          | None -> ());
         let r =
-          match f t with
+          match run_task f t i with
           | v -> Ok v
           | exception e -> Error (Printexc.to_string e)
         in
-        output_value oc ((i, r) : _ reply);
+        output_value oc ((i, r, Obs.Trace.drain ()) : _ reply);
         flush oc;
         loop ()
     in
@@ -185,16 +239,16 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
          this process, skipping poison tasks, instead of failing *)
       let serial_fallback () =
         if not (Queue.is_empty pending) then begin
-          health.serial_fallbacks <- health.serial_fallbacks + 1;
+          note_serial_fallback health;
           Queue.iter
             (fun i ->
               if crashes.(i) > retries then begin
-                health.poisoned <- health.poisoned + 1;
+                note_poisoned health;
                 resolve i Crashed
               end
               else
                 resolve i
-                  (match f tasks.(i) with
+                  (match run_task f tasks.(i) i with
                    | v -> Done v
                    | exception e -> Failed (Printexc.to_string e)))
             pending;
@@ -210,10 +264,10 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
             decr respawn_budget;
             match spawn_worker f with
             | w ->
-              health.respawns <- health.respawns + 1;
+              note_respawn health;
               Some w
             | exception _ ->
-              health.spawn_failures <- health.spawn_failures + 1;
+              note_spawn_failure health;
               if !respawn_budget > 0 then Unix.sleepf delay;
               go (Float.min 1.0 (delay *. 2.0))
           end
@@ -235,7 +289,7 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
             Queue.push i pending;
             drop_worker w;
             dispose_worker w;
-            health.crashed_workers <- health.crashed_workers + 1;
+            note_crashed health;
             match respawn () with
             | Some w' ->
               workers := w' :: !workers;
@@ -253,7 +307,7 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
            if crashes.(i) <= retries then Queue.push i pending
            else begin
              (* poison: this task has now killed retries+1 workers *)
-             health.poisoned <- health.poisoned + 1;
+             note_poisoned health;
              resolve i Crashed
            end
          | Some (i, _), v -> resolve i v);
@@ -271,7 +325,7 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
       for _ = 1 to min jobs (max 1 n) do
         match spawn_worker f with
         | w -> workers := w :: !workers
-        | exception _ -> health.spawn_failures <- health.spawn_failures + 1
+        | exception _ -> note_spawn_failure health
       done;
       if !workers = [] then serial_fallback ()
       else List.iter feed !workers;
@@ -290,13 +344,14 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
             (fun fd ->
               let w = List.find (fun w -> w.from_fd = fd) busy in
               match (input_value w.from_w : _ reply) with
-              | i, r ->
+              | i, r, spans ->
+                Obs.Trace.emit_events spans;
                 resolve i
                   (match r with Ok v -> Done v | Error e -> Failed e);
                 w.inflight <- None;
                 feed w
               | exception (End_of_file | Sys_error _) ->
-                health.crashed_workers <- health.crashed_workers + 1;
+                note_crashed health;
                 lost w Crashed)
             readable;
           (* timeouts, checked on every wakeup *)
@@ -306,7 +361,7 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
               match w.inflight with
               | Some (_, t0) when now -. t0 > task_timeout ->
                 (try Unix.kill w.pid Sys.sigkill with _ -> ());
-                health.timeouts <- health.timeouts + 1;
+                note_timeout health;
                 lost w Timed_out
               | _ -> ())
             (List.filter (fun w -> w.inflight <> None) !workers)
@@ -325,7 +380,19 @@ let map ?(jobs = 1) ?(task_timeout = default_task_timeout) ?(retries = 1)
   let health =
     match health with Some h -> h | None -> empty_health ()
   in
-  if jobs <= 1 || Array.length tasks <= 1 then serial_map f tasks
+  Obs.Metrics.incr ~by:(Array.length tasks) m_tasks;
+  let go () =
+    if jobs <= 1 || Array.length tasks <= 1 then serial_map f tasks
+    else
+      parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
+        ~backoff:respawn_backoff f tasks
+  in
+  if not (Obs.Trace.enabled ()) then go ()
   else
-    parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
-      ~backoff:respawn_backoff f tasks
+    Obs.Trace.with_span ~cat:"pool"
+      ~args:
+        [
+          ("tasks", Obs.Trace.Int (Array.length tasks));
+          ("jobs", Obs.Trace.Int jobs);
+        ]
+      "pool.batch" go

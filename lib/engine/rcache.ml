@@ -40,6 +40,28 @@ let magic = "mira-rescache 2"
 let magic_v1 = "mira-rescache 1"
 let default_capacity = 262_144
 
+(* observability: per-instance fields mirrored into the global registry,
+   plus spans around the two structural operations (open, compact) *)
+let m_quarantined = Obs.Metrics.counter "rcache.quarantined"
+let m_write_errors = Obs.Metrics.counter "rcache.write_errors"
+let m_stale_locks = Obs.Metrics.counter "rcache.stale_locks_broken"
+let m_compactions = Obs.Metrics.counter "rcache.compactions"
+
+let note_quarantined t =
+  t.quarantined <- t.quarantined + 1;
+  Obs.Metrics.incr m_quarantined;
+  Obs.Trace.instant ~cat:"rcache" "rcache.quarantine"
+
+let note_write_error t =
+  t.write_errors <- t.write_errors + 1;
+  Obs.Metrics.incr m_write_errors;
+  Obs.Trace.instant ~cat:"rcache" "rcache.write-error"
+
+let note_stale_lock t =
+  t.stale_locks <- t.stale_locks + 1;
+  Obs.Metrics.incr m_stale_locks;
+  Obs.Trace.instant ~cat:"rcache" "rcache.stale-lock-broken"
+
 type version = V1 | V2
 
 (* ------------------------------------------------------------------ *)
@@ -172,7 +194,7 @@ let acquire_lock t dir =
                path owner))
      else begin
        (try Sys.remove path with Sys_error _ -> ());
-       t.stale_locks <- t.stale_locks + 1
+       note_stale_lock t
      end);
   let oc = open_out path in
   output_string oc (string_of_int (Unix.getpid ()));
@@ -223,7 +245,7 @@ let append_line t line =
       end
     with
     | () -> ()
-    | exception _ -> t.write_errors <- t.write_errors + 1)
+    | exception _ -> note_write_error t)
 
 let add t key entry =
   touch t key entry;
@@ -301,17 +323,19 @@ let open_append path =
 let compact t =
   match (t.dir, t.log) with
   | Some dir, Some oc ->
-    let path = log_file dir in
-    (* close before rename so no buffered bytes chase the old inode *)
-    flush oc;
-    close_out_noerr oc;
-    t.log <- None;
-    Fun.protect
-      ~finally:(fun () -> t.log <- Some (open_append path))
-      (fun () -> rewrite_log path ~version:V2)
+    Obs.Metrics.incr m_compactions;
+    Obs.Trace.with_span ~cat:"rcache" "rcache.compact" (fun () ->
+        let path = log_file dir in
+        (* close before rename so no buffered bytes chase the old inode *)
+        flush oc;
+        close_out_noerr oc;
+        t.log <- None;
+        Fun.protect
+          ~finally:(fun () -> t.log <- Some (open_append path))
+          (fun () -> rewrite_log path ~version:V2))
   | _ -> ()
 
-let open_dir ?(mem_capacity = default_capacity) dir =
+let open_dir_raw ?(mem_capacity = default_capacity) dir =
   if Sys.file_exists dir then begin
     if not (Sys.is_directory dir) then
       raise (Cache_error (dir ^ ": not a directory"))
@@ -344,7 +368,7 @@ let open_dir ?(mem_capacity = default_capacity) dir =
                 && (String.starts_with ~prefix:h magic
                    || String.starts_with ~prefix:h magic_v1) ->
            (* a header torn by a crash during cache creation *)
-           t.quarantined <- t.quarantined + 1
+           note_quarantined t
          | h ->
            raise
              (Cache_error
@@ -356,11 +380,11 @@ let open_dir ?(mem_capacity = default_capacity) dir =
             let line = input_line ic in
             if line <> "" then
               match payload_of_line ~version:!version line with
-              | None -> t.quarantined <- t.quarantined + 1
+              | None -> note_quarantined t
               | Some payload -> (
                 match entry_of_line payload with
                 | Ok (key, e) -> touch t key e
-                | Error _ -> t.quarantined <- t.quarantined + 1)
+                | Error _ -> note_quarantined t)
           done
         with End_of_file -> ())
   end;
@@ -385,6 +409,17 @@ let open_dir ?(mem_capacity = default_capacity) dir =
     (* do not leave the lock behind on a failed open *)
     release_lock dir;
     raise e
+
+(* opening is a span: replay of a big log is one of the visible stalls
+   at startup, and the end args say how much was recovered *)
+let open_dir ?mem_capacity dir =
+  Obs.span_with ~cat:"rcache" "rcache.open"
+    ~end_args:(fun t ->
+      [
+        ("entries", Obs.Trace.Int t.known);
+        ("quarantined", Obs.Trace.Int t.quarantined);
+      ])
+    (fun () -> open_dir_raw ?mem_capacity dir)
 
 let resident t = Hashtbl.length t.tbl
 let known t = t.known

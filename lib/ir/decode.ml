@@ -122,7 +122,7 @@ let nop =
     uses = [||];
   }
 
-let decode (p : Ir.program) : t =
+let decode_program (p : Ir.program) : t =
   (* float constants interned by bit pattern so -0.0 and NaN payloads
      survive the round trip *)
   let fpool = ref [] and fpool_n = ref 0 in
@@ -347,6 +347,18 @@ let decode (p : Ir.program) : t =
     max_args = !max_args;
     nsites = !site_count;
   }
+
+(* the one-time IR -> bytecode translation, as an Obs span (cat
+   "decode") with the translated size as an end arg *)
+let decode_ms = Obs.Metrics.histogram "decode.translate_ms"
+let decode_count = Obs.Metrics.counter "decode.programs"
+
+let decode (p : Ir.program) : t =
+  Obs.Metrics.incr decode_count;
+  Obs.span_with ~cat:"decode" ~hist:decode_ms "decode.translate"
+    ~end_args:(fun dp ->
+      [ ("funcs", Obs.Trace.Int (Array.length dp.funcs)) ])
+    (fun () -> decode_program p)
 
 let code_size (dp : t) =
   Array.fold_left (fun acc df -> acc + Array.length df.code) 0 dp.funcs

@@ -441,15 +441,30 @@ let lower (p : Ast.program) : Ir.program =
   in
   { Ir.globals; funcs; main = "main" }
 
-(* Front-end convenience: parse, typecheck, lower. *)
+(* Front-end convenience: parse, typecheck, lower.  Each stage is an
+   Obs span (cat "frontend") and a duration histogram, so a trace of any
+   pipeline shows where front-end time goes. *)
+let parse_ms = Obs.Metrics.histogram "frontend.parse_ms"
+let typecheck_ms = Obs.Metrics.histogram "frontend.typecheck_ms"
+let lower_ms = Obs.Metrics.histogram "frontend.lower_ms"
+
 let compile_source (src : string) : (Ir.program, string) result =
-  match Parser.parse_result src with
+  match
+    Obs.span ~cat:"frontend" ~hist:parse_ms "frontend.parse" (fun () ->
+        Parser.parse_result src)
+  with
   | Error e -> Error e
   | Ok ast -> (
-    match Typecheck.check_result ast with
+    match
+      Obs.span ~cat:"frontend" ~hist:typecheck_ms "frontend.typecheck"
+        (fun () -> Typecheck.check_result ast)
+    with
     | Error e -> Error e
     | Ok () -> (
-      match lower ast with
+      match
+        Obs.span ~cat:"frontend" ~hist:lower_ms "frontend.lower" (fun () ->
+            lower ast)
+      with
       | ir -> Ok ir
       | exception Error e -> Error ("lowering error: " ^ e)))
 

@@ -181,6 +181,22 @@ let hooks_of st : Interp.hooks =
 
 let default_fuel = 200_000_000
 
+(* Observability: every simulated execution is a span — "flatsim.run" or
+   "refsim.run" — whose end event carries cycles, steps and the full
+   counter-bank snapshot; wall time lands in sim.execute_ms (the
+   histogram `run --profile` reads) and cycle counts in sim.cycles. *)
+let execute_ms = Obs.Metrics.histogram "sim.execute_ms"
+let cycles_hist = Obs.Metrics.histogram ~unit_:"cycles" "sim.cycles"
+let ref_runs = Obs.Metrics.counter "sim.runs.ref"
+let flat_runs = Obs.Metrics.counter "sim.runs.flat"
+
+let result_args (r : result) =
+  ("cycles", Obs.Trace.Int r.cycles)
+  :: ("steps", Obs.Trace.Int r.steps)
+  :: List.map
+       (fun (n, v) -> (n, Obs.Trace.Int v))
+       (Counters.to_assoc r.counters)
+
 type engine = Ref | Flat
 
 (* The flat engine is bit-identical to the hooked reference interpreter
@@ -197,29 +213,51 @@ let engine_name = function Ref -> "ref" | Flat -> "flat"
 
 (* Reference path: the hooked interpreter over the program AST. *)
 let run_ref ~config ~fuel (p : Ir.program) : result =
-  let st = mk_state config in
-  let r = Interp.run ~fuel ~hooks:(hooks_of st) p in
-  (* drain the trailing partially-filled bundle *)
-  if st.bundle > 0 then st.cycles <- st.cycles + 1;
-  Counters.set st.bank Counters.TOT_CYC st.cycles;
-  {
-    cycles = st.cycles;
-    counters = st.bank;
-    ret = r.Interp.ret;
-    output = r.Interp.output;
-    steps = r.Interp.steps;
-  }
+  Obs.Metrics.incr ref_runs;
+  let go () =
+    let st = mk_state config in
+    let r = Interp.run ~fuel ~hooks:(hooks_of st) p in
+    (* drain the trailing partially-filled bundle *)
+    if st.bundle > 0 then st.cycles <- st.cycles + 1;
+    Counters.set st.bank Counters.TOT_CYC st.cycles;
+    {
+      cycles = st.cycles;
+      counters = st.bank;
+      ret = r.Interp.ret;
+      output = r.Interp.output;
+      steps = r.Interp.steps;
+    }
+  in
+  let r =
+    Obs.span_with ~cat:"sim" ~hist:execute_ms "refsim.run"
+      ~end_args:result_args go
+  in
+  Obs.Metrics.observe cycles_hist (float_of_int r.cycles);
+  r
 
-(* Flat path: decode once, run the fused loop. *)
+let run_flatsim ~config ~fuel dp : result =
+  let go () =
+    let r = Flatsim.run ~config ~fuel dp in
+    {
+      cycles = r.Flatsim.cycles;
+      counters = r.Flatsim.counters;
+      ret = r.Flatsim.ret;
+      output = r.Flatsim.output;
+      steps = r.Flatsim.steps;
+    }
+  in
+  Obs.Metrics.incr flat_runs;
+  let r =
+    Obs.span_with ~cat:"flatsim" ~hist:execute_ms "flatsim.run"
+      ~end_args:result_args go
+  in
+  Obs.Metrics.observe cycles_hist (float_of_int r.cycles);
+  r
+
+(* Flat path: decode once (a "decode" span of its own), run the fused
+   loop under a "flatsim" span. *)
 let run_flat ~config ~fuel (p : Ir.program) : result =
-  let r = Flatsim.run ~config ~fuel (Mira.Decode.decode p) in
-  {
-    cycles = r.Flatsim.cycles;
-    counters = r.Flatsim.counters;
-    ret = r.Flatsim.ret;
-    output = r.Flatsim.output;
-    steps = r.Flatsim.steps;
-  }
+  run_flatsim ~config ~fuel (Mira.Decode.decode p)
 
 (* Run [p] on the simulated machine.  Raises the engine's exceptions
    (Trap, Out_of_fuel) like the plain interpreter. *)
@@ -234,14 +272,7 @@ let run ?engine ?(config = Config.default) ?(fuel = default_fuel)
 (* run a pre-decoded program (callers that execute the same program many
    times, e.g. the benchmarks, pay the decode cost once) *)
 let run_decoded ?(config = Config.default) ?(fuel = default_fuel) dp : result =
-  let r = Flatsim.run ~config ~fuel dp in
-  {
-    cycles = r.Flatsim.cycles;
-    counters = r.Flatsim.counters;
-    ret = r.Flatsim.ret;
-    output = r.Flatsim.output;
-    steps = r.Flatsim.steps;
-  }
+  run_flatsim ~config ~fuel dp
 
 (* Outcome of a run for callers that must react to the failure mode:
    a fuel-exhausted sequence will exhaust fuel again on retry, while a

@@ -1,0 +1,22 @@
+(* The one clock every Obs timestamp comes from.  Injectable so that (a)
+   the library stays dependency-free — the application installs a real
+   wall clock (miracc and bench install [Unix.gettimeofday] at startup)
+   — and (b) tests install a deterministic fake and get byte-identical
+   traces and metric tables.
+
+   The default returns 0.0: with no clock installed every span has zero
+   duration, which is harmless (tracing is opt-in and the entry points
+   that enable it install a clock first). *)
+
+let fn : (unit -> float) ref = ref (fun () -> 0.0)
+
+let set f = fn := f
+let now () = !fn ()
+
+(* a fake clock for tests: starts at [start] (seconds) and advances by
+   [step] on every reading *)
+let fake ?(start = 0.0) ?(step = 0.001) () =
+  let t = ref (start -. step) in
+  fun () ->
+    t := !t +. step;
+    !t

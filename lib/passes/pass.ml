@@ -70,7 +70,7 @@ let to_index (p : t) : int =
 
 let of_index i = List.nth all i
 
-let apply (pass : t) (p : Ir.program) : Ir.program =
+let apply_raw (pass : t) (p : Ir.program) : Ir.program =
   match pass with
   | Const_fold -> Const_fold.run p
   | Const_prop -> Const_prop.run p
@@ -86,6 +86,25 @@ let apply (pass : t) (p : Ir.program) : Ir.program =
   | Simplify_cfg -> Simplify_cfg.run p
   | Peephole -> Peephole.run p
   | Pack -> Pack.run p
+
+(* Observability: one applications counter plus a per-pass duration
+   histogram (index-aligned with [all]); each application is a trace
+   span (cat "passes") whose end event carries the resulting program
+   size.  The un-instrumented path is a counter bump and one branch. *)
+let applied_count = Obs.Metrics.counter "passes.applied"
+
+let pass_ms =
+  Array.of_list
+    (List.map (fun p -> Obs.Metrics.histogram ("passes." ^ name p ^ "_ms")) all)
+
+let apply (pass : t) (p : Ir.program) : Ir.program =
+  Obs.Metrics.incr applied_count;
+  if not (Obs.Trace.enabled () || !Obs.Metrics.timing) then apply_raw pass p
+  else
+    Obs.span_with ~cat:"passes" ~hist:pass_ms.(to_index pass)
+      ("pass." ^ name pass)
+      ~end_args:(fun p' -> [ ("size", Obs.Trace.Int (Ir.program_size p')) ])
+      (fun () -> apply_raw pass p)
 
 (* Whole-program passes cannot be applied to a single function: inlining
    rewrites callers and packing retypes globals shared by everyone. *)
@@ -122,10 +141,15 @@ let apply_per_function (choice : string -> t list) (p : Ir.program) :
 let sequence_valid (seq : t list) : bool =
   List.length (List.filter is_unroll seq) <= 1
 
-let apply_sequence (seq : t list) (p : Ir.program) : Ir.program =
-  List.fold_left (fun p pass -> apply pass p) p seq
-
 let sequence_to_string seq = String.concat "," (List.map name seq)
+
+let apply_sequence (seq : t list) (p : Ir.program) : Ir.program =
+  let go () = List.fold_left (fun p pass -> apply pass p) p seq in
+  if not (Obs.Trace.enabled ()) then go ()
+  else
+    Obs.Trace.with_span ~cat:"passes"
+      ~args:[ ("seq", Obs.Trace.Str (sequence_to_string seq)) ]
+      "passes.sequence" go
 
 (* Version tag mixed into every persistent evaluation-cache key.  Bump the
    leading number whenever any pass's observable behaviour changes (a bug

@@ -15,24 +15,53 @@ type result = {
   seqs : Pass.t list array; (* the sequence tried at evaluation i *)
 }
 
+(* Observability: search progress.  Every candidate evaluation bumps
+   search.evals; each improvement updates the search.best_cost gauge and
+   emits a Chrome counter sample, so the best-so-far curve (Fig. 2(b))
+   is visible live in the trace viewer. *)
+let m_evals = Obs.Metrics.counter "search.evals"
+let g_best = Obs.Metrics.gauge "search.best_cost"
+
+let note_improvement c =
+  Obs.Metrics.set g_best c;
+  if Obs.Trace.enabled () then
+    Obs.Trace.counter ~cat:"search" "search.best_cost" [ ("cost", c) ]
+
 (* driver that tracks the running best *)
 let run_budgeted ~(budget : int) ~(next : int -> Pass.t list) (eval : eval) :
     result =
   if budget <= 0 then invalid_arg "Strategies: budget must be positive";
-  let history = Array.make budget infinity in
-  let seqs = Array.make budget [] in
-  let best_seq = ref [] and best_cost = ref infinity in
-  for i = 0 to budget - 1 do
-    let seq = next i in
-    let c = eval seq in
-    if c < !best_cost then begin
-      best_cost := c;
-      best_seq := seq
-    end;
-    history.(i) <- !best_cost;
-    seqs.(i) <- seq
-  done;
-  { best_seq = !best_seq; best_cost = !best_cost; evals = budget; history; seqs }
+  let go () =
+    let history = Array.make budget infinity in
+    let seqs = Array.make budget [] in
+    let best_seq = ref [] and best_cost = ref infinity in
+    for i = 0 to budget - 1 do
+      let seq = next i in
+      Obs.Metrics.incr m_evals;
+      let c =
+        if not (Obs.Trace.enabled ()) then eval seq
+        else
+          Obs.Trace.with_span ~cat:"search"
+            ~args:[ ("seq", Obs.Trace.Str (Pass.sequence_to_string seq)) ]
+            "search.eval"
+            (fun () -> eval seq)
+      in
+      if c < !best_cost then begin
+        best_cost := c;
+        best_seq := seq;
+        note_improvement c
+      end;
+      history.(i) <- !best_cost;
+      seqs.(i) <- seq
+    done;
+    { best_seq = !best_seq; best_cost = !best_cost; evals = budget; history;
+      seqs }
+  in
+  if not (Obs.Trace.enabled ()) then go ()
+  else
+    Obs.Trace.with_span ~cat:"search"
+      ~args:[ ("budget", Obs.Trace.Int budget) ]
+      "search.budgeted" go
 
 (* Replay pre-computed costs into a [result]: the bridge to the batched
    evaluation engine.  [replay ~seqs ~costs] is exactly what a serial
@@ -140,12 +169,21 @@ let genetic ?(seed = 1) ?(length = Space.default_length) ?(params = default_ga)
     match Hashtbl.find_opt memo key with
     | Some c -> c
     | None ->
-      let c = eval seq in
+      let c =
+        if not (Obs.Trace.enabled ()) then eval seq
+        else
+          Obs.Trace.with_span ~cat:"search"
+            ~args:[ ("seq", Obs.Trace.Str key) ]
+            "search.eval"
+            (fun () -> eval seq)
+      in
       incr evals;
+      Obs.Metrics.incr m_evals;
       Hashtbl.replace memo key c;
       if c < !best_cost then begin
         best_cost := c;
-        best_seq := seq
+        best_seq := seq;
+        note_improvement c
       end;
       history := !best_cost :: !history;
       tried := seq :: !tried;

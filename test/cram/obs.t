@@ -1,0 +1,73 @@
+The observability flags: --trace streams a Chrome trace, --metrics
+prints a table or writes JSONL.  Both default off and must leave
+stdout byte-identical to a plain run.
+
+No-op default — a run without obs flags and a run whose flags were
+never given produce the same bytes:
+
+  $ miracc run sample.mira > plain.out
+  $ cat plain.out
+  836
+  return: 36
+  cycles: 1410  instructions: 610  CPI: 2.31
+
+--trace alone leaves stdout untouched and writes a loadable trace:
+
+  $ miracc run sample.mira --trace trace.json > traced.out
+  $ cmp plain.out traced.out
+  $ trace_check trace.json | head -1 | sed 's/: .*/: valid/'
+  trace OK: valid
+
+The trace covers the pipeline stages and ends properly (the clean-exit
+path writes the closing bracket):
+
+  $ trace_check trace.json | tail -1
+  categories: decode, flatsim, frontend, passes
+  $ tail -c 2 trace.json
+  ]
+
+--metrics with no file appends the table to stdout, after the run's
+own output:
+
+  $ miracc run sample.mira --metrics | head -5
+  836
+  return: 36
+  cycles: 1410  instructions: 610  CPI: 2.31
+  metrics
+    decode.programs        1
+
+Counter metrics are exact; timing histograms exist but their values
+are wall-clock, so only check the shape:
+
+  $ miracc run sample.mira --metrics | grep -c '_ms *n='
+  5
+
+--metrics=FILE writes JSONL instead of the table:
+
+  $ miracc run sample.mira --metrics=m.jsonl > filed.out
+  $ cmp plain.out filed.out
+  $ grep -c '^{' m.jsonl
+  8
+  $ grep -o '"type":"[a-z]*"' m.jsonl | sort | uniq -c | sed 's/^ *//'
+  2 "type":"counter"
+  6 "type":"histogram"
+
+search carries the same flags; the engine/search subsystems appear:
+
+  $ miracc search sample.mira --strategy random --budget 3 --trace s.json --metrics=s.jsonl > /dev/null
+  $ trace_check s.json | tail -1
+  categories: decode, engine, flatsim, frontend, passes, pool, search
+  $ grep -c '"name":"search.evals","value":3' s.jsonl
+  1
+
+An unwritable trace path is a hard error before any work happens:
+
+  $ miracc run sample.mira --trace /nonexistent-dir/t.json
+  miracc: cannot open trace file: /nonexistent-dir/t.json: No such file or directory
+  [1]
+
+The ref engine traces too (no decode stage in its categories):
+
+  $ miracc run sample.mira --engine ref --trace ref.json > /dev/null
+  $ trace_check ref.json | tail -1
+  categories: frontend, passes, sim

@@ -1,0 +1,268 @@
+(* trace_check — validate a Chrome trace_event JSON file.
+
+   Checks the properties the observability layer promises:
+   - the document is a JSON array of event objects (a missing closing
+     "]" is accepted, as the trace_event spec allows: a crashed run
+     truncates after a complete object);
+   - every event has "name", "ph", "ts", "pid" of the right types and a
+     phase letter we emit (B, E, i, C);
+   - "E" events never outnumber the "B" events above them per pid (an
+     unmatched end would corrupt the viewer's nesting).
+
+   Prints a one-line summary plus the sorted category set, so CI can
+   assert which subsystems showed up.  Exit 1 on any violation. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let check path =
+  let s =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let len = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Bad (Printf.sprintf "byte %d: %s" !pos msg)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else error (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len
+       && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else error ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then error "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (if !pos >= len then error "unterminated escape";
+         match s.[!pos] with
+         | '"' | '\\' | '/' -> Buffer.add_char b s.[!pos]
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'b' | 'f' -> Buffer.add_char b ' '
+         | 'u' ->
+           if !pos + 4 >= len then error "short \\u escape";
+           (match int_of_string ("0x" ^ String.sub s (!pos + 1) 4) with
+            | code ->
+              pos := !pos + 4;
+              Buffer.add_char b (if code < 128 then Char.chr code else '?')
+            | exception _ -> error "bad \\u escape")
+         | c -> error (Printf.sprintf "bad escape \\%c" c));
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < len && num_char s.[!pos] do incr pos done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> error "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ()
+          | Some '}' -> incr pos
+          | _ -> error "expected , or } in object"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements ()
+          | Some ']' -> incr pos
+          | _ -> error "expected , or ] in array"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  (* the top level: '[' then events; EOF instead of ']' is legal *)
+  skip_ws ();
+  expect '[';
+  let events = ref [] in
+  let truncated = ref false in
+  skip_ws ();
+  (match peek () with
+   | Some ']' -> incr pos
+   | None -> truncated := true
+   | Some _ ->
+     let rec loop () =
+       events := parse_value () :: !events;
+       skip_ws ();
+       match peek () with
+       | Some ',' ->
+         incr pos;
+         skip_ws ();
+         if peek () = None then truncated := true else loop ()
+       | Some ']' -> incr pos
+       | None -> truncated := true
+       | Some c -> error (Printf.sprintf "expected , or ] but got %c" c)
+     in
+     loop ());
+  skip_ws ();
+  if peek () <> None then error "trailing garbage after array";
+  let events = List.rev !events in
+  (* per-event shape + span-balance accounting *)
+  let counts = Hashtbl.create 4 in
+  let cats = Hashtbl.create 16 in
+  let depth : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let bump tbl k =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> incr r
+    | None -> Hashtbl.replace tbl k (ref 1)
+  in
+  List.iteri
+    (fun i ev ->
+      let fields =
+        match ev with
+        | Obj fs -> fs
+        | _ -> raise (Bad (Printf.sprintf "event %d is not an object" i))
+      in
+      let field k = List.assoc_opt k fields in
+      let str k =
+        match field k with
+        | Some (Str v) -> v
+        | _ -> raise (Bad (Printf.sprintf "event %d: missing string %S" i k))
+      in
+      let num k =
+        match field k with
+        | Some (Num v) -> v
+        | _ -> raise (Bad (Printf.sprintf "event %d: missing number %S" i k))
+      in
+      let ph = str "ph" in
+      ignore (str "name");
+      ignore (num "ts");
+      let pid = int_of_float (num "pid") in
+      (match field "cat" with
+       | Some (Str c) -> Hashtbl.replace cats c ()
+       | _ -> ());
+      (match field "args" with
+       | None | Some (Obj _) -> ()
+       | Some _ -> raise (Bad (Printf.sprintf "event %d: args not an object" i)));
+      let d =
+        match Hashtbl.find_opt depth pid with
+        | Some r -> r
+        | None ->
+          let r = ref 0 in
+          Hashtbl.replace depth pid r;
+          r
+      in
+      (match ph with
+       | "B" -> incr d
+       | "E" ->
+         if !d = 0 then
+           raise (Bad (Printf.sprintf "event %d: E without open B (pid %d)" i pid));
+         decr d
+       | "i" | "C" -> ()
+       | p -> raise (Bad (Printf.sprintf "event %d: unknown phase %S" i p)));
+      bump counts ph)
+    events;
+  let count ph =
+    match Hashtbl.find_opt counts ph with Some r -> !r | None -> 0
+  in
+  let unclosed = Hashtbl.fold (fun _ r acc -> acc + !r) depth 0 in
+  let cat_list =
+    List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) cats [])
+  in
+  Printf.printf "trace OK: %d events (B=%d E=%d i=%d C=%d), %d pids, unclosed %d%s\n"
+    (List.length events) (count "B") (count "E") (count "i") (count "C")
+    (Hashtbl.length depth) unclosed
+    (if !truncated then ", truncated" else "");
+  Printf.printf "categories: %s\n" (String.concat ", " cat_list)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+    try check path with
+    | Bad msg ->
+      Printf.eprintf "trace_check: %s: %s\n" path msg;
+      exit 1
+    | Sys_error e ->
+      Printf.eprintf "trace_check: %s\n" e;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: trace_check FILE.json";
+    exit 2
