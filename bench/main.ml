@@ -27,6 +27,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("tab7", "unroll-factor prediction [extension]", Extensions.tab7);
     ("tab8", "cross-architecture adaptation [extension]", Extensions.tab8);
     ("micro", "bechamel microbenchmarks", Micro.run);
+    ("sweep", "prefix-sharing sweep benchmark (cold/warm, share on/off)", Sweep.run);
   ]
 
 let () =
@@ -46,7 +47,10 @@ let () =
          exit 1);
       strip_opts rest
     | "--json" :: rest ->
-      Util.micro_json := true;
+      Util.json_out := true;
+      strip_opts rest
+    | "--no-share" :: rest ->
+      Util.share := false;
       strip_opts rest
     | "--engine" :: e :: rest ->
       (match Mach.Sim.engine_of_string e with

@@ -199,4 +199,4 @@ let run () =
         Fmt.pr "%-18s ref/flat speedup: %.1fx@." label (r /. f)
       | _ -> ())
     pairs;
-  if !Util.micro_json then write_json measured
+  if !Util.json_out then write_json measured

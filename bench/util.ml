@@ -11,8 +11,13 @@ let per_program () = match !scale with Fast -> 60 | Full -> 120
 (* worker processes for the evaluation engine (main.ml's -j flag) *)
 let jobs = ref 1
 
-(* main.ml's --json flag: the micro experiment writes BENCH_micro.json *)
-let micro_json = ref false
+(* main.ml's --json flag: the micro experiment writes BENCH_micro.json,
+   the sweep experiment BENCH_sweep.json *)
+let json_out = ref false
+
+(* main.ml's --no-share flag: disable the engine's prefix-sharing trie
+   and simulation dedup (the differential baseline) *)
+let share = ref true
 
 let data_dir = "bench_data"
 
@@ -33,7 +38,7 @@ let engine_for (config : Mach.Config.t) : Engine.t =
       Engine.Rcache.open_dir
         (Filename.concat data_dir ("rescache-" ^ config.Mach.Config.name))
     in
-    let eng = Engine.create ~jobs:!jobs ~cache config in
+    let eng = Engine.create ~jobs:!jobs ~cache ~share:!share config in
     Hashtbl.replace engines config.Mach.Config.name eng;
     eng
 

@@ -155,6 +155,13 @@ let cache_stats_arg =
   Arg.(value & flag & info [ "cache-stats" ]
          ~doc:"Print the evaluation-engine statistics table at the end.")
 
+let no_share_arg =
+  Arg.(value & flag & info [ "no-share" ]
+         ~doc:"Disable prefix-sharing compilation and simulation dedup \
+               in the evaluation engine (every miss compiles and \
+               simulates from scratch). Results are identical either \
+               way; this is the differential baseline.")
+
 let inject_arg =
   Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC"
          ~doc:"Deterministic fault injection for testing: comma-separated \
@@ -171,7 +178,7 @@ let max_restarts_arg =
    not a cache); distinct from source errors (1), traps (2), fuel (3) *)
 let cache_error_exit = 4
 
-let make_engine ~config ~jobs ~cache ~inject ~max_restarts =
+let make_engine ~config ~jobs ~cache ~inject ~max_restarts ~share =
   (match inject with
    | Some spec -> (
      match Engine.Faults.parse spec with
@@ -197,7 +204,7 @@ let make_engine ~config ~jobs ~cache ~inject ~max_restarts =
           exit cache_error_exit)
       cache
   in
-  Engine.create ~jobs ?cache ~max_respawns:max_restarts config
+  Engine.create ~jobs ?cache ~max_respawns:max_restarts ~share config
 
 let finish_engine ~cache_stats eng =
   if cache_stats then Fmt.pr "%a" (Engine.pp_stats ~wall:true) eng;
@@ -328,7 +335,7 @@ let train_cmd =
     "Build a knowledge base by exploring the built-in workload suite."
   in
   let run out arch per_program exclude jobs cache cache_stats inject
-      max_restarts engine () =
+      max_restarts no_share engine () =
     set_engine engine;
     let config = arch_of_name arch in
     let programs =
@@ -338,7 +345,10 @@ let train_cmd =
     in
     Fmt.pr "training on %d programs, %d sequences each (%s)...@."
       (List.length programs) per_program config.Mach.Config.name;
-    let eng = make_engine ~config ~jobs ~cache ~inject ~max_restarts in
+    let eng =
+      make_engine ~config ~jobs ~cache ~inject ~max_restarts
+        ~share:(not no_share)
+    in
     let kb =
       Icc.Characterize.build_kb ~engine:eng ~config ~per_program programs
     in
@@ -362,7 +372,7 @@ let train_cmd =
     Term.(
       const run $ out_arg $ arch_arg $ pp_arg $ excl_arg $ jobs_arg
       $ cache_dir_arg $ cache_stats_arg $ inject_arg $ max_restarts_arg
-      $ engine_arg $ obs_term)
+      $ no_share_arg $ engine_arg $ obs_term)
 
 (* --- predict ------------------------------------------------------- *)
 
@@ -407,21 +417,25 @@ let predict_cmd =
 let search_cmd =
   let doc = "Search the optimization space for a program." in
   let run file arch strategy budget seed kb_path jobs cache cache_stats
-      inject max_restarts engine () =
+      inject max_restarts no_share engine () =
     set_engine engine;
     let p = load_program file in
     let config = arch_of_name arch in
-    let eng = make_engine ~config ~jobs ~cache ~inject ~max_restarts in
+    let eng =
+      make_engine ~config ~jobs ~cache ~inject ~max_restarts
+        ~share:(not no_share)
+    in
     let eval = Engine.evaluator eng p in
     let result =
       match strategy with
       | "random" ->
         (* batched: plan the whole random schedule up front, score it in
-           one engine batch (parallel across the pool), and replay —
-           identical by construction to the serial walk *)
+           one engine batch (prefix sharing, simulation dedup and the
+           pool see the whole sweep), and replay — identical by
+           construction to the serial walk *)
         let seqs = Search.Strategies.random_plan ~seed ~budget () in
-        let costs = Engine.costs eng p (Array.to_list seqs) in
-        Search.Strategies.replay ~seqs ~costs
+        Search.Strategies.exhaustive_batched (Array.to_list seqs)
+          (Engine.costs eng p)
       | "hill" -> Search.Strategies.hill_climb ~seed ~budget eval
       | "genetic" -> Search.Strategies.genetic ~seed eval
       | "focused" -> begin
@@ -467,7 +481,7 @@ let search_cmd =
     Term.(
       const run $ file_arg $ arch_arg $ strategy_arg $ budget_arg $ seed_arg
       $ kb_opt $ jobs_arg $ cache_dir_arg $ cache_stats_arg $ inject_arg
-      $ max_restarts_arg $ engine_arg $ obs_term)
+      $ max_restarts_arg $ no_share_arg $ engine_arg $ obs_term)
 
 (* --- dynamic ------------------------------------------------------- *)
 

@@ -56,10 +56,16 @@ let gen_instances ?engine ?(config = Mach.Config.default) ?(seed = 1)
     ?(steps = 4) ?(pairs_per_step = 6) (p : Ir.program) : instance list =
   let rng = Random.State.make [| seed |] in
   let out = ref [] in
-  let cost q =
+  (* candidates are evaluated as (state, candidate :: completion) so the
+     engine sees the shared state: its trie compiles the completion tail
+     once per distinct intermediate IR, and candidates whose pass is a
+     no-op on this state dedup to a single simulation.  The measured
+     program is apply_sequence (candidate :: completion) state — exactly
+     what pre-compiling by hand measured. *)
+  let cost p seq =
     match engine with
-    | Some eng -> (Engine.eval eng q []).Engine.cost
-    | None -> Characterize.eval_sequence ~config q []
+    | Some eng -> (Engine.eval eng p seq).Engine.cost
+    | None -> Characterize.eval_sequence ~config p seq
   in
   for step = 0 to steps - 1 do
     (if not (Obs.Trace.enabled ()) then fun f -> f ()
@@ -79,13 +85,10 @@ let gen_instances ?engine ?(config = Mach.Config.default) ?(seed = 1)
        pool-wide fan-out (and a warm cache makes them free anyway) *)
     (match engine with
      | Some eng when Engine.jobs eng > 1 ->
-       let completed =
-         List.map
-           (fun pass ->
-             (Pass.apply_sequence completion (Pass.apply pass state), []))
-           Pass.all
+       let candidates =
+         List.map (fun pass -> (state, pass :: completion)) Pass.all
        in
-       let outs = Engine.eval_many eng completed in
+       let outs = Engine.eval_many eng candidates in
        List.iteri
          (fun i pass -> Hashtbl.replace costs pass outs.(i).Engine.cost)
          Pass.all
@@ -94,9 +97,7 @@ let gen_instances ?engine ?(config = Mach.Config.default) ?(seed = 1)
       match Hashtbl.find_opt costs pass with
       | Some c -> c
       | None ->
-        let c =
-          cost (Pass.apply_sequence completion (Pass.apply pass state))
-        in
+        let c = cost state (pass :: completion) in
         Hashtbl.replace costs pass c;
         c
     in

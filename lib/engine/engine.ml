@@ -6,6 +6,7 @@ module Rcache = Rcache
 module Pool = Pool
 module Faults = Faults
 module Journal = Journal
+module Pctrie = Pctrie
 module Ir = Mira.Ir
 module Pass = Passes.Pass
 
@@ -21,6 +22,7 @@ type stats = {
   mutable evals : int;
   mutable hits : int;
   mutable sims : int;
+  mutable dedup_hits : int;
   mutable failures : int;
   mutable wall : float;
 }
@@ -32,6 +34,7 @@ type stats = {
 let m_evals = Obs.Metrics.counter "engine.evals"
 let m_hits = Obs.Metrics.counter "engine.cache.hits"
 let m_misses = Obs.Metrics.counter "engine.cache.misses"
+let m_dedup = Obs.Metrics.counter "engine.dedup_hits"
 let m_failures = Obs.Metrics.counter "engine.failures"
 let eval_ms = Obs.Metrics.histogram "engine.eval_ms"
 
@@ -45,6 +48,7 @@ type t = {
   max_respawns : int;
   respawn_backoff : float;
   cache : Rcache.t;
+  trie : Pctrie.t option;  (* None = sharing disabled (--no-share) *)
   stats : stats;
   pool_health : Pool.health;
 }
@@ -52,7 +56,8 @@ type t = {
 let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
     ?(task_timeout = Pool.default_task_timeout) ?(retries = 1)
     ?(max_respawns = Pool.default_max_respawns)
-    ?(respawn_backoff = Pool.default_respawn_backoff) config =
+    ?(respawn_backoff = Pool.default_respawn_backoff) ?(share = true)
+    ?trie_capacity config =
   let cache =
     match cache with Some c -> c | None -> Rcache.in_memory ()
   in
@@ -66,7 +71,10 @@ let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
     max_respawns;
     respawn_backoff;
     cache;
-    stats = { evals = 0; hits = 0; sims = 0; failures = 0; wall = 0.0 };
+    trie = (if share then Some (Pctrie.create ?capacity:trie_capacity ()) else None);
+    stats =
+      { evals = 0; hits = 0; sims = 0; dedup_hits = 0; failures = 0;
+        wall = 0.0 };
     pool_health = Pool.empty_health ();
   }
 
@@ -74,12 +82,15 @@ let config t = t.config
 let jobs t = t.jobs
 let cache t = t.cache
 let stats t = t.stats
+let share t = Option.is_some t.trie
+let trie t = t.trie
 
 let reset_stats t =
   let s = t.stats in
   s.evals <- 0;
   s.hits <- 0;
   s.sims <- 0;
+  s.dedup_hits <- 0;
   s.failures <- 0;
   s.wall <- 0.0
 
@@ -87,7 +98,7 @@ let hit_rate t =
   if t.stats.evals = 0 then 0.0
   else float_of_int t.stats.hits /. float_of_int t.stats.evals
 
-let ir_digest p = Digest.to_hex (Digest.string (Ir.to_string p))
+let ir_digest = Pctrie.digest
 
 (* The cache key binds everything the measurement depends on: program
    text (via its printed IR), sequence, machine configuration, fuel, and
@@ -107,21 +118,57 @@ let key_of t ~prog_digest seq =
 
 let key t p seq = key_of t ~prog_digest:(ir_digest p) seq
 
-(* the actual measurement: compile under [seq], simulate, read the bank *)
-let simulate t p seq : Rcache.entry =
-  let p' = Pass.apply_sequence seq p in
+(* The simulation-dedup key: everything the simulator's verdict depends
+   on once the code is fixed — the compiled IR, the machine, the fuel.
+   The "sim" prefix keeps these entries in their own namespace next to
+   the (program, sequence) keys in the same Rcache, so a dedup hit
+   survives across runs like any other cached result. *)
+let sim_key t ~ir_digest =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ "sim"; ir_digest; t.config_digest; string_of_int t.fuel ]))
+
+(* run the simulator on already-compiled code *)
+let run_sim t p' ~ir_digest : Rcache.entry =
   match Mach.Sim.run ~config:t.config ~fuel:t.fuel p' with
   | r ->
     Rcache.Measured
       {
+        ir_digest;
         cycles = r.Mach.Sim.cycles;
         code_size = Ir.program_size p';
         counters = Array.copy r.Mach.Sim.counters;
       }
-  | exception (Mira.Interp.Trap _ | Mira.Interp.Out_of_fuel) -> Rcache.Failure
+  | exception (Mira.Interp.Trap _ | Mira.Interp.Out_of_fuel) ->
+    Rcache.Failure { ir_digest }
+
+(* the no-share measurement: compile under [seq] from scratch, simulate,
+   read the bank — the differential baseline for the sharing paths *)
+let simulate t p seq : Rcache.entry =
+  let p' = Pass.apply_sequence seq p in
+  run_sim t p' ~ir_digest:(ir_digest p')
+
+(* Measure one missed key through the sharing layers: compile via the
+   trie (each distinct prefix once), then consult the dedup entry for
+   the compiled code before paying for a simulator run.  Returns the
+   entry to record under the (program, sequence) key. *)
+let measure_shared t trie p ~prog_digest seq : Rcache.entry =
+  let p', d = Pctrie.apply_sequence trie p ~digest:prog_digest seq in
+  let sk = sim_key t ~ir_digest:d in
+  match Rcache.find t.cache sk with
+  | Some e ->
+    t.stats.dedup_hits <- t.stats.dedup_hits + 1;
+    Obs.Metrics.incr m_dedup;
+    e
+  | None ->
+    t.stats.sims <- t.stats.sims + 1;
+    let e = run_sim t p' ~ir_digest:d in
+    Rcache.add t.cache sk e;
+    e
 
 let outcome_of_entry ~from_cache = function
-  | Rcache.Measured { cycles; code_size; counters } ->
+  | Rcache.Measured { ir_digest = _; cycles; code_size; counters } ->
     {
       cost = float_of_int cycles;
       cycles = Some cycles;
@@ -129,7 +176,7 @@ let outcome_of_entry ~from_cache = function
       counters = Some counters;
       from_cache;
     }
-  | Rcache.Failure ->
+  | Rcache.Failure _ ->
     {
       cost = infinity;
       cycles = None;
@@ -161,9 +208,14 @@ let eval_digested t p ~prog_digest seq =
         Obs.Metrics.incr m_hits;
         outcome_of_entry ~from_cache:true e
       | None ->
-        t.stats.sims <- t.stats.sims + 1;
         Obs.Metrics.incr m_misses;
-        let e = simulate t p seq in
+        let e =
+          match t.trie with
+          | Some trie -> measure_shared t trie p ~prog_digest seq
+          | None ->
+            t.stats.sims <- t.stats.sims + 1;
+            simulate t p seq
+        in
         Rcache.add t.cache k e;
         outcome_of_entry ~from_cache:false e
     in
@@ -184,9 +236,9 @@ let evaluator t p =
   fun seq -> (eval_digested t p ~prog_digest seq).cost
 
 (* the shared batch core: tasks are (program, sequence) pairs with their
-   cache keys already computed *)
+   source digests and cache keys already computed *)
 let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
-    (keys : string array) : outcome array =
+    (digests : string array) (keys : string array) : outcome array =
   let go () =
   let t0 = Unix.gettimeofday () in
   let n = Array.length tasks in
@@ -197,45 +249,148 @@ let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
   let resolved : (string, Rcache.entry) Hashtbl.t = Hashtbl.create n in
   let missed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let miss_slots = ref [] in
+  let placeholder = Rcache.Failure { ir_digest = String.make 32 '0' } in
   Array.iteri
     (fun i k ->
       if not (Hashtbl.mem resolved k) then
         match Rcache.find t.cache k with
         | Some e -> Hashtbl.replace resolved k e
         | None ->
-          Hashtbl.replace resolved k Rcache.Failure (* placeholder *);
+          Hashtbl.replace resolved k placeholder;
           Hashtbl.replace missed k ();
           miss_slots := i :: !miss_slots)
     keys;
   let miss_slots = Array.of_list (List.rev !miss_slots) in
   let nmiss = Array.length miss_slots in
-  t.stats.sims <- t.stats.sims + nmiss;
   t.stats.hits <- t.stats.hits + (n - nmiss);
   Obs.Metrics.incr ~by:nmiss m_misses;
   Obs.Metrics.incr ~by:(n - nmiss) m_hits;
-  (* simulate the misses, forking when the batch and jobs warrant it *)
-  let computed =
-    Pool.map ~jobs:t.jobs ~task_timeout:t.task_timeout ~retries:t.retries
-      ~health:t.pool_health ~max_respawns:t.max_respawns
-      ~respawn_backoff:t.respawn_backoff
-      (fun i ->
-        let p, seq = tasks.(i) in
-        simulate t p seq)
-      miss_slots
-  in
+  (* crashed / timed-out work costs infinity for this run but is never
+     persisted: it is not known to reproduce *)
   let unreliable : (string, unit) Hashtbl.t = Hashtbl.create 4 in
-  Array.iteri
-    (fun j r ->
-      let k = keys.(miss_slots.(j)) in
-      match r with
-      | Pool.Done e ->
-        Hashtbl.replace resolved k e;
-        Rcache.add t.cache k e
-      | Pool.Failed _ | Pool.Crashed | Pool.Timed_out ->
-        (* cost infinity for this run, but never persisted: a crash or
-           timeout is not known to reproduce *)
-        Hashtbl.replace unreliable k ())
-    computed;
+  (match t.trie with
+   | None ->
+     (* no sharing: each worker compiles and simulates its own miss,
+        exactly the serial simulate path *)
+     t.stats.sims <- t.stats.sims + nmiss;
+     let computed =
+       Pool.map ~jobs:t.jobs ~task_timeout:t.task_timeout
+         ~retries:t.retries ~health:t.pool_health
+         ~max_respawns:t.max_respawns ~respawn_backoff:t.respawn_backoff
+         (fun i ->
+           let p, seq = tasks.(i) in
+           simulate t p seq)
+         miss_slots
+     in
+     Array.iteri
+       (fun j r ->
+         let k = keys.(miss_slots.(j)) in
+         match r with
+         | Pool.Done e ->
+           Hashtbl.replace resolved k e;
+           Rcache.add t.cache k e
+         | Pool.Failed _ | Pool.Crashed | Pool.Timed_out ->
+           Hashtbl.replace unreliable k ())
+       computed
+   | Some trie ->
+     (* Sharing: compile the misses in the parent through the trie, in
+        prefix-lexicographic order so the LRU window walks one subtree
+        at a time, then ship only the distinct compiled programs to the
+        pool.  Workers inherit them by fork, so nothing is marshalled,
+        and results are keyed by sim key — output order stays task
+        order, bit-identical to the serial path. *)
+     let order = Array.copy miss_slots in
+     Array.sort
+       (fun a b ->
+         let c = Pass.compare_sequence (snd tasks.(a)) (snd tasks.(b)) in
+         if c <> 0 then c else compare a b)
+       order;
+     let compiled : (int, Ir.program * string) Hashtbl.t =
+       Hashtbl.create (max 16 nmiss)
+     in
+     Array.iter
+       (fun i ->
+         let p, seq = tasks.(i) in
+         Hashtbl.replace compiled i
+           (Pctrie.apply_sequence trie p ~digest:digests.(i) seq))
+       order;
+     (* one simulation job per distinct, uncached sim key, collected in
+        first-seen task order (determinism); every other miss is a
+        dedup hit served by that job or by a persisted sim entry *)
+     let sk_of : (int, string) Hashtbl.t = Hashtbl.create (max 16 nmiss) in
+     let sim_entries : (string, Rcache.entry) Hashtbl.t =
+       Hashtbl.create 16
+     in
+     let job_of_sk : (string, int) Hashtbl.t = Hashtbl.create 16 in
+     let jobs_rev = ref [] and njobs = ref 0 and ndedup = ref 0 in
+     Array.iter
+       (fun i ->
+         let p', d = Hashtbl.find compiled i in
+         let sk = sim_key t ~ir_digest:d in
+         Hashtbl.replace sk_of i sk;
+         if Hashtbl.mem job_of_sk sk || Hashtbl.mem sim_entries sk then
+           incr ndedup
+         else
+           match Rcache.find t.cache sk with
+           | Some e ->
+             Hashtbl.replace sim_entries sk e;
+             incr ndedup
+           | None ->
+             Hashtbl.replace job_of_sk sk !njobs;
+             jobs_rev := (sk, p', d) :: !jobs_rev;
+             incr njobs)
+       miss_slots;
+     let sim_jobs = Array.of_list (List.rev !jobs_rev) in
+     t.stats.sims <- t.stats.sims + !njobs;
+     t.stats.dedup_hits <- t.stats.dedup_hits + !ndedup;
+     Obs.Metrics.incr ~by:!ndedup m_dedup;
+     (* dispatch in the prefix-local order induced by the jobs' first
+        needing sequence: neighbours in the queue share compile state *)
+     let sched_rev = ref [] in
+     let scheduled = Array.make (max 1 !njobs) false in
+     Array.iter
+       (fun i ->
+         match Hashtbl.find_opt job_of_sk (Hashtbl.find sk_of i) with
+         | Some j when not scheduled.(j) ->
+           scheduled.(j) <- true;
+           sched_rev := j :: !sched_rev
+         | _ -> ())
+       order;
+     let schedule = Array.of_list (List.rev !sched_rev) in
+     let computed =
+       Pool.map ~jobs:t.jobs ~task_timeout:t.task_timeout
+         ~retries:t.retries ~health:t.pool_health
+         ~max_respawns:t.max_respawns ~respawn_backoff:t.respawn_backoff
+         ~schedule
+         (fun j ->
+           let _, p', d = sim_jobs.(j) in
+           run_sim t p' ~ir_digest:d)
+         (Array.init !njobs Fun.id)
+     in
+     let unreliable_sk : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+     Array.iteri
+       (fun j r ->
+         let sk, _, _ = sim_jobs.(j) in
+         match r with
+         | Pool.Done e ->
+           Hashtbl.replace sim_entries sk e;
+           Rcache.add t.cache sk e
+         | Pool.Failed _ | Pool.Crashed | Pool.Timed_out ->
+           Hashtbl.replace unreliable_sk sk ())
+       computed;
+     (* fill each missed (program, sequence) key from its sim entry *)
+     Array.iter
+       (fun i ->
+         let k = keys.(i) in
+         let sk = Hashtbl.find sk_of i in
+         if Hashtbl.mem unreliable_sk sk then
+           Hashtbl.replace unreliable k ()
+         else begin
+           let e = Hashtbl.find sim_entries sk in
+           Hashtbl.replace resolved k e;
+           Rcache.add t.cache k e
+         end)
+       miss_slots);
   let out =
     Array.map
       (fun k ->
@@ -266,8 +421,9 @@ let eval_tasks t (tasks : (Ir.program * Pass.t list) array)
 let eval_batch t p seqs =
   let prog_digest = ir_digest p in
   let tasks = Array.of_list (List.map (fun s -> (p, s)) seqs) in
+  let digests = Array.map (fun _ -> prog_digest) tasks in
   let keys = Array.map (fun (_, s) -> key_of t ~prog_digest s) tasks in
-  eval_tasks t tasks keys
+  eval_tasks t tasks digests keys
 
 let eval_many t pairs =
   let tasks = Array.of_list pairs in
@@ -282,10 +438,13 @@ let eval_many t pairs =
       seen := (p, d) :: !seen;
       d
   in
+  let digests = Array.map (fun (p, _) -> digest_of p) tasks in
   let keys =
-    Array.map (fun (p, s) -> key_of t ~prog_digest:(digest_of p) s) tasks
+    Array.mapi
+      (fun i (_, s) -> key_of t ~prog_digest:digests.(i) s)
+      tasks
   in
-  eval_tasks t tasks keys
+  eval_tasks t tasks digests keys
 
 let costs t p seqs = Array.map (fun o -> o.cost) (eval_batch t p seqs)
 
@@ -353,8 +512,15 @@ let pp_stats ?(wall = true) ppf t =
   Fmt.pf ppf "engine stats@.";
   row "evaluations" (string_of_int s.evals);
   row "cache hits" (string_of_int s.hits);
-  row "cache misses" (string_of_int s.sims);
+  row "cache misses" (string_of_int (s.evals - s.hits));
+  row "dedup hits" (string_of_int s.dedup_hits);
   row "simulations" (string_of_int s.sims);
+  (match t.trie with
+   | None -> ()
+   | Some trie ->
+     row "trie hits" (string_of_int (Pctrie.hits trie));
+     row "trie misses" (string_of_int (Pctrie.misses trie));
+     row "trie evictions" (string_of_int (Pctrie.evictions trie)));
   row "failures" (string_of_int s.failures);
   row "hit rate" (Printf.sprintf "%.1f%%" (100.0 *. hit_rate t));
   row "cache entries" (string_of_int (Rcache.known t.cache));

@@ -9,11 +9,28 @@
       digest, the pass sequence, the machine configuration digest, the
       simulation fuel and the pass-set version, so identical evaluations
       are never simulated twice, within or across runs;
+    - a pass-compilation trie ({!Pctrie}) memoizing single pass
+      applications by (input-IR digest, pass), so a sweep compiles each
+      distinct sequence {e prefix} once instead of once per sequence;
+    - a simulation-dedup layer keying simulator runs by (compiled-IR
+      digest, machine config, fuel): sequences that converge to
+      identical code — no-op tails, commuting passes, fixpoints — are
+      simulated exactly once, and the (program, sequence) entry is
+      filled from the shared result.  Dedup entries live in the same
+      Rcache, so convergence is remembered across runs.  Both layers
+      are on by default and disabled together by [create ~share:false]
+      (the [--no-share] differential baseline: outcomes are identical
+      either way, only the work changes);
     - a [Unix.fork] worker pool ({!Pool}) for batches, with per-task
       timeouts and crash retries, returning results in task order so a
-      parallel run is bit-identical to a serial one;
-    - a stats surface (evaluations / hits / misses / failures /
-      wall-time) printable as a table.
+      parallel run is bit-identical to a serial one.  With sharing on,
+      misses are compiled in the parent in prefix-lexicographic order
+      (the trie's LRU walks one subtree at a time) and only distinct
+      compiled programs are dispatched, in that same prefix-local
+      order;
+    - a stats surface (evaluations / hits / misses / dedup hits /
+      simulations / trie traffic / failures / wall-time) printable as a
+      table.
 
     Failures (trap, divergence) are first-class cached results with cost
     [infinity]: a known-broken sequence loses every comparison without
@@ -27,6 +44,7 @@ module Rcache = Rcache
 module Pool = Pool
 module Faults = Faults
 module Journal = Journal
+module Pctrie = Pctrie
 
 type outcome = {
   cost : float;             (** cycles, or [infinity] on failure *)
@@ -38,8 +56,12 @@ type outcome = {
 
 type stats = {
   mutable evals : int;     (** evaluations requested *)
-  mutable hits : int;      (** served without running the simulator *)
+  mutable hits : int;      (** served from the (program, sequence) cache *)
   mutable sims : int;      (** simulator runs actually executed *)
+  mutable dedup_hits : int;
+      (** misses whose simulation was shared with another sequence that
+          compiled to identical code (in-batch or via a persisted sim
+          entry) instead of running the simulator *)
   mutable failures : int;  (** evaluations that trapped / diverged / died *)
   mutable wall : float;    (** seconds spent inside the engine *)
 }
@@ -49,7 +71,10 @@ type t
 (** [create config] builds an engine for one machine configuration.
     [jobs] bounds the worker pool for batch calls (default 1 = serial);
     [cache] plugs in a result store (default: a fresh in-memory one);
-    [fuel] is the simulator step budget and is part of the cache key. *)
+    [fuel] is the simulator step budget and is part of the cache key.
+    [share] (default true) enables the compilation trie and the
+    simulation-dedup layer; [trie_capacity] bounds the trie's LRU of
+    materialized IRs (default {!Pctrie.default_capacity}). *)
 val create :
   ?jobs:int ->
   ?cache:Rcache.t ->
@@ -58,6 +83,8 @@ val create :
   ?retries:int ->
   ?max_respawns:int ->
   ?respawn_backoff:float ->
+  ?share:bool ->
+  ?trie_capacity:int ->
   Mach.Config.t ->
   t
 
@@ -65,7 +92,14 @@ val config : t -> Mach.Config.t
 val jobs : t -> int
 val cache : t -> Rcache.t
 
-(** hex digest of a program's printed IR: the program part of cache keys *)
+(** is prefix sharing / simulation dedup enabled? *)
+val share : t -> bool
+
+(** the engine's compilation trie, [None] when sharing is off *)
+val trie : t -> Pctrie.t option
+
+(** hex digest of a program ({!Pctrie.digest}: printed IR plus the
+    printer-omitted state): the program part of cache keys *)
 val ir_digest : Mira.Ir.program -> string
 
 (** the full cache key of (program, sequence) under this engine *)

@@ -127,13 +127,19 @@ type 'b worker = {
   mutable inflight : (int * float) option;  (* task index, start time *)
 }
 
-let serial_map f tasks =
-  Array.mapi
-    (fun i t ->
-      match run_task f t i with
-      | v -> Done v
-      | exception e -> Failed (Printexc.to_string e))
-    tasks
+let run_one f tasks i =
+  match run_task f tasks.(i) i with
+  | v -> Done v
+  | exception e -> Failed (Printexc.to_string e)
+
+let serial_map ~schedule f tasks =
+  match schedule with
+  | None -> Array.init (Array.length tasks) (run_one f tasks)
+  | Some order ->
+    (* same results; only the execution order follows the schedule *)
+    let results = Array.make (Array.length tasks) Crashed in
+    Array.iter (fun i -> results.(i) <- run_one f tasks i) order;
+    results
 
 let spawn_worker (f : 'a -> 'b) : 'b worker =
   if Faults.fires "spawn-fail" then raise (Faults.Injected "spawn-fail");
@@ -208,14 +214,17 @@ let send w msg =
   | exception _ -> false
 
 let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
-    ~backoff f tasks =
+    ~backoff ~schedule f tasks =
   let n = Array.length tasks in
   let results = Array.make n Crashed in
   let crashes = Array.make n 0 in  (* workers each task has killed *)
   let pending = Queue.create () in
-  for i = 0 to n - 1 do
-    Queue.add i pending
-  done;
+  (match schedule with
+   | None ->
+     for i = 0 to n - 1 do
+       Queue.add i pending
+     done
+   | Some order -> Array.iter (fun i -> Queue.add i pending) order);
   let open_slots = ref n in  (* tasks not yet resolved *)
   let workers = ref [] in
   let respawn_budget = ref max_respawns in
@@ -374,18 +383,32 @@ let parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
 
 let map ?(jobs = 1) ?(task_timeout = default_task_timeout) ?(retries = 1)
     ?health ?(max_respawns = default_max_respawns)
-    ?(respawn_backoff = default_respawn_backoff) f tasks =
+    ?(respawn_backoff = default_respawn_backoff) ?schedule f tasks =
   if retries < 0 then invalid_arg "Pool.map: retries must be >= 0";
   if max_respawns < 0 then invalid_arg "Pool.map: max_respawns must be >= 0";
+  (match schedule with
+   | None -> ()
+   | Some order ->
+     let n = Array.length tasks in
+     let bad () =
+       invalid_arg "Pool.map: schedule must be a permutation of the tasks"
+     in
+     if Array.length order <> n then bad ();
+     let seen = Array.make (max 1 n) false in
+     Array.iter
+       (fun i ->
+         if i < 0 || i >= n || seen.(i) then bad ();
+         seen.(i) <- true)
+       order);
   let health =
     match health with Some h -> h | None -> empty_health ()
   in
   Obs.Metrics.incr ~by:(Array.length tasks) m_tasks;
   let go () =
-    if jobs <= 1 || Array.length tasks <= 1 then serial_map f tasks
+    if jobs <= 1 || Array.length tasks <= 1 then serial_map ~schedule f tasks
     else
       parallel_map ~jobs ~task_timeout ~retries ~health ~max_respawns
-        ~backoff:respawn_backoff f tasks
+        ~backoff:respawn_backoff ~schedule f tasks
   in
   if not (Obs.Trace.enabled ()) then go ()
   else

@@ -30,7 +30,10 @@
 
     Workers are forked once per [map] call and fed tasks on demand over
     pipes (self-scheduling), so an expensive task does not hold up the
-    queue behind it.
+    queue behind it.  [schedule], when given, is a permutation of the
+    task indices fixing the {e dispatch} order (the engine passes a
+    prefix-locality order so cache-warm tasks run back to back); it
+    never affects the results, which stay indexed by task.
 
     Fault-injection points consulted (see {!Faults}): [worker-crash] and
     [worker-hang] in the worker (occurrence = task index), [spawn-fail]
@@ -66,7 +69,8 @@ val default_task_timeout : float
 val default_max_respawns : int
 val default_respawn_backoff : float
 
-(** @raise Invalid_argument if [retries < 0] or [max_respawns < 0] *)
+(** @raise Invalid_argument if [retries < 0], [max_respawns < 0], or
+    [schedule] is not a permutation of the task indices *)
 val map :
   ?jobs:int ->
   ?task_timeout:float ->
@@ -74,6 +78,7 @@ val map :
   ?health:health ->
   ?max_respawns:int ->
   ?respawn_backoff:float ->
+  ?schedule:int array ->
   ('a -> 'b) ->
   'a array ->
   'b outcome array

@@ -1,22 +1,31 @@
 (* Append-only persistent result store with a bounded LRU in front.
 
-   Log format v2 (one record per line, header first):
-     mira-rescache 2
-     <sum>|ok|<key>|<cycles>|<code_size>|<c0,c1,...>
-     <sum>|fail|<key>
-   <sum> = first 8 hex chars of MD5(payload).  The last line for a key
-   wins, so re-recording is just appending.  Lines that fail the
-   checksum or semantic validation are quarantined (counted, dropped),
-   and the log is then rewritten clean (self-healing).  v1 logs
-   (checksum-less payloads under header "mira-rescache 1") replay
-   transparently and are migrated to v2 on open.
+   Log format v3 (one record per line, header first):
+     mira-rescache 3
+     <sum>|ok|<key>|<ir>|<cycles>|<code_size>|<c0,c1,...>
+     <sum>|fail|<key>|<ir>
+   <sum> = first 8 hex chars of MD5(payload); <ir> is the 32-hex digest
+   of the compiled (post-pipeline) IR the measurement came from, which
+   is what lets the engine dedup simulator runs across sequences that
+   converge to identical code.  The last line for a key wins, so
+   re-recording is just appending.  Lines that fail the checksum or
+   semantic validation are quarantined (counted, dropped), and the log
+   is then rewritten clean (self-healing).  Legacy v1/v2 logs carry no
+   IR digest, so their lines cannot be promoted: every line is
+   quarantined and the log rewritten as an empty v3 store (the entries
+   are re-measured on demand).
 
    Injection points consulted here (see Faults): torn-append,
    flip-append, fail-append, stale-lock, compact-crash. *)
 
 type entry =
-  | Measured of { cycles : int; code_size : int; counters : int array }
-  | Failure
+  | Measured of {
+      ir_digest : string;
+      cycles : int;
+      code_size : int;
+      counters : int array;
+    }
+  | Failure of { ir_digest : string }
 
 exception Cache_error of string
 
@@ -36,7 +45,8 @@ type t = {
   mutable stale_locks : int;
 }
 
-let magic = "mira-rescache 2"
+let magic = "mira-rescache 3"
+let magic_v2 = "mira-rescache 2"
 let magic_v1 = "mira-rescache 1"
 let default_capacity = 262_144
 
@@ -61,8 +71,6 @@ let note_stale_lock t =
   t.stale_locks <- t.stale_locks + 1;
   Obs.Metrics.incr m_stale_locks;
   Obs.Trace.instant ~cat:"rcache" "rcache.stale-lock-broken"
-
-type version = V1 | V2
 
 (* ------------------------------------------------------------------ *)
 (* checksummed lines *)
@@ -108,22 +116,32 @@ let find t key =
 (* line payloads *)
 
 let entry_to_line key = function
-  | Measured { cycles; code_size; counters } ->
-    Printf.sprintf "ok|%s|%d|%d|%s" key cycles code_size
+  | Measured { ir_digest; cycles; code_size; counters } ->
+    Printf.sprintf "ok|%s|%s|%d|%d|%s" key ir_digest cycles code_size
       (String.concat "," (List.map string_of_int (Array.to_list counters)))
-  | Failure -> Printf.sprintf "fail|%s" key
+  | Failure { ir_digest } -> Printf.sprintf "fail|%s|%s" key ir_digest
 
 (* strictly decimal, so int_of_string cannot be tricked into accepting
    "0x10", "1_0" or a sign *)
 let dec s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
+(* exactly what Digest.to_hex produces: 32 lowercase hex characters *)
+let hex32 s =
+  String.length s = 32
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
 let entry_of_line line =
   let invalid why = Error (Printf.sprintf "%s: %S" why line) in
   match String.split_on_char '|' line with
-  | [ "fail"; key ] when key <> "" -> Ok (key, Failure)
-  | [ "fail"; _ ] -> invalid "empty key"
-  | [ "ok"; key; cycles; code_size; counters ] ->
+  | [ "fail"; key; ir ] ->
     if key = "" then invalid "empty key"
+    else if not (hex32 ir) then invalid "malformed IR digest"
+    else Ok (key, Failure { ir_digest = ir })
+  | [ "ok"; key; ir; cycles; code_size; counters ] ->
+    if key = "" then invalid "empty key"
+    else if not (hex32 ir) then invalid "malformed IR digest"
     else if not (dec cycles && dec code_size) then
       invalid "non-decimal cycles or size"
     else begin
@@ -142,7 +160,12 @@ let entry_of_line line =
           Ok
             ( key,
               Measured
-                { cycles; code_size; counters = Array.of_list counters } )
+                {
+                  ir_digest = ir;
+                  cycles;
+                  code_size;
+                  counters = Array.of_list counters;
+                } )
         | exception Failure _ -> invalid "value out of range"
     end
   | _ -> invalid "malformed log line"
@@ -268,21 +291,24 @@ let in_memory ?(mem_capacity = default_capacity) () =
 (* ------------------------------------------------------------------ *)
 (* replay and compaction *)
 
-let payload_of_line ~version line =
-  match version with V2 -> unseal_line line | V1 -> Some line
-
-(* stream every valid (key, payload) of [path] in file order *)
-let iter_valid_lines path ~version f =
+(* stream every valid (key, payload) of [path] in file order; a legacy
+   (v1/v2) header makes every data line invalid by construction, so the
+   stream is empty for those logs *)
+let iter_valid_lines path f =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      (try ignore (input_line ic) with End_of_file -> ());
+      let legacy =
+        match input_line ic with
+        | h -> h = magic_v1 || h = magic_v2
+        | exception End_of_file -> false
+      in
       try
         while true do
           let line = input_line ic in
-          if line <> "" then
-            match payload_of_line ~version line with
+          if (not legacy) && line <> "" then
+            match unseal_line line with
             | None -> ()
             | Some payload -> (
               match entry_of_line payload with
@@ -291,12 +317,12 @@ let iter_valid_lines path ~version f =
         done
       with End_of_file -> ())
 
-(* Rewrite [path] as a clean v2 log: one line per key, last value wins,
+(* Rewrite [path] as a clean v3 log: one line per key, last value wins,
    corruption scrubbed.  Atomic: temp file + rename. *)
-let rewrite_log path ~version =
+let rewrite_log path =
   let order = ref [] in
   let latest : (string, string) Hashtbl.t = Hashtbl.create 1024 in
-  iter_valid_lines path ~version (fun key payload _e ->
+  iter_valid_lines path (fun key payload _e ->
       if not (Hashtbl.mem latest key) then order := key :: !order;
       Hashtbl.replace latest key payload);
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
@@ -332,7 +358,7 @@ let compact t =
         t.log <- None;
         Fun.protect
           ~finally:(fun () -> t.log <- Some (open_append path))
-          (fun () -> rewrite_log path ~version:V2))
+          (fun () -> rewrite_log path))
   | _ -> ()
 
 let open_dir_raw ?(mem_capacity = default_capacity) dir =
@@ -350,7 +376,7 @@ let open_dir_raw ?(mem_capacity = default_capacity) dir =
   acquire_lock t dir;
   match
     let path = log_file dir in
-    let version = ref V2 in
+    let legacy = ref false in
     let fresh = not (Sys.file_exists path) in
     if not fresh then begin
     let ic =
@@ -362,7 +388,10 @@ let open_dir_raw ?(mem_capacity = default_capacity) dir =
       (fun () ->
         (match input_line ic with
          | h when h = magic -> ()
-         | h when h = magic_v1 -> version := V1
+         | h when h = magic_v1 || h = magic_v2 ->
+           (* legacy lines carry no IR digest: nothing survives, every
+              data line is quarantined and the log rewritten fresh *)
+           legacy := true
          | h
            when String.length h < String.length magic
                 && (String.starts_with ~prefix:h magic
@@ -379,20 +408,23 @@ let open_dir_raw ?(mem_capacity = default_capacity) dir =
           while true do
             let line = input_line ic in
             if line <> "" then
-              match payload_of_line ~version:!version line with
-              | None -> note_quarantined t
-              | Some payload -> (
-                match entry_of_line payload with
-                | Ok (key, e) -> touch t key e
-                | Error _ -> note_quarantined t)
+              if !legacy then note_quarantined t
+              else
+                match unseal_line line with
+                | None -> note_quarantined t
+                | Some payload -> (
+                  match entry_of_line payload with
+                  | Ok (key, e) -> touch t key e
+                  | Error _ -> note_quarantined t)
           done
         with End_of_file -> ())
   end;
-    (* self-heal: a v1 log migrates to v2; a log that quarantined
-       anything is scrubbed (also re-terminating any torn tail, so later
-       appends cannot glue onto it) *)
-    if (not fresh) && (!version = V1 || t.quarantined > 0) then
-      rewrite_log path ~version:!version;
+    (* self-heal: a log that quarantined anything — including every line
+       of a legacy v1/v2 log — is scrubbed (also re-terminating any torn
+       tail, so later appends cannot glue onto it); a legacy header is
+       replaced even when its log held no lines *)
+    if (not fresh) && (!legacy || t.quarantined > 0) then
+      rewrite_log path;
     let oc = open_append path in
     if
       fresh

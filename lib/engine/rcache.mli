@@ -7,17 +7,21 @@
     so known-broken sequences are never re-simulated either.
 
     Persistence is an append-only line-oriented log ([results.log]
-    inside the cache directory), flushed on every write.  Format v2
+    inside the cache directory), flushed on every write.  Format v3
     protects every record with a checksum: a line is
     [<sum>|<payload>] where [<sum>] is the first 8 hex characters of
-    the payload's MD5.  At replay, a line whose checksum or payload
-    does not validate — torn by a crash, bit-flipped by the medium,
-    semantically out of range — is {e quarantined}: counted, dropped,
-    never fatal; the remaining entries survive.  Re-recording a key
-    appends a newer line (last line wins on load).  Whenever replay
-    quarantined anything, and whenever a v1 (checksum-less) log is
-    opened, the log is rewritten in place via {!compact} — the store is
-    self-healing, and v1 caches migrate transparently.
+    the payload's MD5, and every payload carries the digest of the
+    compiled (post-pipeline) IR the measurement came from — the handle
+    the engine's simulation-dedup layer keys on.  At replay, a line
+    whose checksum or payload does not validate — torn by a crash,
+    bit-flipped by the medium, semantically out of range — is
+    {e quarantined}: counted, dropped, never fatal; the remaining
+    entries survive.  Re-recording a key appends a newer line (last
+    line wins on load).  Whenever replay quarantined anything the log
+    is rewritten in place via {!compact} — the store is self-healing.
+    Legacy v1/v2 logs carry no IR digest, so they cannot be promoted:
+    every line is quarantined and the log rewritten as an empty v3
+    store (entries are re-measured on demand).
 
     A single-writer advisory lock ([cache.lock], holding the writer's
     pid) guards the directory: opening a cache locked by a live process
@@ -29,8 +33,14 @@
     reopen. *)
 
 type entry =
-  | Measured of { cycles : int; code_size : int; counters : int array }
-  | Failure  (** trapped or diverged: cost is infinity, reproducibly *)
+  | Measured of {
+      ir_digest : string;  (** hex digest of the compiled IR measured *)
+      cycles : int;
+      code_size : int;
+      counters : int array;
+    }
+  | Failure of { ir_digest : string }
+      (** trapped or diverged: cost is infinity, reproducibly *)
 
 (** environmental failures of {!open_dir} — the directory cannot be
     created or read, the file is not a result cache, or another live
@@ -91,8 +101,9 @@ val seal_line : string -> string
 val unseal_line : string -> string option
 
 (** Parse (and semantically validate) a log-line payload.  Rejects, with
-    a reason: unknown shapes, empty keys, non-decimal or negative
-    cycles / code size / counter values, junk after the counter list. *)
+    a reason: unknown shapes (including digest-less v1/v2 lines), empty
+    keys, malformed IR digests, non-decimal or negative cycles / code
+    size / counter values, junk after the counter list. *)
 val entry_of_line : string -> (string * entry, string) result
 
 (** the inverse of {!entry_of_line} *)

@@ -143,6 +143,21 @@ let sequence_valid (seq : t list) : bool =
 
 let sequence_to_string seq = String.concat "," (List.map name seq)
 
+(* lexicographic by pass index: sorting a batch by this order clusters
+   sequences that share a prefix, which is what keeps the engine's
+   compilation-trie LRU window walking one subtree at a time *)
+let compare_sequence (a : t list) (b : t list) : int =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: a', y :: b' ->
+      let c = Int.compare (to_index x) (to_index y) in
+      if c <> 0 then c else go a' b'
+  in
+  go a b
+
 let apply_sequence (seq : t list) (p : Ir.program) : Ir.program =
   let go () = List.fold_left (fun p pass -> apply pass p) p seq in
   if not (Obs.Trace.enabled ()) then go ()

@@ -63,6 +63,11 @@ val apply_per_function :
 
 val sequence_to_string : t list -> string
 
+(** total order on sequences, lexicographic by {!to_index}: sorting by
+    it clusters shared prefixes (the engine's batch scheduler uses this
+    to keep its compilation-trie LRU local) *)
+val compare_sequence : t list -> t list -> int
+
 (** Version tag of the pass set, mixed into persistent evaluation-cache
     keys.  Bump its leading number whenever any pass's observable
     behaviour changes; the pass roster is included, so adding or renaming

@@ -135,6 +135,14 @@ let exhaustive (seqs : Pass.t list list) (eval : eval) : result =
   let arr = Array.of_list seqs in
   run_budgeted ~budget:(Array.length arr) ~next:(fun i -> arr.(i)) eval
 
+(* [exhaustive] through a batch cost oracle (typically the engine's
+   [costs]): the whole sweep lands in one batched call, so prefix
+   sharing, simulation dedup and the worker pool see it at once, then
+   the costs replay into the result a serial run produces *)
+let exhaustive_batched (seqs : Pass.t list list)
+    (costs : Pass.t list list -> float array) : result =
+  replay ~seqs:(Array.of_list seqs) ~costs:(costs seqs)
+
 (* ------------------------------------------------------------------ *)
 (* Genetic algorithm (the Cooper et al. [33] baseline, used by the
    code-size experiment).  Tournament selection, one-point crossover,

@@ -46,6 +46,16 @@ val hill_climb : ?seed:int -> ?length:int -> budget:int -> eval -> result
 (** evaluate an explicit list of sequences *)
 val exhaustive : Passes.Pass.t list list -> eval -> result
 
+(** {!exhaustive} through a batch cost oracle (typically the engine's
+    [costs] applied to a program): the whole sweep is evaluated in one
+    batched call — prefix sharing, simulation dedup and the worker pool
+    see it at once — then replayed into the identical serial result.
+    @raise Invalid_argument if [seqs] is empty *)
+val exhaustive_batched :
+  Passes.Pass.t list list ->
+  (Passes.Pass.t list list -> float array) ->
+  result
+
 type ga_params = {
   population : int;
   generations : int;

@@ -2,8 +2,11 @@ The evaluation engine behind miracc: -j sizes the worker pool, --cache
 makes results persistent, --cache-stats prints the engine table.  The
 wall-time line is filtered out (not reproducible); everything else is.
 
-A cold parallel search populates the cache (budget 30 plus the -O0
-reference evaluation = 31 entries):
+A cold parallel search populates the cache.  The 31 evaluations
+(budget 30 plus the -O0 reference) compile through the prefix-sharing
+trie; only the 16 distinct compiled programs are simulated, the other
+15 misses are filled by dedup.  Entries = 31 evaluation keys + 16
+simulation keys = 47:
 
   $ miracc search sample.mira --strategy random --budget 30 --seed 3 -j 2 --cache rc --cache-stats | grep -v "wall time"
   evaluations: 30
@@ -13,16 +16,20 @@ reference evaluation = 31 entries):
     evaluations    31
     cache hits     0
     cache misses   31
-    simulations    31
+    dedup hits     15
+    simulations    16
+    trie hits      87
+    trie misses    63
+    trie evictions 0
     failures       0
     hit rate       0.0%
-    cache entries  31
+    cache entries  47
     quarantined    0
 
 The cache directory holds an append-only, checksummed result log:
 
   $ head -1 rc/results.log
-  mira-rescache 2
+  mira-rescache 3
 
 A warm re-run finds the same result without a single simulation:
 
@@ -34,10 +41,14 @@ A warm re-run finds the same result without a single simulation:
     evaluations    31
     cache hits     31
     cache misses   0
+    dedup hits     0
     simulations    0
+    trie hits      0
+    trie misses    0
+    trie evictions 0
     failures       0
     hit rate       100.0%
-    cache entries  31
+    cache entries  47
     quarantined    0
 
 Parallel and serial agree on everything but the stats table:

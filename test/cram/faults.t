@@ -43,18 +43,20 @@ A malformed --inject spec is a usage error:
 
 Self-healing: tear the last cache append mid-write (as a crash would).
 The torn line is quarantined at the next open, the lost result is
-re-simulated, and the log is rewritten clean:
+re-simulated, and the log is rewritten clean.  (--no-share keeps the
+one-simulation-per-miss accounting these counts pin down; sharing has
+its own cram in sharing.t.)
 
-  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --cache torn --cache-stats --inject torn-append@10 2>&1 | grep -E "simulations|entries|quarantined|health"
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --no-share --cache torn --cache-stats --inject torn-append@10 2>&1 | grep -E "simulations|entries|quarantined|health"
     simulations    11
     cache entries  11
     quarantined    0
-  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --cache torn --cache-stats 2>&1 | grep -E "simulations|entries|quarantined|health"
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --no-share --cache torn --cache-stats 2>&1 | grep -E "simulations|entries|quarantined|health"
     simulations    1
     cache entries  11
     quarantined    1
   engine health: degraded (cache-quarantined=1)
-  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --cache torn --cache-stats 2>&1 | grep -E "simulations|entries|quarantined|health"
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 --no-share --cache torn --cache-stats 2>&1 | grep -E "simulations|entries|quarantined|health"
     simulations    0
     cache entries  11
     quarantined    0
@@ -63,7 +65,7 @@ A task that keeps killing its worker is quarantined as poisoned: it
 costs infinity (one failure), is not cached, the pool respawns workers
 and finishes everything else, and the degradation is reported:
 
-  $ miracc search sample.mira --strategy random --budget 10 --seed 3 -j 2 --max-worker-restarts 4 --inject worker-crash@2 --cache stress --cache-stats 2>health.log | grep -E "failures|entries"
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 -j 2 --no-share --max-worker-restarts 4 --inject worker-crash@2 --cache stress --cache-stats 2>health.log | grep -E "failures|entries"
     failures       1
     cache entries  10
   $ grep -c "poisoned-tasks=1" health.log
@@ -72,6 +74,6 @@ and finishes everything else, and the degradation is reported:
 The crash was not cached as a result, so a clean warm run measures the
 poisoned sequence for real:
 
-  $ miracc search sample.mira --strategy random --budget 10 --seed 3 -j 2 --cache stress --cache-stats 2>&1 | grep -E "failures|entries|health"
+  $ miracc search sample.mira --strategy random --budget 10 --seed 3 -j 2 --no-share --cache stress --cache-stats 2>&1 | grep -E "failures|entries|health"
     failures       0
     cache entries  11

@@ -1,0 +1,32 @@
+Prefix sharing and simulation dedup are pure work-savers: the engine's
+trie memoizes pass applications across a batch and converging compiled
+programs are simulated once, but every printed number must be the one
+the no-share engine produces.
+
+The same search with sharing on (default) and off is byte-identical on
+everything a user sees:
+
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 -j 2 > share.out
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 -j 2 --no-share > noshare.out
+  $ diff share.out noshare.out
+
+The same holds for the genetic strategy and for a serial run:
+
+  $ miracc search sample.mira --strategy genetic --budget 24 --seed 7 > g-share.out
+  $ miracc search sample.mira --strategy genetic --budget 24 --seed 7 --no-share > g-noshare.out
+  $ diff g-share.out g-noshare.out
+
+Under the hood the work differs: sharing-on shows trie traffic and
+dedup hits, sharing-off simulates every miss and prints no trie rows:
+
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 --cache-stats | grep -E "dedup|trie|simulations"
+    dedup hits     15
+    simulations    16
+    trie hits      87
+    trie misses    63
+    trie evictions 0
+    cache entries  47
+  $ miracc search sample.mira --strategy random --budget 30 --seed 3 --no-share --cache-stats | grep -E "dedup|trie|simulations"
+    dedup hits     0
+    simulations    31
+    cache entries  31

@@ -3,10 +3,10 @@
    - every Pool outcome (Done/Failed/Crashed/Timed_out) from one
      deterministic injected run, poison-task quarantine, and graceful
      degradation to serial execution when (re)spawning workers fails;
-   - Rcache v2 replay under injected corruption (torn final line,
+   - Rcache v3 replay under injected corruption (torn final line,
      bit-flipped line, truncated header, duplicate keys), quarantine
-     accounting, v1 migration, atomic compaction, absorbed write
-     errors, and the single-writer lock;
+     accounting, legacy v1/v2 quarantine, atomic compaction, absorbed
+     write errors, and the single-writer lock;
    - Journal checkpoint/resume: a sweep killed mid-run (injected
      kill -9) resumes to byte-identical results. *)
 
@@ -196,33 +196,59 @@ let test_pool_respawn_exhaustion_serial_fallback () =
 let entry : Rcache.entry Alcotest.testable =
   Alcotest.testable
     (fun ppf -> function
-      | Rcache.Measured { cycles; code_size; counters } ->
-        Fmt.pf ppf "Measured(%d,%d,[%d])" cycles code_size
+      | Rcache.Measured { ir_digest; cycles; code_size; counters } ->
+        Fmt.pf ppf "Measured(%s,%d,%d,[%d])" ir_digest cycles code_size
           (Array.length counters)
-      | Rcache.Failure -> Fmt.pf ppf "Failure")
+      | Rcache.Failure { ir_digest } -> Fmt.pf ppf "Failure(%s)" ir_digest)
     ( = )
 
-let m1 = Rcache.Measured { cycles = 100; code_size = 7; counters = [| 1; 2 |] }
-let m2 = Rcache.Measured { cycles = 50; code_size = 3; counters = [||] }
+(* v3 entries carry the compiled program's IR digest (32 hex chars) *)
+let dg c = String.make 32 c
+
+let m1 =
+  Rcache.Measured
+    { ir_digest = dg 'a'; cycles = 100; code_size = 7; counters = [| 1; 2 |] }
+
+let m2 =
+  Rcache.Measured
+    { ir_digest = dg 'b'; cycles = 50; code_size = 3; counters = [||] }
 
 let sealed key e = Rcache.seal_line (Rcache.entry_to_line key e) ^ "\n"
 
 let test_entry_of_line_validation () =
   let ok l = Result.is_ok (Rcache.entry_of_line l) in
-  Alcotest.(check bool) "valid ok line" true (ok "ok|k|5|2|1,2,3");
-  Alcotest.(check bool) "valid empty counters" true (ok "ok|k|5|2|");
-  Alcotest.(check bool) "valid fail line" true (ok "fail|k");
-  Alcotest.(check bool) "negative cycles rejected" false (ok "ok|k|-5|2|1");
-  Alcotest.(check bool) "negative size rejected" false (ok "ok|k|5|-2|1");
-  Alcotest.(check bool) "negative counter rejected" false (ok "ok|k|5|2|1,-2");
+  let d = dg 'a' in
+  Alcotest.(check bool) "valid ok line" true
+    (ok (Printf.sprintf "ok|k|%s|5|2|1,2,3" d));
+  Alcotest.(check bool) "valid empty counters" true
+    (ok (Printf.sprintf "ok|k|%s|5|2|" d));
+  Alcotest.(check bool) "valid fail line" true
+    (ok (Printf.sprintf "fail|k|%s" d));
+  Alcotest.(check bool) "negative cycles rejected" false
+    (ok (Printf.sprintf "ok|k|%s|-5|2|1" d));
+  Alcotest.(check bool) "negative size rejected" false
+    (ok (Printf.sprintf "ok|k|%s|5|-2|1" d));
+  Alcotest.(check bool) "negative counter rejected" false
+    (ok (Printf.sprintf "ok|k|%s|5|2|1,-2" d));
   Alcotest.(check bool) "junk after counters rejected" false
-    (ok "ok|k|5|2|1,2junk");
-  Alcotest.(check bool) "trailing comma rejected" false (ok "ok|k|5|2|1,2,");
-  Alcotest.(check bool) "hex cycles rejected" false (ok "ok|k|0x10|2|1");
-  Alcotest.(check bool) "extra field rejected" false (ok "ok|k|5|2|1|9");
-  Alcotest.(check bool) "empty key rejected" false (ok "fail|");
+    (ok (Printf.sprintf "ok|k|%s|5|2|1,2junk" d));
+  Alcotest.(check bool) "trailing comma rejected" false
+    (ok (Printf.sprintf "ok|k|%s|5|2|1,2," d));
+  Alcotest.(check bool) "hex cycles rejected" false
+    (ok (Printf.sprintf "ok|k|%s|0x10|2|1" d));
+  Alcotest.(check bool) "extra field rejected" false
+    (ok (Printf.sprintf "ok|k|%s|5|2|1|9" d));
+  Alcotest.(check bool) "empty key rejected" false
+    (ok (Printf.sprintf "fail||%s" d));
   Alcotest.(check bool) "overflow rejected" false
-    (ok "ok|k|99999999999999999999999999|2|1")
+    (ok (Printf.sprintf "ok|k|%s|99999999999999999999999999|2|1" d));
+  (* v3 requires the IR-digest field; v1/v2-shaped lines must not parse *)
+  Alcotest.(check bool) "v2 ok shape rejected" false (ok "ok|k|5|2|1,2");
+  Alcotest.(check bool) "v2 fail shape rejected" false (ok "fail|k");
+  Alcotest.(check bool) "short digest rejected" false
+    (ok (Printf.sprintf "ok|k|%s|5|2|1" (String.make 31 'a')));
+  Alcotest.(check bool) "uppercase digest rejected" false
+    (ok (Printf.sprintf "ok|k|%s|5|2|1" (String.make 32 'A')))
 
 let test_rcache_torn_line_quarantined_and_healed () =
   with_tmp_dir "rc-torn" @@ fun dir ->
@@ -258,7 +284,7 @@ let test_rcache_bitflip_quarantined () =
   let mid = Bytes.length bad / 2 in
   Bytes.set bad mid (Char.chr (Char.code (Bytes.get bad mid) lxor 1));
   write_file (log_path dir)
-    ("mira-rescache 2\n" ^ good ^ Bytes.to_string bad);
+    ("mira-rescache 3\n" ^ good ^ Bytes.to_string bad);
   let c = Rcache.open_dir dir in
   Alcotest.(check int) "flipped line quarantined" 1 (Rcache.quarantined c);
   Alcotest.(check (option entry)) "intact entry survives" (Some m1)
@@ -271,10 +297,10 @@ let test_rcache_semantic_invalid_quarantined () =
   with_tmp_dir "rc-sem" @@ fun dir ->
   (* checksums valid, payloads semantically rotten *)
   write_file (log_path dir)
-    ("mira-rescache 2\n"
-    ^ Rcache.seal_line "ok|bad1|-5|2|1,2" ^ "\n"
-    ^ Rcache.seal_line "ok|bad2|5|2|1,2junk" ^ "\n"
-    ^ sealed "good" m1);
+    ("mira-rescache 3\n"
+    ^ Rcache.seal_line (Printf.sprintf "ok|bad1|%s|-5|2|1,2" (dg 'a')) ^ "\n"
+    ^ Rcache.seal_line (Printf.sprintf "ok|bad2|%s|5|2|1,2junk" (dg 'a'))
+    ^ "\n" ^ sealed "good" m1);
   let c = Rcache.open_dir dir in
   Alcotest.(check int) "both invalid lines quarantined" 2
     (Rcache.quarantined c);
@@ -314,7 +340,7 @@ let test_rcache_alien_file_refused () =
 let test_rcache_duplicate_key_last_wins () =
   with_tmp_dir "rc-dup" @@ fun dir ->
   write_file (log_path dir)
-    ("mira-rescache 2\n" ^ sealed "k" m1 ^ sealed "other" m2 ^ sealed "k" m2);
+    ("mira-rescache 3\n" ^ sealed "k" m1 ^ sealed "other" m2 ^ sealed "k" m2);
   let c = Rcache.open_dir dir in
   Alcotest.(check (option entry)) "last line wins" (Some m2)
     (Rcache.find c "k");
@@ -322,29 +348,35 @@ let test_rcache_duplicate_key_last_wins () =
   Alcotest.(check int) "nothing quarantined" 0 (Rcache.quarantined c);
   Rcache.close c
 
-let test_rcache_v1_migration () =
-  with_tmp_dir "rc-v1" @@ fun dir ->
-  (* a v1 log (no checksums) with a torn final line *)
-  write_file (log_path dir)
-    "mira-rescache 1\nok|a|100|7|1,2\nfail|b\nok|c|1";
-  let c = Rcache.open_dir dir in
-  Alcotest.(check (option entry)) "v1 measured replayed" (Some m1)
-    (Rcache.find c "a");
-  Alcotest.(check (option entry)) "v1 failure replayed" (Some Rcache.Failure)
-    (Rcache.find c "b");
-  Alcotest.(check int) "torn v1 line quarantined" 1 (Rcache.quarantined c);
-  Rcache.add c "d" m2;
-  Rcache.close c;
-  (* the file is now v2 end to end *)
-  let content = read_file (log_path dir) in
-  Alcotest.(check bool) "migrated header" true
-    (String.starts_with ~prefix:"mira-rescache 2\n" content);
-  let c2 = Rcache.open_dir dir in
-  Alcotest.(check int) "clean after migration" 0 (Rcache.quarantined c2);
-  Alcotest.(check int) "all entries carried over" 3 (Rcache.known c2);
-  Alcotest.(check (option entry)) "post-migration append" (Some m2)
-    (Rcache.find c2 "d");
-  Rcache.close c2
+let test_rcache_legacy_quarantined () =
+  (* v1/v2 entries carry no IR digest, so nothing can be carried into a
+     v3 cache: every legacy data line is quarantined and the log is
+     rewritten as an empty v3 log that works normally afterwards *)
+  let check_legacy name header lines =
+    with_tmp_dir name @@ fun dir ->
+    write_file (log_path dir) (header ^ "\n" ^ lines);
+    let c = Rcache.open_dir dir in
+    Alcotest.(check int) "every legacy line quarantined" 3
+      (Rcache.quarantined c);
+    Alcotest.(check int) "nothing replayed" 0 (Rcache.known c);
+    Rcache.add c "d" m2;
+    Rcache.close c;
+    (* the file is now v3 end to end and clean on reopen *)
+    let content = read_file (log_path dir) in
+    Alcotest.(check bool) "rewritten header" true
+      (String.starts_with ~prefix:"mira-rescache 3\n" content);
+    let c2 = Rcache.open_dir dir in
+    Alcotest.(check int) "clean after rewrite" 0 (Rcache.quarantined c2);
+    Alcotest.(check int) "only the fresh entry" 1 (Rcache.known c2);
+    Alcotest.(check (option entry)) "post-rewrite append" (Some m2)
+      (Rcache.find c2 "d");
+    Rcache.close c2
+  in
+  check_legacy "rc-v1" "mira-rescache 1" "ok|a|100|7|1,2\nfail|b\nok|c|1";
+  check_legacy "rc-v2" "mira-rescache 2"
+    (Rcache.seal_line "ok|a|100|7|1,2" ^ "\n"
+    ^ Rcache.seal_line "fail|b" ^ "\n"
+    ^ Rcache.seal_line "ok|c|1" ^ "\n")
 
 let test_rcache_compact () =
   with_tmp_dir "rc-compact" @@ fun dir ->
@@ -568,8 +600,10 @@ let sequences n =
 
 let test_engine_crash_not_cached () =
   with_tmp_dir "eng-fault" @@ fun dir ->
+  (* sharing off: the exact entry/simulation counts below are the
+     seed's one-simulation-per-miss accounting *)
   let eng =
-    Engine.create ~jobs:2 ~cache:(Rcache.open_dir dir) config
+    Engine.create ~jobs:2 ~share:false ~cache:(Rcache.open_dir dir) config
   in
   let seqs = sequences 6 in
   let out =
@@ -600,6 +634,39 @@ let test_engine_crash_not_cached () =
     (out2.(0).Engine.cost < infinity);
   Alcotest.(check int) "exactly one extra simulation" 7
     (Engine.stats eng).Engine.sims;
+  Engine.Rcache.close (Engine.cache eng)
+
+let test_engine_crash_not_cached_shared () =
+  (* same crash under the prefix-sharing engine: a crashed simulation
+     job must poison every miss that depended on it (none cached, none
+     dedup-filled from it), and a clean re-run measures them for real *)
+  with_tmp_dir "eng-fault-share" @@ fun dir ->
+  let eng =
+    Engine.create ~jobs:2 ~share:true ~cache:(Rcache.open_dir dir) config
+  in
+  let seqs = sequences 6 in
+  let out =
+    Faults.with_plan (Faults.parse_exn "worker-crash@0") (fun () ->
+        Engine.eval_batch eng target seqs)
+  in
+  Alcotest.(check (float 0.0)) "crashed task costs infinity" infinity
+    out.(0).Engine.cost;
+  Alcotest.(check bool) "not served from cache" false
+    out.(0).Engine.from_cache;
+  Alcotest.(check int) "poisoned task reported" 1 (Engine.health eng).Engine.poisoned;
+  (* every outcome of the clean re-run is measured, including the
+     crashed one, and matches the no-share engine *)
+  let out2 = Engine.eval_batch eng target seqs in
+  Alcotest.(check bool) "re-run measures the crashed task" true
+    (out2.(0).Engine.cost < infinity);
+  let ref_eng = Engine.create ~share:false config in
+  let ref_out = Engine.eval_batch ref_eng target seqs in
+  Array.iteri
+    (fun i (r : Engine.outcome) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "re-run outcome %d matches no-share" i)
+        r.Engine.cost out2.(i).Engine.cost)
+    ref_out;
   Engine.Rcache.close (Engine.cache eng)
 
 let () =
@@ -639,8 +706,8 @@ let () =
             test_rcache_alien_file_refused;
           Alcotest.test_case "duplicate key last wins" `Quick
             test_rcache_duplicate_key_last_wins;
-          Alcotest.test_case "v1 log migrates to v2" `Quick
-            test_rcache_v1_migration;
+          Alcotest.test_case "legacy v1/v2 logs quarantined" `Quick
+            test_rcache_legacy_quarantined;
           Alcotest.test_case "compaction" `Quick test_rcache_compact;
           Alcotest.test_case "compaction crash is atomic" `Quick
             test_rcache_compact_crash_atomic;
@@ -666,5 +733,7 @@ let () =
         [
           Alcotest.test_case "worker crash: infinity, uncached, reported"
             `Quick test_engine_crash_not_cached;
+          Alcotest.test_case "worker crash under sharing: poisoned, uncached"
+            `Quick test_engine_crash_not_cached_shared;
         ] );
     ]
