@@ -1,0 +1,170 @@
+(* The architecture-grid sweep benchmark: trace-once/model-many against
+   per-config full simulation, over the whole workload suite and the
+   three preset machine configs.
+
+   Per workload, three timed quantities (best-of-N wall time, to damp
+   scheduler noise):
+     base — one full Flatsim run per config (3x semantic execution);
+     cold — Mtrace.generate + Replay.run_grid (the first time a program
+            meets the grid: semantics once, then one model fold per
+            config);
+     warm — Replay.run_grid alone (the trace already sits in the trace
+            cache: every later config, and every re-measure, is pure
+            model folding).
+
+   A differential oracle checks the grid results bit-identical (cycles,
+   full counter bank, ret, output, steps) to the three independent
+   Flatsim runs before any speedup is reported; a mismatch fails the
+   benchmark.
+
+   With --json the numbers land in BENCH_arch.json (baseline checked
+   in; CI regenerates and uploads one per run). *)
+
+let configs =
+  [| Mach.Config.amd_like; Mach.Config.c6713_like; Mach.Config.embedded |]
+
+let json_file = "BENCH_arch.json"
+
+(* MIRA_BENCH_REPS overrides the repeat count (the cram smoke test runs
+   with 1: it checks table/JSON shape, not timing quality) *)
+let reps () =
+  match Option.bind (Sys.getenv_opt "MIRA_BENCH_REPS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> ( match !Util.scale with Util.Fast -> 5 | Util.Full -> 9)
+
+type row = {
+  name : string;
+  base_ms : float;
+  cold_ms : float;
+  warm_ms : float;
+  trace_words : int;
+}
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let d = Unix.gettimeofday () -. t0 in
+    if d < !best then best := d
+  done;
+  !best *. 1000.0
+
+(* bit-identity of one simulator result pair; Stdlib.compare so float
+   returns match by bit-pattern semantics (NaN = NaN) *)
+let same (a : Mach.Flatsim.result) (b : Mach.Flatsim.result) =
+  Stdlib.compare
+    ( a.Mach.Flatsim.cycles, a.Mach.Flatsim.counters, a.Mach.Flatsim.ret,
+      a.Mach.Flatsim.output, a.Mach.Flatsim.steps )
+    ( b.Mach.Flatsim.cycles, b.Mach.Flatsim.counters, b.Mach.Flatsim.ret,
+      b.Mach.Flatsim.output, b.Mach.Flatsim.steps )
+  = 0
+
+let bench_workload n (w : Workloads.t) : row * bool =
+  let p = Workloads.program w in
+  let dp = Mira.Decode.decode p in
+  let tr = Mach.Mtrace.generate dp in
+  (* oracle first: the grid replay must reproduce each config's full
+     simulation exactly *)
+  let fuel = Mach.Sim.default_fuel in
+  let grid = Mach.Replay.run_grid ~configs tr in
+  let full =
+    Array.map (fun config -> Mach.Flatsim.run ~config ~fuel dp) configs
+  in
+  let identical = Array.for_all2 same grid full in
+  if not identical then
+    Fmt.epr "arch: MISMATCH on %s — grid replay differs from full \
+             simulation@."
+      w.Workloads.name;
+  let base_ms =
+    best_of n (fun () ->
+        Array.iter
+          (fun config -> ignore (Mach.Flatsim.run ~config ~fuel dp))
+          configs)
+  in
+  let cold_ms =
+    best_of n (fun () ->
+        let tr = Mach.Mtrace.generate dp in
+        ignore (Mach.Replay.run_grid ~configs tr))
+  in
+  let warm_ms =
+    best_of n (fun () -> ignore (Mach.Replay.run_grid ~configs tr))
+  in
+  ( { name = w.Workloads.name; base_ms; cold_ms; warm_ms;
+      trace_words = tr.Mach.Mtrace.n },
+    identical )
+
+let write_json ~identical (rows : row list) =
+  let oc = open_out json_file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"icc-bench-arch/1\",\n";
+  p "  \"configs\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun c -> Printf.sprintf "%S" c.Mach.Config.name)
+          (Array.to_list configs)));
+  p "  \"reps\": %d,\n" (reps ());
+  p "  \"identical\": %b,\n" identical;
+  p "  \"workloads\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"name\": %S, \"base_ms\": %.3f, \"cold_ms\": %.3f, \
+         \"warm_ms\": %.3f, \"speedup_cold\": %.2f, \"speedup_warm\": \
+         %.2f, \"trace_words\": %d}%s\n"
+        r.name r.base_ms r.cold_ms r.warm_ms (r.base_ms /. r.cold_ms)
+        (r.base_ms /. r.warm_ms) r.trace_words
+        (if i = n - 1 then "" else ","))
+    rows;
+  p "  ],\n";
+  let total f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
+  let gm f = Util.geomean (List.map f rows) in
+  p "  \"geomean_speedup_cold\": %.2f,\n" (gm (fun r -> r.base_ms /. r.cold_ms));
+  p "  \"geomean_speedup_warm\": %.2f,\n" (gm (fun r -> r.base_ms /. r.warm_ms));
+  p "  \"total_base_ms\": %.1f,\n" (total (fun r -> r.base_ms));
+  p "  \"total_cold_ms\": %.1f,\n" (total (fun r -> r.cold_ms));
+  p "  \"total_warm_ms\": %.1f\n" (total (fun r -> r.warm_ms));
+  p "}\n";
+  close_out oc;
+  Fmt.pr "@.[wrote %s]@." json_file
+
+let run () =
+  Util.header
+    "Architecture-grid benchmark: trace-once/model-many vs per-config \
+     simulation";
+  let n = reps () in
+  Fmt.pr "%d workloads x %d configs (%s), best of %d runs@."
+    (List.length Workloads.all) (Array.length configs)
+    (String.concat ", "
+       (List.map
+          (fun c -> c.Mach.Config.name)
+          (Array.to_list configs)))
+    n;
+  let rows, oks =
+    List.split (List.map (bench_workload n) Workloads.all)
+  in
+  let identical = List.for_all (fun b -> b) oks in
+  if not identical then exit 1;
+  Util.print_table
+    [ "workload"; "3x flatsim"; "cold (gen+grid)"; "warm (grid)";
+      "cold speedup"; "warm speedup"; "trace words" ]
+    (List.map
+       (fun r ->
+         [ r.name;
+           Printf.sprintf "%.2fms" r.base_ms;
+           Printf.sprintf "%.2fms" r.cold_ms;
+           Printf.sprintf "%.2fms" r.warm_ms;
+           Printf.sprintf "%.2fx" (r.base_ms /. r.cold_ms);
+           Printf.sprintf "%.2fx" (r.base_ms /. r.warm_ms);
+           string_of_int r.trace_words ])
+       rows);
+  let gm f = Util.geomean (List.map f rows) in
+  Fmt.pr
+    "@.all outcomes bit-identical across engines and configs@.geomean \
+     speedup: cold %.2fx, warm %.2fx (grid of %d configs)@."
+    (gm (fun r -> r.base_ms /. r.cold_ms))
+    (gm (fun r -> r.base_ms /. r.warm_ms))
+    (Array.length configs);
+  if !Util.json_out then write_json ~identical rows

@@ -28,6 +28,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("tab8", "cross-architecture adaptation [extension]", Extensions.tab8);
     ("micro", "bechamel microbenchmarks", Micro.run);
     ("sweep", "prefix-sharing sweep benchmark (cold/warm, share on/off)", Sweep.run);
+    ("arch", "architecture-grid replay vs per-config simulation", Arch.run);
   ]
 
 let () =
@@ -56,7 +57,7 @@ let () =
       (match Mach.Sim.engine_of_string e with
        | Some eng -> Mach.Sim.default_engine := eng
        | None ->
-         Fmt.epr "--engine expects ref or flat@.";
+         Fmt.epr "--engine expects ref, flat or trace@.";
          exit 1);
       strip_opts rest
     | "--inject" :: spec :: rest ->

@@ -130,14 +130,20 @@ let obs_term = Cmdliner.Term.(const obs_setup $ trace_arg $ metrics_arg)
 (* every command that executes programs takes --engine; the chosen
    engine is installed as the process-wide default so train/search
    evaluations inherit it too *)
-let engine_conv = Arg.enum [ ("ref", Mach.Sim.Ref); ("flat", Mach.Sim.Flat) ]
+let engine_conv =
+  Arg.enum
+    [ ("ref", Mach.Sim.Ref); ("flat", Mach.Sim.Flat);
+      ("trace", Mach.Sim.Trace) ]
 
 let engine_arg =
   Arg.(value & opt engine_conv Mach.Sim.Flat & info [ "engine" ] ~docv:"ENGINE"
          ~doc:"Execution engine: $(b,flat) (pre-decoded bytecode, the \
-               default) or $(b,ref) (the reference interpreter).  Both \
-               produce bit-identical results; ref is kept as the \
-               semantics oracle.")
+               default), $(b,ref) (the reference interpreter, kept as \
+               the semantics oracle) or $(b,trace) (record the \
+               config-independent event trace once, replay the machine \
+               model over it — fastest when one program is priced \
+               against many machine configs).  All three produce \
+               bit-identical results.")
 
 let set_engine e = Mach.Sim.default_engine := e
 
@@ -302,17 +308,55 @@ let features_cmd =
 
 let counters_cmd =
   let doc = "Profile at -O0 and print per-instruction counter rates." in
-  let run file arch engine () =
+  let run file arch configs engine () =
     set_engine engine;
     let p = load_program file in
-    let config = arch_of_name arch in
-    let r = Mach.Sim.run ~config p in
-    List.iter
-      (fun (n, v) -> Fmt.pr "%-10s %.6f@." n v)
-      (Icc.Characterize.counter_assoc r.Mach.Sim.counters)
+    match configs with
+    | None ->
+      let config = arch_of_name arch in
+      let r = Mach.Sim.run ~config p in
+      List.iter
+        (fun (n, v) -> Fmt.pr "%-10s %.6f@." n v)
+        (Icc.Characterize.counter_assoc r.Mach.Sim.counters)
+    | Some names ->
+      (* architecture grid: one semantic execution (the trace), one
+         model replay per config, one column per config *)
+      let configs =
+        names |> String.split_on_char ',' |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map arch_of_name |> Array.of_list
+      in
+      if Array.length configs = 0 then begin
+        Fmt.epr "miracc: --configs needs at least one architecture@.";
+        exit 1
+      end;
+      let rs = Mach.Sim.run_grid ~configs p in
+      let assocs =
+        Array.map
+          (fun (r : Mach.Sim.result) ->
+            Icc.Characterize.counter_assoc r.Mach.Sim.counters)
+          rs
+      in
+      Fmt.pr "%-10s" "counter";
+      Array.iter (fun c -> Fmt.pr " %12s" c.Mach.Config.name) configs;
+      Fmt.pr "@.";
+      List.iteri
+        (fun i (n, _) ->
+          Fmt.pr "%-10s" n;
+          Array.iter (fun a -> Fmt.pr " %12.6f" (snd (List.nth a i))) assocs;
+          Fmt.pr "@.")
+        assocs.(0)
+  in
+  let configs_arg =
+    Arg.(value & opt (some string) None & info [ "configs" ] ~docv:"A,B,..."
+           ~doc:"Price the program against several machine configs in \
+                 one pass (trace-once/model-many): the program is \
+                 executed once, the recorded event trace is replayed \
+                 per config, and the table gets one column per config.")
   in
   Cmd.v (Cmd.info "counters" ~doc)
-    Term.(const run $ file_arg $ arch_arg $ engine_arg $ obs_term)
+    Term.(const run $ file_arg $ arch_arg $ configs_arg $ engine_arg
+          $ obs_term)
 
 (* --- workloads ----------------------------------------------------- *)
 

@@ -7,6 +7,7 @@ module Pool = Pool
 module Faults = Faults
 module Journal = Journal
 module Pctrie = Pctrie
+module Tcache = Tcache
 module Ir = Mira.Ir
 module Pass = Passes.Pass
 
@@ -49,6 +50,7 @@ type t = {
   respawn_backoff : float;
   cache : Rcache.t;
   trie : Pctrie.t option;  (* None = sharing disabled (--no-share) *)
+  tcache : Tcache.t;       (* traces, used when the trace engine is on *)
   stats : stats;
   pool_health : Pool.health;
 }
@@ -57,9 +59,12 @@ let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
     ?(task_timeout = Pool.default_task_timeout) ?(retries = 1)
     ?(max_respawns = Pool.default_max_respawns)
     ?(respawn_backoff = Pool.default_respawn_backoff) ?(share = true)
-    ?trie_capacity config =
+    ?trie_capacity ?tcache config =
   let cache =
     match cache with Some c -> c | None -> Rcache.in_memory ()
+  in
+  let tcache =
+    match tcache with Some c -> c | None -> Tcache.create ()
   in
   {
     config;
@@ -72,6 +77,7 @@ let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
     respawn_backoff;
     cache;
     trie = (if share then Some (Pctrie.create ?capacity:trie_capacity ()) else None);
+    tcache;
     stats =
       { evals = 0; hits = 0; sims = 0; dedup_hits = 0; failures = 0;
         wall = 0.0 };
@@ -81,6 +87,7 @@ let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
 let config t = t.config
 let jobs t = t.jobs
 let cache t = t.cache
+let tcache t = t.tcache
 let stats t = t.stats
 let share t = Option.is_some t.trie
 let trie t = t.trie
@@ -129,17 +136,41 @@ let sim_key t ~ir_digest =
        (String.concat "\x00"
           [ "sim"; ir_digest; t.config_digest; string_of_int t.fuel ]))
 
-(* run the simulator on already-compiled code *)
+(* Run the simulator on already-compiled code.  On the trace engine the
+   trace cache sits in front: the config-independent event trace is
+   generated (or found) under its (ir digest, fuel) key and replayed
+   against this engine's config — so re-measuring known code on a new
+   machine config costs one model fold, no semantic re-execution.
+   Replay re-raises the traced run's Trap/Out_of_fuel, landing in the
+   same Failure arm as a live run's. *)
 let run_sim t p' ~ir_digest : Rcache.entry =
-  match Mach.Sim.run ~config:t.config ~fuel:t.fuel p' with
-  | r ->
-    Rcache.Measured
-      {
-        ir_digest;
-        cycles = r.Mach.Sim.cycles;
-        code_size = Ir.program_size p';
-        counters = Array.copy r.Mach.Sim.counters;
-      }
+  let go () =
+    match !Mach.Sim.default_engine with
+    | Mach.Sim.Trace ->
+      let tr =
+        Tcache.find_or_generate t.tcache ~ir_digest ~fuel:t.fuel
+          (fun () -> Mach.Mtrace.generate_program ~fuel:t.fuel p')
+      in
+      let r = Mach.Replay.run ~config:t.config tr in
+      Rcache.Measured
+        {
+          ir_digest;
+          cycles = r.Mach.Flatsim.cycles;
+          code_size = Ir.program_size p';
+          counters = Array.copy r.Mach.Flatsim.counters;
+        }
+    | Mach.Sim.Ref | Mach.Sim.Flat ->
+      let r = Mach.Sim.run ~config:t.config ~fuel:t.fuel p' in
+      Rcache.Measured
+        {
+          ir_digest;
+          cycles = r.Mach.Sim.cycles;
+          code_size = Ir.program_size p';
+          counters = Array.copy r.Mach.Sim.counters;
+        }
+  in
+  match go () with
+  | e -> e
   | exception (Mira.Interp.Trap _ | Mira.Interp.Out_of_fuel) ->
     Rcache.Failure { ir_digest }
 
@@ -521,6 +552,13 @@ let pp_stats ?(wall = true) ppf t =
      row "trie hits" (string_of_int (Pctrie.hits trie));
      row "trie misses" (string_of_int (Pctrie.misses trie));
      row "trie evictions" (string_of_int (Pctrie.evictions trie)));
+  (* trace-cache rows only when the trace engine actually ran: the
+     existing flat/ref output shape is pinned by the cram tests *)
+  if Tcache.hits t.tcache + Tcache.misses t.tcache > 0 then begin
+    row "trace hits" (string_of_int (Tcache.hits t.tcache));
+    row "trace misses" (string_of_int (Tcache.misses t.tcache));
+    row "trace evictions" (string_of_int (Tcache.evictions t.tcache))
+  end;
   row "failures" (string_of_int s.failures);
   row "hit rate" (Printf.sprintf "%.1f%%" (100.0 *. hit_rate t));
   row "cache entries" (string_of_int (Rcache.known t.cache));

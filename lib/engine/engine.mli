@@ -21,6 +21,12 @@
       are on by default and disabled together by [create ~share:false]
       (the [--no-share] differential baseline: outcomes are identical
       either way, only the work changes);
+    - a bounded trace cache ({!Tcache}) keyed by (compiled-IR digest,
+      fuel) — config deliberately absent — used when the trace engine
+      is selected ([Mach.Sim.default_engine := Trace]): the
+      config-independent event trace is generated once and replayed per
+      machine config, so re-measuring known code on a new config costs
+      one model fold instead of a semantic re-execution;
     - a [Unix.fork] worker pool ({!Pool}) for batches, with per-task
       timeouts and crash retries, returning results in task order so a
       parallel run is bit-identical to a serial one.  With sharing on,
@@ -45,6 +51,7 @@ module Pool = Pool
 module Faults = Faults
 module Journal = Journal
 module Pctrie = Pctrie
+module Tcache = Tcache
 
 type outcome = {
   cost : float;             (** cycles, or [infinity] on failure *)
@@ -74,7 +81,10 @@ type t
     [fuel] is the simulator step budget and is part of the cache key.
     [share] (default true) enables the compilation trie and the
     simulation-dedup layer; [trie_capacity] bounds the trie's LRU of
-    materialized IRs (default {!Pctrie.default_capacity}). *)
+    materialized IRs (default {!Pctrie.default_capacity}).
+    [tcache] plugs in a trace cache (default: a fresh one) — engines for
+    different configs of the same architecture grid should share one, so
+    each program is traced once for the whole grid. *)
 val create :
   ?jobs:int ->
   ?cache:Rcache.t ->
@@ -85,12 +95,16 @@ val create :
   ?respawn_backoff:float ->
   ?share:bool ->
   ?trie_capacity:int ->
+  ?tcache:Tcache.t ->
   Mach.Config.t ->
   t
 
 val config : t -> Mach.Config.t
 val jobs : t -> int
 val cache : t -> Rcache.t
+
+(** the engine's trace cache (consulted only under the trace engine) *)
+val tcache : t -> Tcache.t
 
 (** is prefix sharing / simulation dedup enabled? *)
 val share : t -> bool

@@ -20,9 +20,9 @@ type t = {
   line_shift : int;  (** log2 of [cfg.line_bytes] *)
   set_mask : int;    (** [nsets - 1] when [nsets] is a power of two, else -1 *)
   set_shift : int;   (** log2 of [nsets] when it is a power of two *)
-  tags : int array;
-  dirty : bool array;
-  age : int array;
+  ways : int array;
+      (** per way, interleaved (tag, LRU stamp, dirty) triples — one
+          set's state stays within a host cache line; tag -1 = invalid *)
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
@@ -48,6 +48,29 @@ type outcome = {
 
 (** one access at a byte address; [write] marks the line dirty *)
 val access : t -> addr:int -> write:bool -> outcome
+
+(** {2 Allocation-free variant} — the per-event hot loops (the fused
+    simulator and the trace replay) make one or two cache accesses per
+    memory event, so the [outcome] record is measurable there. *)
+
+(** result of {!access_fast} when the line was resident *)
+val hit : int
+
+(** result of {!access_fast} on a miss that displaced no dirty line *)
+val miss : int
+
+(** same state evolution as {!access}; returns {!hit}, {!miss}, or the
+    (non-negative) writeback address of a displaced dirty line *)
+val access_fast : t -> addr:int -> write:bool -> int
+
+(** The miss path of {!access_fast} after a failed hit scan of [set]:
+    replacement, writeback accounting, install of [tag]; returns
+    {!miss} or the writeback address.  For callers that duplicate the
+    hit scan in their own compilation unit (Flatsim's per-event probe —
+    dev builds compile with [-opaque], so cross-module calls never
+    inline); such a caller must bump [accesses]/[clock] itself exactly
+    as {!access_fast} does before scanning. *)
+val fill : t -> set:int -> tag:int -> write:bool -> int
 
 (** [kib n] is [n * 1024] *)
 val kib : int -> int

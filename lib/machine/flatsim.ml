@@ -107,7 +107,7 @@ let ensure_stamp mt r =
     mt.stamps <- n
   end
 
-let close_bundle mt =
+let[@inline] close_bundle mt =
   if mt.bundle > 0 then mt.cycles <- mt.cycles + 1;
   mt.bundle <- 0;
   mt.bundle_id <- mt.bundle_id + 1
@@ -116,7 +116,7 @@ let close_bundle mt =
    defined register (simple ops always have one).  The stamp reads stay
    bounds-checked: a malformed register index must raise the same
    Invalid_argument the reference's [st.stamps.(r)] does. *)
-let issue_simple mt (uses : int array) (d : int) =
+let[@inline] issue_simple mt (uses : int array) (d : int) =
   let stamps = mt.stamps in
   let slen = Array.length stamps in
   let dep = ref false in
@@ -130,37 +130,143 @@ let issue_simple mt (uses : int array) (d : int) =
   mt.stamps.(d) <- mt.bundle_id;
   if mt.bundle >= mt.issue_width then close_bundle mt
 
-let issue_long mt lat =
+(* issue_simple for callers that pre-sized [stamps] past every register
+   id they will present and guarantee the ids are non-negative — the
+   replay fold, which knows the trace's maximum register up front.  The
+   use array is flattened to two scalar slots (simple-issue ops read at
+   most two registers); an absent use points at a sentinel stamp slot
+   that is never written, so — with [bundle_id] starting at 1 over
+   zeroed stamps — it can never register a dependence.  Semantics are
+   those of [issue_simple] minus the growth check and the
+   malformed-register Invalid_argument (the decoder never emits negative
+   slots for simple-issue ops, so the two agree on every decodable
+   program; the three-way differential fuzzer holds them to it). *)
+let[@inline] issue_simple_pre mt (u0 : int) (u1 : int) (d : int) =
+  let stamps = mt.stamps in
+  let bid = mt.bundle_id in
+  if Array.unsafe_get stamps u0 = bid || Array.unsafe_get stamps u1 = bid then
+    close_bundle mt;
+  mt.bundle <- mt.bundle + 1;
+  Array.unsafe_set stamps d mt.bundle_id;
+  if mt.bundle >= mt.issue_width then close_bundle mt
+
+let[@inline] issue_long mt lat =
   close_bundle mt;
   mt.cycles <- mt.cycles + lat
 
+(* config-dependent half of a conditional branch: predictor update,
+   misprediction accounting, cost.  The BR_INS/BR_TKN bumps stay with the
+   caller — they are config-independent, so the trace engine accumulates
+   them once at generation time while this half replays per config.
+   The update logic is Predictor.update's, copied in-unit: dev builds
+   compile with -opaque, so the cross-module call never inlines, and
+   this runs once per dynamic conditional branch per config. *)
+let[@inline] branch mt site ~taken =
+  let bp = mt.bp in
+  let tbl = bp.Predictor.table in
+  bp.Predictor.lookups <- bp.Predictor.lookups + 1;
+  let i =
+    if bp.Predictor.mask >= 0 then site land bp.Predictor.mask
+    else begin
+      let n = Array.length tbl in
+      let i = site mod n in
+      if i < 0 then i + n else i
+    end
+  in
+  let v = Array.unsafe_get tbl i in
+  let mis = (v >= 2) <> taken in
+  if mis then bp.Predictor.mispredicts <- bp.Predictor.mispredicts + 1;
+  Array.unsafe_set tbl i
+    (if taken then (if v < 3 then v + 1 else 3) else if v > 0 then v - 1 else 0);
+  let cost = mt.branch_cost + if mis then mt.mispredict_penalty else 0 in
+  if mis then bump mt.bank c_br_msp;
+  issue_long mt cost
+
+(* drain the trailing partially-filled bundle and pin TOT_CYC *)
+let finish mt =
+  if mt.bundle > 0 then mt.cycles <- mt.cycles + 1;
+  Counters.set mt.bank Counters.TOT_CYC mt.cycles
+
+(* Cache.access_fast with its hit scan copied in-unit (dev builds
+   compile with -opaque, so the cross-module call never inlines, and
+   this runs one to three times per memory event).  The straight-line
+   scan covers the 1-, 2-, 4- and 8-way geometries every preset level
+   uses; anything else takes Cache.access_fast wholesale, and misses
+   land in Cache.fill — the shared miss path.  Same state evolution as
+   Cache.access on every branch; the differential oracle (Ref prices
+   through Cache.access) holds the copies together. *)
+let[@inline] cache_access (c : Cache.t) ~(write : bool) (addr : int) : int =
+  let assoc = c.Cache.cfg.Cache.assoc in
+  if assoc > 2 && assoc <> 4 && assoc <> 8 then
+    Cache.access_fast c ~addr ~write
+  else begin
+    c.Cache.accesses <- c.Cache.accesses + 1;
+    c.Cache.clock <- c.Cache.clock + 1;
+    let line = addr lsr c.Cache.line_shift in
+    let set =
+      if c.Cache.set_mask >= 0 then line land c.Cache.set_mask
+      else line mod c.Cache.nsets
+    in
+    let tag =
+      if c.Cache.set_mask >= 0 then line lsr c.Cache.set_shift
+      else line / c.Cache.nsets
+    in
+    let ways = c.Cache.ways in
+    let base = set * assoc * 3 in
+    (* tag slots at stride 3; every index stays within
+       [base, base + assoc * 3) <= length ways *)
+    let w =
+      if Array.unsafe_get ways base = tag then base
+      else if assoc = 1 then -3
+      else if Array.unsafe_get ways (base + 3) = tag then base + 3
+      else if assoc = 2 then -3
+      else if Array.unsafe_get ways (base + 6) = tag then base + 6
+      else if Array.unsafe_get ways (base + 9) = tag then base + 9
+      else if assoc = 4 then -3
+      else if Array.unsafe_get ways (base + 12) = tag then base + 12
+      else if Array.unsafe_get ways (base + 15) = tag then base + 15
+      else if Array.unsafe_get ways (base + 18) = tag then base + 18
+      else if Array.unsafe_get ways (base + 21) = tag then base + 21
+      else -3
+    in
+    if w >= 0 then begin
+      Array.unsafe_set ways (w + 1) c.Cache.clock;
+      if write then Array.unsafe_set ways (w + 2) 1;
+      Cache.hit
+    end
+    else Cache.fill c ~set ~tag ~write
+  end
+
+(* same cache-state evolution and counter order as the original
+   Cache.access-based version, through the allocation-free encoding
+   (this runs once or twice per memory event) *)
 let mem_access mt ~write addr =
   let b = mt.bank in
   bump b c_l1_tca;
-  let o1 = Cache.access mt.l1 ~addr ~write in
-  let lat = ref mt.l1_lat in
-  (if not o1.Cache.hit then begin
-     bump b c_l1_tcm;
-     bump b (if write then c_l1_stm else c_l1_ldm);
-     bump b c_l2_tca;
-     let o2 = Cache.access mt.l2 ~addr ~write:false in
-     lat := !lat + mt.l2_lat;
-     if not o2.Cache.hit then begin
-       bump b c_l2_tcm;
-       bump b (if write then c_l2_stm else c_l2_ldm);
-       lat := !lat + mt.mem_lat
-     end;
-     match o1.Cache.writeback with
-     | Some wb_addr ->
-       bump b c_l2_tca;
-       let o2w = Cache.access mt.l2 ~addr:wb_addr ~write:true in
-       if not o2w.Cache.hit then begin
-         bump b c_l2_tcm;
-         bump b c_l2_stm
-       end
-     | None -> ()
-   end);
-  issue_long mt !lat
+  let r1 = cache_access mt.l1 ~write addr in
+  if r1 = Cache.hit then issue_long mt mt.l1_lat
+  else begin
+    bump b c_l1_tcm;
+    bump b (if write then c_l1_stm else c_l1_ldm);
+    bump b c_l2_tca;
+    let r2 = cache_access mt.l2 ~write:false addr in
+    let lat = ref (mt.l1_lat + mt.l2_lat) in
+    if r2 <> Cache.hit then begin
+      bump b c_l2_tcm;
+      bump b (if write then c_l2_stm else c_l2_ldm);
+      lat := !lat + mt.mem_lat
+    end;
+    (* dirty line displaced from L1 is written into L2 *)
+    if r1 >= 0 then begin
+      bump b c_l2_tca;
+      let r2w = cache_access mt.l2 ~write:true r1 in
+      if r2w <> Cache.hit then begin
+        bump b c_l2_tcm;
+        bump b c_l2_stm
+      end
+    end;
+    issue_long mt !lat
+  end
 
 let rec exec (rt : D.rt) (mt : mt) (fr : D.frame) : unit =
   let code = fr.D.df.D.code in
@@ -440,10 +546,7 @@ let rec exec (rt : D.rt) (mt : mt) (fr : D.frame) : unit =
       let taken = D.getb rt fr di.D.ak di.D.a in
       bump bank c_br_ins;
       if taken then bump bank c_br_tkn;
-      let mis = Predictor.update mt.bp di.D.c ~taken in
-      let cost = mt.branch_cost + if mis then mt.mispredict_penalty else 0 in
-      if mis then bump bank c_br_msp;
-      issue_long mt cost;
+      branch mt di.D.c ~taken;
       pc := if taken then di.D.dst else di.D.b
     | D.ORetN ->
       issue_long mt mt.jump_cost;
@@ -478,8 +581,7 @@ let run ~(config : Config.t) ~(fuel : int) (dp : D.t) : result =
   if dp.D.main_idx < 0 then
     D.trap "call to unknown function %s" dp.D.main_name;
   do_call rt mt dp.D.main_idx 0;
-  if mt.bundle > 0 then mt.cycles <- mt.cycles + 1;
-  Counters.set mt.bank Counters.TOT_CYC mt.cycles;
+  finish mt;
   let r = D.result_of rt in
   {
     cycles = mt.cycles;
@@ -488,3 +590,60 @@ let run ~(config : Config.t) ~(fuel : int) (dp : D.t) : result =
     output = r.Interp.output;
     steps = r.Interp.steps;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Trace-replay fold loops.
+
+   These belong to Replay conceptually, but live in this compilation
+   unit so the per-event model calls above are direct and inlinable
+   without flambda — at one call per event per config the call overhead
+   is the replay's whole budget.  The word layout is Mtrace's: tag in
+   the low 2 bits (0 simple / 1 long / 2 mem / 3 branch), payload above
+   (simple: signature id * 256 + run length - 1, a run of consecutive
+   signature ids — Mtrace.run_bits = 8; long: latency-class index into
+   [lat]; mem: addr*2+write; branch: site*2+taken).
+
+   Precondition (Replay's setup establishes it): each mt's [stamps] is
+   sized past the largest register id in [sig_dst]/[sig_u0]/[sig_u1] —
+   including the sentinel slot absent uses point at — so the fold can
+   take the [issue_simple_pre] fast path. *)
+
+let replay_events (mt : mt) ~(events : int array) ~(n : int)
+    ~(sig_u0 : int array) ~(sig_u1 : int array) ~(sig_dst : int array)
+    ~(lat : int array) : unit =
+  for i = 0 to n - 1 do
+    let w = Array.unsafe_get events i in
+    let payload = w lsr 2 in
+    match w land 3 with
+    | 0 ->
+      let last = (payload lsr 8) + (payload land 0xff) in
+      for s = payload lsr 8 to last do
+        issue_simple_pre mt
+          (Array.unsafe_get sig_u0 s)
+          (Array.unsafe_get sig_u1 s)
+          (Array.unsafe_get sig_dst s)
+      done
+    | 1 ->
+      (* a run of same-class long ops: the first close_bundle may drain
+         a partial bundle, the rest only advance the bundle serial *)
+      let n = (payload lsr 3) + 1 in
+      let l = Array.unsafe_get lat (payload land 7) in
+      close_bundle mt;
+      if n > 1 then mt.bundle_id <- mt.bundle_id + (n - 1);
+      mt.cycles <- mt.cycles + (n * l)
+    | 2 -> mem_access mt ~write:(payload land 1 = 1) (payload lsr 1)
+    | _ -> branch mt (payload lsr 1) ~taken:(payload land 1 = 1)
+  done
+
+(* Grid variant: one sequential fold per config.  An interleaved
+   fan-out (decode each word once, touch every config's state) reads
+   the trace array only once, but measures slower: per event it drags
+   k cache/predictor/stamp working sets through the host caches, while
+   the trace itself streams with perfect prefetch either way.  Keeping
+   one config's model state hot per pass wins on every workload. *)
+let replay_events_grid (mts : mt array) ~(events : int array) ~(n : int)
+    ~(sig_u0 : int array) ~(sig_u1 : int array) ~(sig_dst : int array)
+    ~(lats : int array array) : unit =
+  for j = 0 to Array.length mts - 1 do
+    replay_events mts.(j) ~events ~n ~sig_u0 ~sig_u1 ~sig_dst ~lat:lats.(j)
+  done

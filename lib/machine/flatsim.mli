@@ -31,3 +31,93 @@ type result = {
     @raise Mira.Interp.Trap on runtime errors
     @raise Mira.Interp.Out_of_fuel when the step budget is exhausted *)
 val run : config:Config.t -> fuel:int -> Mira.Decode.t -> result
+
+(** {2 Machine-model internals}
+
+    Exposed so that {!Replay} folds a recorded event trace through the
+    {e same} accounting code this module's fused loop runs — one
+    implementation of the issue model, memory hierarchy and predictor,
+    shared by both engines, so bit-identity is structural rather than
+    maintained by mirroring. *)
+
+(** timing state; machine parameters pre-extracted from {!Config.t} so
+    the hot loop reads flat record fields *)
+type mt = {
+  bank : Counters.bank;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  bp : Predictor.t;
+  mutable cycles : int;
+  mutable bundle : int;       (** simple ops issued in the current cycle *)
+  mutable bundle_id : int;    (** serial number of the current bundle *)
+  mutable stamps : int array; (** register -> bundle id of its last write *)
+  issue_width : int;
+  lat_mul : int;
+  lat_div : int;
+  lat_fadd : int;
+  lat_fmul : int;
+  lat_fdiv : int;
+  branch_cost : int;
+  jump_cost : int;
+  mispredict_penalty : int;
+  call_overhead : int;
+  print_cost : int;
+  l1_lat : int;
+  l2_lat : int;
+  mem_lat : int;
+}
+
+(** fresh model state (cold caches, weakly-taken predictor) for a config *)
+val mk_mt : Config.t -> mt
+
+(** issue a simple single-cycle op given the registers it reads and the
+    register it defines (the decoder's precomputed [uses]/[dst]) *)
+val issue_simple : mt -> int array -> int -> unit
+
+(** a long-latency or serializing op: close the bundle, pay [lat] *)
+val issue_long : mt -> int -> unit
+
+(** one access through the L1D/L2 hierarchy, bumping the cache counters
+    and paying the config's latencies *)
+val mem_access : mt -> write:bool -> int -> unit
+
+(** config-dependent half of a conditional branch: predictor update,
+    BR_MSP on a miss, branch cost (+ penalty).  BR_INS/BR_TKN are the
+    caller's, being config-independent. *)
+val branch : mt -> int -> taken:bool -> unit
+
+(** drain the trailing partially-filled bundle and pin TOT_CYC *)
+val finish : mt -> unit
+
+(** {2 Trace-replay fold loops}
+
+    {!Replay}'s hot loops, hosted in this compilation unit so the
+    per-event model calls above are direct and inlinable without
+    flambda.  [events.(0 .. n-1)] are {!Mtrace}-packed words; [lat] maps
+    a latency class ([Mtrace.cls_*]) to the config's latency.
+    [sig_u0]/[sig_u1]/[sig_dst] are the trace's flattened signature
+    columns; the caller must pre-size the mt's [stamps] past every
+    register id they hold (see [Mtrace.max_reg]). *)
+
+val replay_events :
+  mt ->
+  events:int array ->
+  n:int ->
+  sig_u0:int array ->
+  sig_u1:int array ->
+  sig_dst:int array ->
+  lat:int array ->
+  unit
+
+(** one sequential {!replay_events} fold per config ([lats] is
+    per-config) — keeps each config's model state hot for the whole
+    pass, which measures faster than an interleaved fan-out *)
+val replay_events_grid :
+  mt array ->
+  events:int array ->
+  n:int ->
+  sig_u0:int array ->
+  sig_u1:int array ->
+  sig_dst:int array ->
+  lats:int array array ->
+  unit

@@ -1,0 +1,630 @@
+module Interp = Mira.Interp
+module D = Mira.Decode
+
+(* Trace-once half of the trace-once/model-many split (see DESIGN.md
+   "Trace-once, model-many").  This is Flatsim's dispatch loop with the
+   config-dependent accounting calls replaced by event emission: one run
+   of a decoded program records everything the machine model consumes —
+   instruction-class retirements with their use-arrays, load/store byte
+   addresses, branch sites with taken bits, call/print/jump serializers
+   — as one packed int per event, in the exact order Flatsim's fused
+   loop would have fed its model.  Replay folds that stream through the
+   same model code (Flatsim's exported internals) once per config.
+
+   Nothing here reads Config.t: the dynamic instruction and memory
+   reference stream of a program is a property of the program alone, so
+   one trace prices any architecture grid.  The config-independent
+   counters (TOT_INS, LD_INS, ..., BR_TKN) are accumulated into [base]
+   at generation time and copied into every replay's bank, leaving only
+   the config-dependent ones (TOT_CYC, BR_MSP, cache counters) to the
+   replay pass.
+
+   The execution arms mirror Flatsim.exec line for line; in particular
+   every event is emitted at the point Flatsim would have charged it, so
+   a trapping run leaves exactly the prefix of events the fused loop
+   would have accounted before the trap. *)
+
+(* ------------------------------------------------------------------ *)
+(* Event encoding: one int per word, tag in the low 2 bits.
+
+     tag 0 (simple)  payload = (issue-signature id << 8) | (run - 1):
+                     a run of [run] consecutive simple-issue events whose
+                     signature ids are id, id+1, ...  Signature ids are
+                     assigned in static code order, so straight-line
+                     stretches of simple ops — the common case — coalesce
+                     into one word.  A run never spans another event.
+     tag 1 (long)    payload = ((run - 1) << 3) | latency class (cls_*
+                     below): a run of [run] consecutive long-latency
+                     events of one class — FP-heavy straight-line code
+                     produces them — which the replay folds in O(1)
+                     (one bundle drain, then pure cycle arithmetic).
+                     A run never spans another event.
+     tag 2 (mem)     payload = (byte address << 1) | write
+     tag 3 (branch)  payload = (site id << 1) | taken                  *)
+
+let tag_simple = 0
+let tag_long = 1
+let tag_mem = 2
+let tag_branch = 3
+
+(* run length per simple word: 8 bits (runs longer than this split) *)
+let run_bits = 8
+let run_max = 1 lsl run_bits
+
+(* class field width of a long word; run length lives above it *)
+let cls_bits = 3
+let lrun_max = 1 lsl 20
+
+(* latency classes for tag_long events, in Config.t terms *)
+let cls_mul = 0 (* lat_mul *)
+let cls_div = 1 (* lat_div *)
+let cls_fadd = 2 (* lat_fadd: FP add/sub/cmp, conversions *)
+let cls_fmul = 3 (* lat_fmul *)
+let cls_fdiv = 4 (* lat_fdiv *)
+let cls_call = 5 (* call_overhead *)
+let cls_print = 6 (* print_cost *)
+let cls_jump = 7 (* jump_cost: Jmp / Ret *)
+let cls_count = 8
+
+type outcome = Finished | Trapped of string | Exhausted
+
+type t = {
+  events : int array; (* packed words; only [0, n) is meaningful *)
+  n : int;
+  sig_uses : int array array; (* issue signature id -> registers read *)
+  sig_dst : int array; (* issue signature id -> defined register *)
+  (* sig_uses flattened into two scalar columns for the replay's
+     dependence check (simple-issue ops read at most two registers).
+     Missing uses point at the sentinel stamp slot [max_reg + 1], which
+     is never written and so never matches a live bundle id. *)
+  sig_u0 : int array;
+  sig_u1 : int array;
+  max_reg : int; (* largest register id in the sig tables *)
+  base : Counters.bank; (* config-independent counters *)
+  outcome : outcome;
+  ret : Interp.value; (* VUndef unless Finished *)
+  output : string; (* printed output up to the end / trap *)
+  steps : int;
+}
+
+let words tr = Array.sub tr.events 0 tr.n
+let bytes tr = tr.n * 8
+
+let outcome_repr = function
+  | Finished -> "finished"
+  | Trapped m -> Printf.sprintf "trap %S" m
+  | Exhausted -> "out of fuel"
+
+(* ------------------------------------------------------------------ *)
+(* Generation state *)
+
+type gt = {
+  mutable ev : int array;
+  mutable n : int;
+  (* pending run of consecutive simple events, not yet written out:
+     start signature id (-1 = none) and length so far *)
+  mutable run_sid : int;
+  mutable run_len : int;
+  (* pending run of consecutive same-class long events (-1 = none).
+     At most one of the two run kinds is pending at any moment: each
+     emitter flushes the other kind before extending its own. *)
+  mutable lrun_cls : int;
+  mutable lrun_len : int;
+  base : Counters.bank;
+  (* per function, per pc: issue-signature id of a simple-issue op, -1
+     otherwise.  Built once per generation from the static code; gives
+     the hot loop an O(1) signature lookup and the trace a side table
+     replays index into. *)
+  sigmap : int array array;
+  sig_uses : int array array;
+  sig_dst : int array;
+  max_reg : int;
+}
+
+let[@inline] emit (g : gt) w =
+  let n = g.n in
+  if n = Array.length g.ev then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit g.ev 0 bigger 0 n;
+    g.ev <- bigger
+  end;
+  Array.unsafe_set g.ev n w;
+  g.n <- n + 1
+
+let[@inline] flush_run (g : gt) =
+  if g.run_sid >= 0 then begin
+    emit g
+      ((((g.run_sid lsl run_bits) lor (g.run_len - 1)) lsl 2) lor tag_simple);
+    g.run_sid <- -1;
+    g.run_len <- 0
+  end
+
+let[@inline] flush_lrun (g : gt) =
+  if g.lrun_cls >= 0 then begin
+    emit g
+      (((((g.lrun_len - 1) lsl cls_bits) lor g.lrun_cls) lsl 2) lor tag_long);
+    g.lrun_cls <- -1;
+    g.lrun_len <- 0
+  end
+
+(* signature ids follow static code order, so a straight-line stretch of
+   simple ops presents consecutive ids — extend the pending run; any
+   other event (or a control transfer landing elsewhere) breaks it *)
+let[@inline] emit_simple g sid =
+  flush_lrun g;
+  if g.run_sid >= 0 && sid = g.run_sid + g.run_len && g.run_len < run_max
+  then g.run_len <- g.run_len + 1
+  else begin
+    flush_run g;
+    g.run_sid <- sid;
+    g.run_len <- 1
+  end
+
+let[@inline] emit_long g cls =
+  if g.lrun_cls = cls && g.lrun_len < lrun_max then
+    g.lrun_len <- g.lrun_len + 1
+  else begin
+    flush_run g;
+    flush_lrun g;
+    g.lrun_cls <- cls;
+    g.lrun_len <- 1
+  end
+
+let[@inline] emit_mem g ~write addr =
+  flush_run g;
+  flush_lrun g;
+  emit g ((((addr lsl 1) lor if write then 1 else 0) lsl 2) lor tag_mem)
+
+let[@inline] emit_branch g site taken =
+  flush_run g;
+  flush_lrun g;
+  emit g ((((site lsl 1) lor if taken then 1 else 0) lsl 2) lor tag_branch)
+
+let is_simple (op : D.op) =
+  match op with
+  | D.OAdd | D.OSub | D.OAnd | D.OOr | D.OXor | D.OShl | D.OShr | D.OIeq
+  | D.OIne | D.OIlt | D.OIle | D.OIgt | D.OIge | D.ONot | D.OMov | D.OAlen ->
+    true
+  | _ -> false
+
+let mk_gt (dp : D.t) : gt =
+  let nsig = ref 0 in
+  Array.iter
+    (fun (df : D.dfunc) ->
+      Array.iter (fun di -> if is_simple di.D.op then incr nsig) df.D.code)
+    dp.D.funcs;
+  let sig_uses = Array.make (max 1 !nsig) [||] in
+  let sig_dst = Array.make (max 1 !nsig) (-1) in
+  let next = ref 0 in
+  (* the largest register id any recorded signature can present; lets
+     the replay pre-size its stamp tables and skip per-event checks *)
+  let max_reg = ref 0 in
+  let sigmap =
+    Array.map
+      (fun (df : D.dfunc) ->
+        Array.map
+          (fun di ->
+            if is_simple di.D.op then begin
+              let id = !next in
+              incr next;
+              sig_uses.(id) <- di.D.uses;
+              sig_dst.(id) <- di.D.dst;
+              if di.D.dst > !max_reg then max_reg := di.D.dst;
+              Array.iter
+                (fun r -> if r > !max_reg then max_reg := r)
+                di.D.uses;
+              id
+            end
+            else -1)
+          df.D.code)
+      dp.D.funcs
+  in
+  {
+    ev = Array.make 4096 0;
+    n = 0;
+    run_sid = -1;
+    run_len = 0;
+    lrun_cls = -1;
+    lrun_len = 0;
+    base = Counters.make ();
+    sigmap;
+    sig_uses;
+    sig_dst;
+    max_reg = !max_reg;
+  }
+
+(* raw counter slots, as in Flatsim (only the config-independent ones) *)
+let c_tot_ins = Counters.to_index Counters.TOT_INS
+let c_ld_ins = Counters.to_index Counters.LD_INS
+let c_sr_ins = Counters.to_index Counters.SR_INS
+let c_br_ins = Counters.to_index Counters.BR_INS
+let c_br_tkn = Counters.to_index Counters.BR_TKN
+let c_fp_ins = Counters.to_index Counters.FP_INS
+let c_int_ins = Counters.to_index Counters.INT_INS
+let c_mul_ins = Counters.to_index Counters.MUL_INS
+let c_div_ins = Counters.to_index Counters.DIV_INS
+let c_call_ins = Counters.to_index Counters.CALL_INS
+
+let[@inline] bump (b : Counters.bank) i =
+  Array.unsafe_set b i (Array.unsafe_get b i + 1)
+
+(* ------------------------------------------------------------------ *)
+(* The dispatch loop: Flatsim.exec with accounting replaced by events.
+   A semantics change in Decode.exec / Flatsim.exec needs a mirror
+   change here (the differential tests catch divergence). *)
+
+let rec exec (rt : D.rt) (g : gt) (fr : D.frame) (sigrow : int array) : unit =
+  let code = fr.D.df.D.code in
+  let bank = g.base in
+  let pc = ref fr.D.df.D.entry_pc in
+  let running = ref true in
+  while !running do
+    let at = !pc in
+    let di = Array.unsafe_get code at in
+    rt.D.fuel <- rt.D.fuel - 1;
+    rt.D.steps <- rt.D.steps + 1;
+    if rt.D.fuel <= 0 then raise Interp.Out_of_fuel;
+    incr pc;
+    match di.D.op with
+    | D.OAdd ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a + b)
+    | D.OSub ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a - b)
+    | D.OMul ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      bump bank c_mul_ins;
+      emit_long g cls_mul;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a * b)
+    | D.ODiv ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      bump bank c_div_ins;
+      emit_long g cls_div;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if b = 0 then D.trap "division by zero" else D.set_int fr di.D.dst (a / b)
+    | D.ORem ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      bump bank c_div_ins;
+      emit_long g cls_div;
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if b = 0 then D.trap "remainder by zero"
+      else D.set_int fr di.D.dst (a mod b)
+    | D.OAnd ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a land b)
+    | D.OOr ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a lor b)
+    | D.OXor ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (a lxor b)
+    | D.OShl ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if D.shift_ok b then D.set_int fr di.D.dst (a lsl b)
+      else D.trap "shift count %d" b
+    | D.OShr ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let b = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geti rt fr di.D.ak di.D.a in
+      if D.shift_ok b then D.set_int fr di.D.dst (a asr b)
+      else D.trap "shift count %d" b
+    | D.OFAdd ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a +. b)
+    | D.OFSub ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a -. b)
+    | D.OFMul ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fmul;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a *. b)
+    | D.OFDiv ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fdiv;
+      let b = D.getf rt fr di.D.bk di.D.b in
+      let a = D.getf rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (a /. b)
+    | D.OIeq ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      D.do_icmp rt fr di 0
+    | D.OIne ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      D.do_icmp rt fr di 1
+    | D.OIlt ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      D.do_icmp rt fr di 2
+    | D.OIle ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      D.do_icmp rt fr di 3
+    | D.OIgt ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      D.do_icmp rt fr di 4
+    | D.OIge ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      D.do_icmp rt fr di 5
+    | D.OFeq ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      D.do_fcmp rt fr di 0
+    | D.OFne ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      D.do_fcmp rt fr di 1
+    | D.OFlt ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      D.do_fcmp rt fr di 2
+    | D.OFle ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      D.do_fcmp rt fr di 3
+    | D.OFgt ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      D.do_fcmp rt fr di 4
+    | D.OFge ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      D.do_fcmp rt fr di 5
+    | D.ONot ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let x = D.getb rt fr di.D.ak di.D.a in
+      D.set_bool fr di.D.dst (not x)
+    | D.OMov ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      D.eval_any rt fr di.D.ak di.D.a;
+      D.set_scratch rt fr di.D.dst
+    | D.OI2f ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      let a = D.geti rt fr di.D.ak di.D.a in
+      D.set_flt fr di.D.dst (float_of_int a)
+    | D.OF2i ->
+      bump bank c_tot_ins;
+      bump bank c_fp_ins;
+      emit_long g cls_fadd;
+      let f = D.getf rt fr di.D.ak di.D.a in
+      if Float.is_nan f || Float.abs f > 4.6e18 then
+        D.trap "float-to-int overflow on %g" f
+      else D.set_int fr di.D.dst (int_of_float f)
+    | D.OLoad ->
+      bump bank c_tot_ins;
+      bump bank c_ld_ins;
+      let ix = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geta rt fr di.D.ak di.D.a in
+      let len = D.arr_len a in
+      if ix < 0 || ix >= len then
+        D.trap "load out of bounds: index %d, length %d" ix len;
+      emit_mem g ~write:false (a.Interp.base + (ix * a.Interp.esize));
+      (match a.Interp.payload with
+      | Interp.IA x -> D.set_int fr di.D.dst (Array.unsafe_get x ix)
+      | Interp.FA x -> D.set_flt fr di.D.dst (Array.unsafe_get x ix))
+    | D.OStore ->
+      bump bank c_tot_ins;
+      bump bank c_sr_ins;
+      D.eval_any rt fr di.D.ck di.D.c;
+      let vtag = rt.D.s_tag in
+      let vi = rt.D.s_int and vf = rt.D.s_flt in
+      let ix = D.geti rt fr di.D.bk di.D.b in
+      let a = D.geta rt fr di.D.ak di.D.a in
+      let len = D.arr_len a in
+      if ix < 0 || ix >= len then
+        D.trap "store out of bounds: index %d, length %d" ix len;
+      (* the cache sees the store before the element-type check, exactly
+         like the reference's on_store hook *)
+      emit_mem g ~write:true (a.Interp.base + (ix * a.Interp.esize));
+      (match a.Interp.payload with
+      | Interp.IA x ->
+        if vtag = 1 then
+          Array.unsafe_set x ix
+            (if a.Interp.mask32 then vi land 0xFFFFFFFF else vi)
+        else D.trap "storing non-int into int array"
+      | Interp.FA x ->
+        if vtag = 2 then Array.unsafe_set x ix vf
+        else D.trap "storing non-float into float array")
+    | D.OAlen ->
+      bump bank c_tot_ins;
+      bump bank c_int_ins;
+      emit_simple g (Array.unsafe_get sigrow at);
+      let a = D.geta rt fr di.D.ak di.D.a in
+      D.set_int fr di.D.dst (D.arr_len a)
+    | D.OCall ->
+      bump bank c_tot_ins;
+      bump bank c_call_ins;
+      emit_long g cls_call;
+      let args = di.D.args in
+      let nargs = Array.length args / 2 in
+      for j = 0 to nargs - 1 do
+        D.eval_any rt fr
+          (Array.unsafe_get args (2 * j))
+          (Array.unsafe_get args ((2 * j) + 1));
+        D.save_arg rt j
+      done;
+      if di.D.callee < 0 then D.trap "call to unknown function %s" di.D.sname;
+      do_call rt g di.D.callee nargs;
+      if di.D.dst >= 0 then D.set_scratch rt fr di.D.dst
+    | D.OPrint ->
+      bump bank c_tot_ins;
+      emit_long g cls_print;
+      D.eval_any rt fr di.D.ak di.D.a;
+      Buffer.add_string rt.D.buf
+        (match rt.D.s_tag with
+        | 1 -> string_of_int rt.D.s_int
+        | 2 -> Printf.sprintf "%.6g" rt.D.s_flt
+        | 3 -> if rt.D.s_int <> 0 then "true" else "false"
+        | _ -> "<array>");
+      Buffer.add_char rt.D.buf '\n'
+    | D.OJmp ->
+      emit_long g cls_jump;
+      pc := di.D.dst
+    | D.OBr ->
+      (* condition evaluates (and may trap) before any branch
+         accounting, like the reference's [as_bool] before on_branch *)
+      let taken = D.getb rt fr di.D.ak di.D.a in
+      bump bank c_br_ins;
+      if taken then bump bank c_br_tkn;
+      emit_branch g di.D.c taken;
+      pc := if taken then di.D.dst else di.D.b
+    | D.ORetN ->
+      emit_long g cls_jump;
+      rt.D.s_tag <- 0;
+      running := false
+    | D.ORetV ->
+      (* on_jump fires before the return operand is evaluated *)
+      emit_long g cls_jump;
+      D.eval_any rt fr di.D.ak di.D.a;
+      running := false
+    | D.OBadLabel ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "Ir.find_block: no block %d in %s" di.D.a
+              fr.D.df.D.fname))
+  done
+
+and do_call (rt : D.rt) (g : gt) fidx nargs : unit =
+  let df = rt.D.dp.D.funcs.(fidx) in
+  if nargs <> Array.length df.D.params then
+    D.trap "arity mismatch calling %s" df.D.fname;
+  let fr = D.new_frame rt.D.dp fidx in
+  D.bind_params rt fr nargs;
+  let saved_sp = rt.D.sp in
+  fr.D.locals <- D.alloc_locals rt df;
+  exec rt g fr g.sigmap.(fidx);
+  rt.D.sp <- saved_sp
+
+(* ------------------------------------------------------------------ *)
+
+let generate_ms = Obs.Metrics.histogram "trace.generate_ms"
+let generates = Obs.Metrics.counter "trace.generates"
+
+let bytes_per_instr =
+  Obs.Metrics.histogram ~unit_:"B/instr" "trace.bytes_per_instr"
+
+let generate ?(fuel = 200_000_000) (dp : D.t) : t =
+  Obs.Metrics.incr generates;
+  let go () =
+    let rt = D.make_rt ~fuel dp in
+    let g = mk_gt dp in
+    if dp.D.main_idx < 0 then
+      D.trap "call to unknown function %s" dp.D.main_name;
+    let outcome, ret =
+      match do_call rt g dp.D.main_idx 0 with
+      | () -> (Finished, (D.result_of rt).Interp.ret)
+      | exception Interp.Trap m -> (Trapped m, Interp.VUndef)
+      | exception Interp.Out_of_fuel -> (Exhausted, Interp.VUndef)
+    in
+    (* a pending run (simple or long — never both) was accounted before
+       the stop — write it *)
+    flush_run g;
+    flush_lrun g;
+    let sentinel = g.max_reg + 1 in
+    let nsig = Array.length g.sig_uses in
+    let sig_u0 = Array.make nsig sentinel in
+    let sig_u1 = Array.make nsig sentinel in
+    Array.iteri
+      (fun i u ->
+        assert (Array.length u <= 2);
+        if Array.length u >= 1 then sig_u0.(i) <- u.(0);
+        if Array.length u >= 2 then sig_u1.(i) <- u.(1))
+      g.sig_uses;
+    {
+      events = g.ev;
+      n = g.n;
+      sig_uses = g.sig_uses;
+      sig_dst = g.sig_dst;
+      sig_u0;
+      sig_u1;
+      max_reg = g.max_reg;
+      base = g.base;
+      outcome;
+      ret;
+      output = Buffer.contents rt.D.buf;
+      steps = rt.D.steps;
+    }
+  in
+  let tr =
+    Obs.span_with ~cat:"trace" ~hist:generate_ms "mtrace.generate"
+      ~end_args:(fun (tr : t) ->
+        [
+          ("events", Obs.Trace.Int tr.n);
+          ("bytes", Obs.Trace.Int (bytes tr));
+          ("steps", Obs.Trace.Int tr.steps);
+          ("outcome", Obs.Trace.Str (outcome_repr tr.outcome));
+        ])
+      go
+  in
+  Obs.Metrics.observe bytes_per_instr
+    (float_of_int (bytes tr) /. float_of_int (max 1 tr.steps));
+  tr
+
+let generate_program ?fuel (p : Mira.Ir.program) : t =
+  generate ?fuel (D.decode p)

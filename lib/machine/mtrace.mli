@@ -1,0 +1,115 @@
+(** Trace generation: the "trace once" half of trace-once/model-many.
+
+    One run of {!Flatsim}'s dispatch loop over a decoded program,
+    recording the model-relevant event stream — instruction-class
+    retirements with their use-arrays, load/store byte addresses, branch
+    sites with taken bits, call/print/jump serializers — as one packed
+    int per event, in the exact order the fused loop would have fed its
+    machine model.  {!Replay} then folds that stream through the
+    config-dependent accounting once per machine config.
+
+    Nothing here reads {!Config.t}: a program's dynamic instruction and
+    memory-reference stream is a property of the program alone, so one
+    trace prices an entire architecture grid.  The config-independent
+    counters (TOT_INS, LD_INS, SR_INS, BR_INS, BR_TKN, FP_INS, INT_INS,
+    MUL_INS, DIV_INS, CALL_INS) are accumulated once at generation time
+    into {!field:t.base}; only TOT_CYC, BR_MSP and the cache counters
+    are left to the replay pass.
+
+    The execution arms mirror [Flatsim.exec] line for line, and every
+    event is emitted at the point the fused loop would have charged it —
+    so a trapping or fuel-exhausted run leaves exactly the prefix of
+    events {!Flatsim} would have accounted before stopping. *)
+
+(** {2 Event encoding}
+
+    One OCaml int per word; tag in the low 2 bits, payload above:
+
+    - {!tag_simple}: payload = (issue-signature id [lsl] {!run_bits})
+      [lor] (run length - 1): a run of consecutive simple-issue events
+      whose signature ids (indices into {!field:t.sig_uses} /
+      {!field:t.sig_dst}) are id, id+1, ...  Signature ids follow static
+      code order, so straight-line stretches of simple ops coalesce into
+      one word; a run never spans another event;
+    - {!tag_long}: payload = ((run length - 1) [lsl] {!cls_bits}) [lor]
+      latency class ({!cls_mul} .. {!cls_jump}): a run of consecutive
+      long-latency events of the same class, mapped to the config's
+      latency at replay time and folded in O(1) (one bundle drain, then
+      pure cycle arithmetic); a run never spans another event;
+    - {!tag_mem}: payload = (byte address [lsl] 1) [lor] write;
+    - {!tag_branch}: payload = (site id [lsl] 1) [lor] taken. *)
+
+val tag_simple : int
+val tag_long : int
+val tag_mem : int
+val tag_branch : int
+
+val run_bits : int
+(** width of the run-length field in a {!tag_simple} word (runs cap at
+    [2 ^ run_bits] events and split) *)
+
+val cls_bits : int
+(** width of the latency-class field in a {!tag_long} word; the run
+    length occupies the bits above it *)
+
+(** latency classes for {!tag_long} events, in {!Config.t} terms *)
+
+val cls_mul : int    (** [lat_mul] *)
+
+val cls_div : int    (** [lat_div]: Div and Rem *)
+
+val cls_fadd : int   (** [lat_fadd]: FP add/sub/cmp and conversions *)
+
+val cls_fmul : int   (** [lat_fmul] *)
+
+val cls_fdiv : int   (** [lat_fdiv] *)
+
+val cls_call : int   (** [call_overhead] *)
+
+val cls_print : int  (** [print_cost] *)
+
+val cls_jump : int   (** [jump_cost]: Jmp and Ret *)
+
+val cls_count : int
+
+(** how the traced execution ended; a non-[Finished] trace still holds
+    the event prefix accounted before the stop, and {!Replay} re-raises
+    the corresponding engine exception *)
+type outcome = Finished | Trapped of string | Exhausted
+
+type t = {
+  events : int array;  (** packed words; only [[0, n)] is meaningful *)
+  n : int;
+  sig_uses : int array array;  (** signature id -> registers read *)
+  sig_dst : int array;         (** signature id -> defined register *)
+  sig_u0 : int array;
+      (** [sig_uses] flattened into two scalar columns (simple-issue ops
+          read at most two registers); absent uses point at the sentinel
+          stamp slot [max_reg + 1], which is never written *)
+  sig_u1 : int array;
+  max_reg : int;
+      (** largest register id in the sig tables — the replay pre-sizes
+          its stamp tables past it and the sentinel slot above it *)
+  base : Counters.bank;        (** config-independent counters *)
+  outcome : outcome;
+  ret : Mira.Interp.value;     (** [VUndef] unless [Finished] *)
+  output : string;             (** printed output up to the end / trap *)
+  steps : int;
+}
+
+(** the meaningful event words, as a fresh array (tests) *)
+val words : t -> int array
+
+(** trace size in bytes (events only, one word each) *)
+val bytes : t -> int
+
+val outcome_repr : outcome -> string
+
+(** Trace one execution of a decoded program.  Traps and fuel
+    exhaustion are captured into {!field:t.outcome}; only malformed-label
+    [Invalid_argument] (and a missing [main]'s trap) escape, as in
+    {!Flatsim.run}. *)
+val generate : ?fuel:int -> Mira.Decode.t -> t
+
+(** [decode] + {!generate} *)
+val generate_program : ?fuel:int -> Mira.Ir.program -> t

@@ -4,23 +4,31 @@
 
 type t = {
   table : int array;
+  mask : int;  (* size - 1 when size is a power of two, else -1 *)
   mutable lookups : int;
   mutable mispredicts : int;
 }
 
 let make ?(size = 1024) () =
   if size <= 0 then invalid_arg "Predictor.make: size must be positive";
-  { table = Array.make size 2; lookups = 0; mispredicts = 0 }
+  let mask = if size land (size - 1) = 0 then size - 1 else -1 in
+  { table = Array.make size 2; mask; lookups = 0; mispredicts = 0 }
 
 let reset t =
   Array.fill t.table 0 (Array.length t.table) 2;
   t.lookups <- 0;
   t.mispredicts <- 0
 
-let slot t site =
-  let n = Array.length t.table in
-  let i = site mod n in
-  if i < 0 then i + n else i
+(* site ids are non-negative (Interp.build_sites numbering), so the
+   mask equals the mod for power-of-two tables without the hardware
+   divide — the predictor runs once per dynamic conditional branch *)
+let[@inline] slot t site =
+  if t.mask >= 0 then site land t.mask
+  else begin
+    let n = Array.length t.table in
+    let i = site mod n in
+    if i < 0 then i + n else i
+  end
 
 let predict t site = t.table.(slot t site) >= 2
 
@@ -28,9 +36,12 @@ let predict t site = t.table.(slot t site) >= 2
 let update t site ~(taken : bool) : bool =
   t.lookups <- t.lookups + 1;
   let i = slot t site in
-  let predicted = t.table.(i) >= 2 in
+  let v = Array.unsafe_get t.table i in
+  let predicted = v >= 2 in
   let mis = predicted <> taken in
   if mis then t.mispredicts <- t.mispredicts + 1;
-  t.table.(i) <-
-    (if taken then min 3 (t.table.(i) + 1) else max 0 (t.table.(i) - 1));
+  Array.unsafe_set t.table i
+    (if taken then (if v < 3 then v + 1 else 3)
+     else if v > 0 then v - 1
+     else 0);
   mis

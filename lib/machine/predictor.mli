@@ -3,6 +3,7 @@
 
 type t = {
   table : int array;
+  mask : int;  (** [size - 1] when [size] is a power of two, else -1 *)
   mutable lookups : int;
   mutable mispredicts : int;
 }

@@ -189,6 +189,7 @@ let execute_ms = Obs.Metrics.histogram "sim.execute_ms"
 let cycles_hist = Obs.Metrics.histogram ~unit_:"cycles" "sim.cycles"
 let ref_runs = Obs.Metrics.counter "sim.runs.ref"
 let flat_runs = Obs.Metrics.counter "sim.runs.flat"
+let trace_runs = Obs.Metrics.counter "sim.runs.trace"
 
 let result_args (r : result) =
   ("cycles", Obs.Trace.Int r.cycles)
@@ -197,19 +198,23 @@ let result_args (r : result) =
        (fun (n, v) -> (n, Obs.Trace.Int v))
        (Counters.to_assoc r.counters)
 
-type engine = Ref | Flat
+type engine = Ref | Flat | Trace
 
 (* The flat engine is bit-identical to the hooked reference interpreter
    (the differential tests enforce it), so it is the default everywhere;
-   [Ref] remains forcible for oracle runs and A/B debugging. *)
+   [Ref] remains forcible for oracle runs and A/B debugging, and [Trace]
+   splits the run into Mtrace generation + Replay (same results again,
+   three-way-enforced) so repeated runs of one program across configs
+   amortize the semantics. *)
 let default_engine = ref Flat
 
 let engine_of_string = function
   | "ref" -> Some Ref
   | "flat" -> Some Flat
+  | "trace" -> Some Trace
   | _ -> None
 
-let engine_name = function Ref -> "ref" | Flat -> "flat"
+let engine_name = function Ref -> "ref" | Flat -> "flat" | Trace -> "trace"
 
 (* Reference path: the hooked interpreter over the program AST. *)
 let run_ref ~config ~fuel (p : Ir.program) : result =
@@ -259,6 +264,32 @@ let run_flatsim ~config ~fuel dp : result =
 let run_flat ~config ~fuel (p : Ir.program) : result =
   run_flatsim ~config ~fuel (Mira.Decode.decode p)
 
+let of_flatsim (r : Flatsim.result) : result =
+  {
+    cycles = r.Flatsim.cycles;
+    counters = r.Flatsim.counters;
+    ret = r.Flatsim.ret;
+    output = r.Flatsim.output;
+    steps = r.Flatsim.steps;
+  }
+
+(* Trace path: generate the config-independent event trace, then replay
+   the machine model over it.  Mtrace/Replay carry their own spans and
+   histograms; this wrapper keeps sim.execute_ms / sim.cycles comparable
+   across engines. *)
+let run_trace ~config ~fuel (p : Ir.program) : result =
+  Obs.Metrics.incr trace_runs;
+  let go () =
+    let tr = Mtrace.generate ~fuel (Mira.Decode.decode p) in
+    of_flatsim (Replay.run ~config tr)
+  in
+  let r =
+    Obs.span_with ~cat:"sim" ~hist:execute_ms "tracesim.run"
+      ~end_args:result_args go
+  in
+  Obs.Metrics.observe cycles_hist (float_of_int r.cycles);
+  r
+
 (* Run [p] on the simulated machine.  Raises the engine's exceptions
    (Trap, Out_of_fuel) like the plain interpreter. *)
 let run ?engine ?(config = Config.default) ?(fuel = default_fuel)
@@ -268,6 +299,15 @@ let run ?engine ?(config = Config.default) ?(fuel = default_fuel)
   with
   | Ref -> run_ref ~config ~fuel p
   | Flat -> run_flat ~config ~fuel p
+  | Trace -> run_trace ~config ~fuel p
+
+(* Price one program against a whole architecture grid: one semantic
+   execution (trace generation), one model replay per config, all model
+   states advancing side by side in a single pass over the trace. *)
+let run_grid ?(fuel = default_fuel) ~(configs : Config.t array)
+    (p : Ir.program) : result array =
+  let tr = Mtrace.generate ~fuel (Mira.Decode.decode p) in
+  Array.map of_flatsim (Replay.run_grid ~configs tr)
 
 (* run a pre-decoded program (callers that execute the same program many
    times, e.g. the benchmarks, pay the decode cost once) *)

@@ -18,13 +18,17 @@ type result = {
 
 val default_fuel : int
 
-(** Which execution engine carries out the run.  Both are bit-identical
-    (same results, traps, steps, cycles and counters — enforced by the
-    differential tests); [Flat] pre-decodes the program into flat
-    bytecode ({!Mira.Decode}) and runs the fused loop ({!Flatsim}),
-    roughly an order of magnitude faster.  [Ref] forces the original
-    hooked interpreter, kept as the semantics oracle. *)
-type engine = Ref | Flat
+(** Which execution engine carries out the run.  All three are
+    bit-identical (same results, traps, steps, cycles and counters —
+    enforced by the three-way differential tests); [Flat] pre-decodes
+    the program into flat bytecode ({!Mira.Decode}) and runs the fused
+    loop ({!Flatsim}), roughly an order of magnitude faster than [Ref],
+    the original hooked interpreter kept as the semantics oracle.
+    [Trace] splits the run into {!Mtrace} generation (config-independent
+    event trace) + {!Replay} (machine model folded over the trace) — the
+    same result again, but repeated pricing of one program across
+    machine configs amortizes the semantic execution. *)
+type engine = Ref | Flat | Trace
 
 (** engine used when {!run} is not given [?engine]; starts as [Flat] *)
 val default_engine : engine ref
@@ -41,6 +45,15 @@ val run :
 (** run an already-decoded program on the flat engine (decode once,
     measure many) *)
 val run_decoded : ?config:Config.t -> ?fuel:int -> Mira.Decode.t -> result
+
+(** Price one program against an architecture grid: one semantic
+    execution ({!Mtrace.generate}), then {!Replay.run_grid} over the
+    configs.  [run_grid ~configs:[|c|] p] agrees bit-for-bit with
+    [run ~config:c p] on any engine.
+    @raise Mira.Interp.Trap on runtime errors
+    @raise Mira.Interp.Out_of_fuel when the step budget is exhausted *)
+val run_grid :
+  ?fuel:int -> configs:Config.t array -> Mira.Ir.program -> result array
 
 (** How a measured run ended.  [Trapped] and [Exhausted] are distinct on
     purpose: fuel exhaustion is deterministic, so search strategies can

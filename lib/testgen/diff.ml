@@ -50,47 +50,71 @@ let diff_plain ?fuel (p : Mira.Ir.program) : string list =
              (outcome_repr b) ]
 
 (* ------------------------------------------------------------------ *)
-(* Under the machine simulator *)
+(* Under the machine simulator: three-way, with the hooked reference
+   interpreter as the semantics-and-model oracle.  Flat (the fused
+   production engine) and Trace (Mtrace generation + Replay) are each
+   compared field-by-field against Ref; a trace-only disagreement means
+   the event encoding or the replay accounting drifted from the fused
+   loop, a both-engines disagreement points at the shared decode.
+   Messages carry the config name and the disagreeing engine, e.g.
+   "cycles[c6713_like]: ref=412 trace=409". *)
+
+let alt_engines = [ Mach.Sim.Flat; Mach.Sim.Trace ]
 
 let diff_sim ?(config = Mach.Config.default) ?fuel (p : Mira.Ir.program) :
     string list =
-  let a =
-    catching (fun () -> Mach.Sim.run ~engine:Mach.Sim.Ref ~config ?fuel p)
-  in
-  let b =
-    catching (fun () -> Mach.Sim.run ~engine:Mach.Sim.Flat ~config ?fuel p)
-  in
-  match (a, b) with
-  | Done ra, Done rb ->
-    let counters acc =
-      List.fold_left
-        (fun acc c ->
-          field
-            (Printf.sprintf "counter %s" (Mach.Counters.name c))
-            (string_of_int (Mach.Counters.get ra.Mach.Sim.counters c))
-            (string_of_int (Mach.Counters.get rb.Mach.Sim.counters c))
-            acc)
-        acc Mach.Counters.all
+  let tag = config.Mach.Config.name in
+  let run e = catching (fun () -> Mach.Sim.run ~engine:e ~config ?fuel p) in
+  let a = run Mach.Sim.Ref in
+  let against ename b =
+    let fieldt name ref_v alt_v acc =
+      if ref_v = alt_v then acc
+      else
+        Printf.sprintf "%s[%s]: ref=%s %s=%s" name tag ref_v ename alt_v
+        :: acc
     in
-    []
-    |> field "ret" (value_repr ra.Mach.Sim.ret) (value_repr rb.Mach.Sim.ret)
-    |> field "output"
-         (Printf.sprintf "%S" ra.Mach.Sim.output)
-         (Printf.sprintf "%S" rb.Mach.Sim.output)
-    |> field "steps"
-         (string_of_int ra.Mach.Sim.steps)
-         (string_of_int rb.Mach.Sim.steps)
-    |> field "cycles"
-         (string_of_int ra.Mach.Sim.cycles)
-         (string_of_int rb.Mach.Sim.cycles)
-    |> counters
-    |> List.rev
-  | a, b ->
-    if outcome_repr a = outcome_repr b then []
-    else [ Printf.sprintf "sim outcome: ref=%s flat=%s" (outcome_repr a)
-             (outcome_repr b) ]
+    match (a, b) with
+    | Done ra, Done rb ->
+      let counters acc =
+        List.fold_left
+          (fun acc c ->
+            fieldt
+              (Printf.sprintf "counter %s" (Mach.Counters.name c))
+              (string_of_int (Mach.Counters.get ra.Mach.Sim.counters c))
+              (string_of_int (Mach.Counters.get rb.Mach.Sim.counters c))
+              acc)
+          acc Mach.Counters.all
+      in
+      []
+      |> fieldt "ret" (value_repr ra.Mach.Sim.ret)
+           (value_repr rb.Mach.Sim.ret)
+      |> fieldt "output"
+           (Printf.sprintf "%S" ra.Mach.Sim.output)
+           (Printf.sprintf "%S" rb.Mach.Sim.output)
+      |> fieldt "steps"
+           (string_of_int ra.Mach.Sim.steps)
+           (string_of_int rb.Mach.Sim.steps)
+      |> fieldt "cycles"
+           (string_of_int ra.Mach.Sim.cycles)
+           (string_of_int rb.Mach.Sim.cycles)
+      |> counters
+      |> List.rev
+    | a, b ->
+      if outcome_repr a = outcome_repr b then []
+      else
+        [ Printf.sprintf "sim outcome[%s]: ref=%s %s=%s" tag
+            (outcome_repr a) ename (outcome_repr b) ]
+  in
+  List.concat_map
+    (fun e -> against (Mach.Sim.engine_name e) (run e))
+    alt_engines
 
-let diff_all ?fuel p = diff_plain ?fuel p @ diff_sim ?fuel p
+(* every preset config: the issue widths, cache geometries and predictor
+   sizes differ enough that a model bug rarely hides on all three *)
+let diff_sim_presets ?fuel (p : Mira.Ir.program) : string list =
+  List.concat_map (fun c -> diff_sim ~config:c ?fuel p) Mach.Config.all
+
+let diff_all ?fuel p = diff_plain ?fuel p @ diff_sim_presets ?fuel p
 
 let disagrees ?(transform = fun p -> p) (src : string) : bool =
   match Mira.Lower.compile_source src with

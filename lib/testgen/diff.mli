@@ -1,24 +1,33 @@
-(** Differential testing of the two execution engines.
+(** Differential testing of the execution engines.
 
-    The flat engine ({!Mira.Decode} / [Mach.Flatsim]) must be
-    bit-identical to the reference interpreter: same return value (to
-    the bit, for floats), same printed output, same [steps], same trap
-    message or fuel exhaustion, and — under the machine simulator — the
-    same cycle count and the same value in every counter of the bank.
-    This module runs a program through both engines and reports every
-    field that disagrees, as human-readable one-line strings suitable
-    for test-failure messages and shrinker reports. *)
+    All three simulator engines must be bit-identical: the flat engine
+    ({!Mira.Decode} / [Mach.Flatsim]) and the trace engine
+    ([Mach.Mtrace] generation + [Mach.Replay]) are each held to the
+    reference interpreter — same return value (to the bit, for floats),
+    same printed output, same [steps], same trap message or fuel
+    exhaustion, same cycle count and the same value in every counter of
+    the bank, on every preset machine config.  This module runs a
+    program through the engines and reports every field that disagrees,
+    as human-readable one-line strings (tagged with the config and the
+    disagreeing engine) suitable for test-failure messages and shrinker
+    reports. *)
 
 (** plain interpretation: [Interp.run] vs [Decode.run] (ret, output,
     steps, outcome kind incl. exact trap message) *)
 val diff_plain : ?fuel:int -> Mira.Ir.program -> string list
 
-(** under the machine simulator: [Sim.run ~engine:Ref] vs [~engine:Flat]
-    (everything above plus cycles and the full counter bank) *)
+(** Under the machine simulator, on one config: [Sim.run ~engine:Ref]
+    as the oracle against [Flat] and [Trace] (ret, output, steps,
+    cycles, the full counter bank, outcome kind incl. exact trap
+    message) *)
 val diff_sim :
   ?config:Mach.Config.t -> ?fuel:int -> Mira.Ir.program -> string list
 
-(** {!diff_plain} @ {!diff_sim} on the default machine config *)
+(** {!diff_sim} on every preset config ({!Mach.Config.all}) *)
+val diff_sim_presets : ?fuel:int -> Mira.Ir.program -> string list
+
+(** {!diff_plain} @ {!diff_sim_presets}: the full three-way oracle the
+    fuzzer and the shrinker run *)
 val diff_all : ?fuel:int -> Mira.Ir.program -> string list
 
 (** Shrinker oracle: does compiling [src] (and applying [transform],

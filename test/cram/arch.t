@@ -1,0 +1,133 @@
+Architecture-grid pricing from the CLI.  --configs prices one program
+against several machine models in a single pass: the program is traced
+once, then the trace is replayed through each config's machine model.
+Counter characterizations are deterministic, so the table is pinned
+verbatim.
+
+  $ miracc counters sample.mira --configs amd-like,embedded
+  counter        amd-like     embedded
+  TOT_INS        1.000000     1.000000
+  TOT_CYC        3.085339     2.474836
+  LD_INS         0.109409     0.109409
+  SR_INS         0.000000     0.000000
+  BR_INS         0.111597     0.111597
+  BR_TKN         0.109409     0.109409
+  BR_MSP         0.002188     0.002188
+  FP_INS         0.000000     0.000000
+  INT_INS        0.778993     0.778993
+  MUL_INS        0.109409     0.109409
+  DIV_INS        0.002188     0.002188
+  CALL_INS       0.109409     0.109409
+  L1_TCA         0.109409     0.109409
+  L1_TCM         0.002188     0.002188
+  L1_LDM         0.002188     0.002188
+  L1_STM         0.000000     0.000000
+  L2_TCA         0.002188     0.002188
+  L2_TCM         0.002188     0.002188
+  L2_LDM         0.002188     0.002188
+  L2_STM         0.000000     0.000000
+
+The full preset grid:
+
+  $ miracc counters sample.mira --configs amd-like,c6713-like,embedded | head -3
+  counter        amd-like   c6713-like     embedded
+  TOT_INS        1.000000     1.000000     1.000000
+  TOT_CYC        3.085339     3.063457     2.474836
+
+A one-config grid agrees with the plain single-config table (modulo the
+header naming the config):
+
+  $ miracc counters sample.mira --configs amd-like | tail -n +2 | awk '{print $1, $2}' > grid-one.out
+  $ miracc counters sample.mira | awk '{print $1, $2}' > plain.out
+  $ cmp grid-one.out plain.out
+
+Unknown architectures are rejected with the list of known ones:
+
+  $ miracc counters sample.mira --configs amd-like,nope
+  unknown architecture "nope" (available: amd-like, c6713-like, embedded)
+  [1]
+
+An empty grid is rejected too:
+
+  $ miracc counters sample.mira --configs ,
+  miracc: --configs needs at least one architecture
+  [1]
+
+The arch benchmark sweeps the workload suite over the preset grid,
+checks every grid result bit-identical to per-config full simulation,
+and reports the speedups.  Wall times vary run to run, so they are
+normalized here; trace sizes are deterministic.  MIRA_BENCH_REPS=1
+keeps the smoke test fast (shape, not timing quality).
+
+  $ MIRA_BENCH_REPS=1 miracc-bench arch --json \
+  >   | sed -E 's/[0-9]+\.[0-9]+ms/Nms/g; s/[0-9]+\.[0-9]+x/Nx/g; s/[0-9]+\.[0-9]+s/Ns/g; s/ +$//; s/  +/ /g'
+  
+  ============================================================
+  Architecture-grid benchmark: trace-once/model-many vs per-config simulation
+  ============================================================
+  18 workloads x 3 configs (amd-like, c6713-like, embedded), best of 1 runs
+  workload 3x flatsim cold (gen+grid) warm (grid) cold speedup warm speedup trace words
+  --------- ---------- --------------- ----------- ------------ ------------ -----------
+  adpcm Nms Nms Nms Nx Nx 362260
+  mcf_spars Nms Nms Nms Nx Nx 1271765
+  matmul Nms Nms Nms Nx Nx 1387556
+  fir Nms Nms Nms Nx Nx 1253143
+  crc32 Nms Nms Nms Nx Nx 245772
+  bitcount Nms Nms Nms Nx Nx 1170183
+  dijkstra Nms Nms Nms Nx Nx 1096171
+  qsort Nms Nms Nms Nx Nx 417042
+  histogram Nms Nms Nms Nx Nx 435855
+  nbody Nms Nms Nms Nx Nx 811792
+  stencil2d Nms Nms Nms Nx Nx 1460745
+  susan Nms Nms Nms Nx Nx 1073027
+  sha_mix Nms Nms Nms Nx Nx 270156
+  strsearch Nms Nms Nms Nx Nx 391705
+  jacobi Nms Nms Nms Nx Nx 1503421
+  lud Nms Nms Nms Nx Nx 1101592
+  blowfish Nms Nms Nms Nx Nx 700107
+  spmv Nms Nms Nms Nx Nx 1904691
+  
+  all outcomes bit-identical across engines and configs
+  geomean speedup: cold Nx, warm Nx (grid of 3 configs)
+  
+  [wrote BENCH_arch.json]
+  
+  [arch done in Ns]
+  
+  all selected experiments done in Ns (fast scale, 1 jobs)
+
+The JSON lands next to the run for CI to archive; numbers normalized,
+shape and verdict pinned:
+
+  $ sed -E 's/[0-9]+\.[0-9]+/N/g' BENCH_arch.json
+  {
+    "schema": "icc-bench-arch/1",
+    "configs": ["amd-like", "c6713-like", "embedded"],
+    "reps": 1,
+    "identical": true,
+    "workloads": [
+      {"name": "adpcm", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 362260},
+      {"name": "mcf_spars", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1271765},
+      {"name": "matmul", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1387556},
+      {"name": "fir", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1253143},
+      {"name": "crc32", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 245772},
+      {"name": "bitcount", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1170183},
+      {"name": "dijkstra", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1096171},
+      {"name": "qsort", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 417042},
+      {"name": "histogram", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 435855},
+      {"name": "nbody", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 811792},
+      {"name": "stencil2d", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1460745},
+      {"name": "susan", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1073027},
+      {"name": "sha_mix", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 270156},
+      {"name": "strsearch", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 391705},
+      {"name": "jacobi", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1503421},
+      {"name": "lud", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1101592},
+      {"name": "blowfish", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 700107},
+      {"name": "spmv", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1904691}
+    ],
+    "geomean_speedup_cold": N,
+    "geomean_speedup_warm": N,
+    "total_base_ms": N,
+    "total_cold_ms": N,
+    "total_warm_ms": N
+  }

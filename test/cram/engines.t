@@ -28,12 +28,14 @@ So does the -O0 counter characterization:
 
   $ miracc counters sample.mira --engine=ref > ref-ch.out
   $ miracc counters sample.mira --engine=flat > flat-ch.out
+  $ miracc counters sample.mira --engine=trace > trace-ch.out
   $ cmp ref-ch.out flat-ch.out
+  $ cmp ref-ch.out trace-ch.out
 
 Bad engine names are rejected by the option parser:
 
   $ miracc run sample.mira --engine=jit 2>&1 | head -1
-  miracc: option '--engine': invalid value 'jit', expected either 'ref' or
+  miracc: option '--engine': invalid value 'jit', expected one of 'ref', 'flat'
 
 --profile prints a one-line decode/execute wall-time split on stderr
 (numbers normalized here; they are wall times):

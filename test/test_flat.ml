@@ -1,8 +1,9 @@
-(* Differential tests of the flat execution engine against the reference
-   interpreter.  The contract is bit-identity: same return value (to the
-   bit for floats), same printed output, same step count, same trap
-   message or fuel exhaustion — and, under the machine simulator, the
-   same cycle count and the same value in every hardware counter.
+(* Differential tests of the flat and trace-replay execution engines
+   against the reference interpreter.  The contract is three-way
+   bit-identity: same return value (to the bit for floats), same printed
+   output, same step count, same trap message or fuel exhaustion — and,
+   under the machine simulator, the same cycle count and the same value
+   in every hardware counter, on every preset machine config.
 
    Three layers of evidence:
      - the whole workload suite, unoptimized and after the fixed

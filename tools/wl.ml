@@ -35,8 +35,9 @@ let random_seq_for seed =
   in
   pick ()
 
-(* the engine oracle: reference and flat engines must agree bit-for-bit
-   (ret, output, steps, trap message, cycles, every counter) *)
+(* the engine oracle: the reference, flat and trace-replay engines must
+   agree bit-for-bit (ret, output, steps, trap message, cycles, every
+   counter) on every preset machine config *)
 let engines_differ seq (src : string) : bool =
   Testgen.Diff.disagrees ~transform:(Passes.Pass.apply_sequence seq) src
 
