@@ -8,6 +8,8 @@ module Faults = Faults
 module Journal = Journal
 module Pctrie = Pctrie
 module Tcache = Tcache
+module Shard = Shard
+module Dist = Dist
 module Ir = Mira.Ir
 module Pass = Passes.Pass
 

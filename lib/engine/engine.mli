@@ -52,6 +52,8 @@ module Faults = Faults
 module Journal = Journal
 module Pctrie = Pctrie
 module Tcache = Tcache
+module Shard = Shard
+module Dist = Dist
 
 type outcome = {
   cost : float;             (** cycles, or [infinity] on failure *)

@@ -39,7 +39,12 @@ point@*            fire at every occurrence v}
     - ["sweep-crash"] — a checkpointed sweep [_exit]s right after
       journaling a chunk, like [kill -9] (occurrence = chunk index);
     - ["sweep-torn"] — a journal chunk record is torn mid-write
-      (occurrence = chunk index). *)
+      (occurrence = chunk index);
+    - ["dist-worker-exit"] — a distributed-sweep worker [_exit]s
+      mid-shard, right after journaling the shard's first chunk
+      (occurrence = shard id; consulted only on the shard's {e first}
+      attempt, so a worker that rejoins and resumes the shard from its
+      journal survives). *)
 
 (** raised {e by} injected faults that surface as exceptions
     ([spawn-fail], [fail-append], [compact-crash]) *)

@@ -1,17 +1,27 @@
 (* Chunked sweep journal: Rcache's checksummed-line discipline applied
    to "chunks k of this sweep are done, with these costs".  Costs are
    printed as %h hex floats (lossless round-trip, including infinity),
-   so a resumed sweep reproduces an uninterrupted one bit for bit. *)
+   so a resumed sweep reproduces an uninterrupted one bit for bit.
 
-let magic = "mira-journal 1"
+   Format 2 puts the chunk total next to the key in the header
+   (mira-journal 2|<key>|<total>), so progress reporting — the
+   coordinator of a distributed sweep, `miracc sweep-status` — reads
+   "chunks done / total" straight from the file via [describe] instead
+   of re-deriving the chunking from the sweep inputs.  A v1 journal has
+   no total; it is discarded like any other stale journal. *)
+
+let magic = "mira-journal 2"
 
 (* observability: checkpoint lifecycle.  Chunks replayed from disk vs
    evaluated fresh tell a resume-vs-cold story in one table; each fresh
    chunk is a span so sweeps read as a sequence of checkpoints in the
-   trace. *)
+   trace.  Discarded journals (stale key, alien file) used to vanish
+   silently; now they are counted and warned about, since a discard
+   means a sweep someone checkpointed is about to be recomputed. *)
 let m_recorded = Obs.Metrics.counter "journal.chunks_recorded"
 let m_reused = Obs.Metrics.counter "journal.chunks_reused"
 let m_quarantined = Obs.Metrics.counter "journal.quarantined"
+let m_discarded = Obs.Metrics.counter "journal.discarded"
 let chunk_ms = Obs.Metrics.histogram "journal.chunk_ms"
 
 type t = {
@@ -22,7 +32,27 @@ type t = {
   mutable oc : out_channel option;
 }
 
+type description = { key : string; total : int; done_chunks : int }
+
 let dec s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let header_of ~key ~total = Printf.sprintf "%s|%s|%d" magic key total
+
+(* the inverse of [header_of]; the key itself may contain '|'-free hex
+   only in practice, but parse defensively from both ends *)
+let parse_header line =
+  if not (String.starts_with ~prefix:(magic ^ "|") line) then None
+  else
+    let rest = String.sub line (String.length magic + 1)
+        (String.length line - String.length magic - 1)
+    in
+    match String.rindex_opt rest '|' with
+    | None -> None
+    | Some i ->
+      let key = String.sub rest 0 i in
+      let total = String.sub rest (i + 1) (String.length rest - i - 1) in
+      if key <> "" && dec total then Some (key, int_of_string total)
+      else None
 
 let payload_of_chunk idx costs =
   Printf.sprintf "chunk|%d|%s" idx
@@ -43,8 +73,19 @@ let chunk_of_payload payload =
     | exception _ -> None)
   | _ -> None
 
-let open_ ~path ~key =
-  let header = magic ^ "|" ^ key in
+(* a stale or alien journal is never resumed — but it is no longer
+   discarded in silence: the warning names the file so an operator can
+   tell "fresh experiment" from "I pointed two different sweeps at the
+   same journal path" *)
+let note_discarded ~path ~why =
+  Obs.Metrics.incr m_discarded;
+  Obs.Trace.instant ~cat:"journal" "journal.discarded";
+  Printf.eprintf "journal: discarding %s (%s); the sweep restarts from \
+                  scratch\n%!"
+    path why
+
+let open_ ~path ~key ~total =
+  let header = header_of ~key ~total in
   let t =
     {
       path;
@@ -77,7 +118,13 @@ let open_ ~path ~key =
              done
            with End_of_file -> ());
           true
-        | _ -> false (* different key or alien file: start over *)
+        | h ->
+          (* different key/total or alien file: start over, loudly *)
+          note_discarded ~path
+            ~why:
+              (if parse_header h <> None then "journal for a different sweep"
+               else "not a sweep journal");
+          false
         | exception End_of_file -> false)
   in
   if resumable && t.quarantined = 0 then
@@ -126,7 +173,38 @@ let close t =
 
 let remove path = if Sys.file_exists path then Sys.remove path
 
-let run ~path ~key ~chunk_size ~n eval =
+(* progress without resuming: header + count of validly journaled
+   chunks.  Read-only, lock-free — safe to call on a journal another
+   process is appending to (at worst the count is one chunk behind). *)
+let describe ~path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = try Some (open_in path) with Sys_error _ -> None in
+    Option.bind ic @@ fun ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> None
+        | h -> (
+          match parse_header h with
+          | None -> None
+          | Some (key, total) ->
+            let seen = Hashtbl.create 16 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if line <> "" then
+                   match
+                     Option.bind (Rcache.unseal_line line) chunk_of_payload
+                   with
+                   | Some (idx, _) -> Hashtbl.replace seen idx ()
+                   | None -> ()
+               done
+             with End_of_file -> ());
+            Some { key; total; done_chunks = Hashtbl.length seen }))
+
+let run ?on_chunk ~path ~key ~chunk_size ~n eval =
   if chunk_size <= 0 then invalid_arg "Journal.run: chunk_size must be > 0";
   if n < 0 then invalid_arg "Journal.run: n must be >= 0";
   (* the chunking parameters are part of the identity of the sweep *)
@@ -134,12 +212,12 @@ let run ~path ~key ~chunk_size ~n eval =
     Digest.to_hex
       (Digest.string (Printf.sprintf "%s\x00%d\x00%d" key chunk_size n))
   in
-  let t = open_ ~path ~key in
+  let nchunks = (n + chunk_size - 1) / chunk_size in
+  let t = open_ ~path ~key ~total:nchunks in
   Fun.protect
     ~finally:(fun () -> close t)
     (fun () ->
       let out = Array.make n nan in
-      let nchunks = (n + chunk_size - 1) / chunk_size in
       for c = 0 to nchunks - 1 do
         let lo = c * chunk_size in
         let hi = min n (lo + chunk_size) in
@@ -165,6 +243,7 @@ let run ~path ~key ~chunk_size ~n eval =
             Obs.Metrics.incr m_recorded;
             (* simulate kill -9 between chunks, for the resume tests *)
             if Faults.fires ~index:c "sweep-crash" then Unix._exit 21;
+            (match on_chunk with Some f -> f c | None -> ());
             costs
         in
         Array.blit costs 0 out lo (hi - lo)

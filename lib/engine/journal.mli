@@ -3,23 +3,33 @@
     A sweep over [n] items is cut into fixed-size chunks; as each chunk
     of costs is computed it is appended to a journal file through the
     same checksummed-line discipline as {!Rcache} (format
-    [mira-journal 1|<key>], lines [<sum>|chunk|<index>|<costs>], costs
-    as lossless [%h] hex floats).  A run that is killed — power cut,
-    OOM, ^C — leaves at worst one torn line; resuming replays the valid
-    chunks, quarantines anything torn, recomputes only what is missing,
-    and returns results byte-identical to an uninterrupted run.
+    [mira-journal 2|<key>|<total-chunks>], lines
+    [<sum>|chunk|<index>|<costs>], costs as lossless [%h] hex floats).
+    A run that is killed — power cut, OOM, ^C — leaves at worst one
+    torn line; resuming replays the valid chunks, quarantines anything
+    torn, recomputes only what is missing, and returns results
+    byte-identical to an uninterrupted run.
 
     The [key] names the sweep's inputs (program, configuration,
-    sequence list, chunking); a journal written under a different key is
-    discarded rather than resumed, so stale progress can never leak
-    into a changed experiment. *)
+    sequence list, chunking); a journal written under a different key
+    is discarded rather than resumed, so stale progress can never leak
+    into a changed experiment.  A discard is counted in the
+    [journal.discarded] metric and warned about on stderr — it means a
+    checkpoint someone paid for is about to be recomputed.
+
+    The header carries the chunk total, so {!describe} reports
+    progress (key, chunks done / total) straight from the file —
+    that is how the distributed-sweep coordinator and
+    [miracc sweep-status] render shard progress without re-deriving
+    the chunking. *)
 
 type t
 
-(** [open_ ~path ~key] replays (or creates) the journal at [path].
-    An existing file with a different key, or an alien header, is
-    discarded and started fresh. *)
-val open_ : path:string -> key:string -> t
+(** [open_ ~path ~key ~total] replays (or creates) the journal at
+    [path] for a sweep of [total] chunks.  An existing file with a
+    different key or total, or an alien header, is discarded (with a
+    warning and a [journal.discarded] metric tick) and started fresh. *)
+val open_ : path:string -> key:string -> total:int -> t
 
 (** the chunk's recorded costs, if validly journaled *)
 val find : t -> int -> float array option
@@ -36,16 +46,28 @@ val close : t -> unit
 (** delete a journal file (e.g. to force a fresh sweep); missing is fine *)
 val remove : string -> unit
 
+(** what {!describe} reads out of a journal file *)
+type description = { key : string; total : int; done_chunks : int }
+
+(** [describe ~path] — the journal's key and chunks done / total,
+    read-only and lock-free ([None] if [path] is missing or not a
+    journal).  Safe to call on a journal another process is appending
+    to: at worst the count is one chunk behind. *)
+val describe : path:string -> description option
+
 (** [run ~path ~key ~chunk_size ~n eval] — the checkpointed sweep
     driver.  Computes [eval lo hi] (costs of items [lo..hi-1], in
     order) for every chunk not already journaled under [key] at [path],
     journaling each as it completes, and returns all [n] costs.  After
     journaling a chunk it consults the [sweep-crash] fault point
     (occurrence = chunk index) and [_exit]s — simulating [kill -9] —
-    when it fires.
+    when it fires; surviving that, [on_chunk] (if given) is called with
+    the chunk index — the distributed worker uses it to inject
+    mid-shard deaths at chunk granularity.
     @raise Invalid_argument if [chunk_size <= 0], [n < 0], or [eval]
     returns the wrong number of costs *)
 val run :
+  ?on_chunk:(int -> unit) ->
   path:string ->
   key:string ->
   chunk_size:int ->

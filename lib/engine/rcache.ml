@@ -56,6 +56,9 @@ let m_quarantined = Obs.Metrics.counter "rcache.quarantined"
 let m_write_errors = Obs.Metrics.counter "rcache.write_errors"
 let m_stale_locks = Obs.Metrics.counter "rcache.stale_locks_broken"
 let m_compactions = Obs.Metrics.counter "rcache.compactions"
+let m_absorbed = Obs.Metrics.counter "rcache.absorbed"
+let m_absorb_dups = Obs.Metrics.counter "rcache.absorb_duplicates"
+let m_absorb_rejected = Obs.Metrics.counter "rcache.absorb_rejected"
 
 let note_quarantined t =
   t.quarantined <- t.quarantined + 1;
@@ -360,6 +363,114 @@ let compact t =
           ~finally:(fun () -> t.log <- Some (open_append path))
           (fun () -> rewrite_log path))
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* absorbing another cache's log — the merge primitive of distributed
+   sweeps: every worker evaluates into its own cache directory, and the
+   coordinator folds the per-worker logs into the primary store at the
+   end.  Read-only on the donor; checksum + semantic validation per
+   line; last donor line per key wins; keys the recipient already holds
+   are left untouched (results are content-addressed and deterministic,
+   so a collision carries the same measurement).  The absorbed appends
+   are folded into one clean log by the existing atomic compact
+   (temp file + rename), so a crash mid-absorb leaves a valid log. *)
+
+type absorb_stats = { absorbed : int; duplicates : int; rejected : int }
+
+let absorb_raw t donor_dir =
+  let zero = { absorbed = 0; duplicates = 0; rejected = 0 } in
+  if not (Sys.file_exists donor_dir) then zero
+  else if not (Sys.is_directory donor_dir) then
+    raise (Cache_error (donor_dir ^ ": not a directory"))
+  else begin
+    (* refuse a donor a live process is still writing; a lock left by a
+       dead worker (kill -9 mid-shard) is exactly the expected case and
+       does not block the merge *)
+    (match read_small_file (lock_path donor_dir) with
+     | Some content ->
+       let owner =
+         if dec (String.trim content) then int_of_string (String.trim content)
+         else -1
+       in
+       if owner <> Unix.getpid () && pid_alive owner then
+         raise
+           (Cache_error
+              (Printf.sprintf
+                 "%s: donor cache is in use by running process %d"
+                 donor_dir owner))
+     | None -> ());
+    let path = log_file donor_dir in
+    if not (Sys.file_exists path) then zero
+    else begin
+      (* stream the donor log once: checksummed-line + semantic
+         validation, last value per key wins, rejects counted (a legacy
+         v1/v2 donor rejects every line, as open_dir would) *)
+      let rejected = ref 0 in
+      let order = ref [] in
+      let latest : (string, entry) Hashtbl.t = Hashtbl.create 1024 in
+      let ic =
+        try open_in path
+        with Sys_error e -> raise (Cache_error ("cannot open donor log: " ^ e))
+      in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let legacy =
+            match input_line ic with
+            | h when h = magic -> false
+            | h when h = magic_v1 || h = magic_v2 -> true
+            | h ->
+              raise
+                (Cache_error
+                   (Printf.sprintf "%s: not a result cache (bad header %S)"
+                      path h))
+            | exception End_of_file -> false
+          in
+          try
+            while true do
+              let line = input_line ic in
+              if line <> "" then
+                if legacy then incr rejected
+                else
+                  match unseal_line line with
+                  | None -> incr rejected
+                  | Some payload -> (
+                    match entry_of_line payload with
+                    | Ok (key, e) ->
+                      if not (Hashtbl.mem latest key) then
+                        order := key :: !order;
+                      Hashtbl.replace latest key e
+                    | Error _ -> incr rejected)
+            done
+          with End_of_file -> ());
+      let absorbed = ref 0 and duplicates = ref 0 in
+      List.iter
+        (fun key ->
+          if Hashtbl.mem t.tbl key then incr duplicates
+          else begin
+            add t key (Hashtbl.find latest key);
+            incr absorbed
+          end)
+        (List.rev !order);
+      (* fold the absorbed appends into one clean log, atomically *)
+      if !absorbed > 0 then compact t;
+      Obs.Metrics.incr ~by:!absorbed m_absorbed;
+      Obs.Metrics.incr ~by:!duplicates m_absorb_dups;
+      Obs.Metrics.incr ~by:!rejected m_absorb_rejected;
+      { absorbed = !absorbed; duplicates = !duplicates;
+        rejected = !rejected }
+    end
+  end
+
+let absorb t donor_dir =
+  Obs.span_with ~cat:"rcache" "rcache.absorb"
+    ~end_args:(fun s ->
+      [
+        ("absorbed", Obs.Trace.Int s.absorbed);
+        ("duplicates", Obs.Trace.Int s.duplicates);
+        ("rejected", Obs.Trace.Int s.rejected);
+      ])
+    (fun () -> absorb_raw t donor_dir)
 
 let open_dir_raw ?(mem_capacity = default_capacity) dir =
   if Sys.file_exists dir then begin

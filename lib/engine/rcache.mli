@@ -71,6 +71,30 @@ val add : t -> string -> entry -> unit
     old, so a crash mid-compaction leaves the previous log intact. *)
 val compact : t -> unit
 
+(** what {!absorb} did: new keys imported, keys the recipient already
+    held (left untouched), donor lines failing checksum or semantic
+    validation *)
+type absorb_stats = { absorbed : int; duplicates : int; rejected : int }
+
+(** [absorb t donor_dir] imports the result log persisted under
+    [donor_dir] into [t] — the merge primitive of distributed sweeps,
+    where every worker evaluates into its own cache directory and the
+    coordinator folds the per-worker logs into the primary store.
+
+    Read-only on the donor (no donor lock is taken, nothing there is
+    modified); every line is checksum- and semantically validated, the
+    last donor line per key wins, and keys already present in [t]'s
+    resident set are skipped (results are content-addressed and
+    deterministic, so a collision carries the same measurement).  After
+    importing anything, [t]'s log is rewritten through the existing
+    atomic {!compact} (temp file + rename), so a crash mid-absorb
+    leaves a valid log.  A missing donor directory or log absorbs
+    nothing; a donor held by a {e live} process raises — a lock left
+    by a dead worker does not block the merge.
+    @raise Cache_error if the donor is locked by a running process,
+    unreadable, or not a result cache *)
+val absorb : t -> string -> absorb_stats
+
 (** entries currently resident in memory *)
 val resident : t -> int
 

@@ -1,0 +1,102 @@
+(* Shard planning + run-manifest capture (see shard.mli).  Pure
+   arithmetic plus two best-effort `git` probes; nothing here touches
+   the socket layer, so Dist and the CLI can both reuse it. *)
+
+type t = { id : int; lo : int; hi : int }
+
+let plan ~n ~shards =
+  if n < 0 then invalid_arg "Shard.plan: n must be >= 0";
+  if shards <= 0 then invalid_arg "Shard.plan: shards must be > 0";
+  let shards = min shards (max 1 n) in
+  if n = 0 then [||]
+  else begin
+    (* balanced contiguous ranges: the first [n mod shards] shards get
+       one extra item, so sizes differ by at most one *)
+    let base = n / shards and rem = n mod shards in
+    let lo = ref 0 in
+    Array.init shards (fun id ->
+        let size = base + if id < rem then 1 else 0 in
+        let s = { id; lo = !lo; hi = !lo + size } in
+        lo := !lo + size;
+        s)
+  end
+
+let key ~job s =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "shard\x00%s\x00%d\x00%d\x00%d" job s.id s.lo s.hi))
+
+(* ------------------------------------------------------------------ *)
+(* git provenance, best effort: a sweep run outside a checkout (CI
+   sandbox, cram) still gets a manifest, just with unknown provenance *)
+
+let command_output cmd =
+  match Unix.open_process_in (cmd ^ " 2>/dev/null") with
+  | exception _ -> None
+  | ic ->
+    let buf = Buffer.create 256 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    (match Unix.close_process_in ic with
+     | Unix.WEXITED 0 -> Some (Buffer.contents buf)
+     | _ | (exception _) -> None)
+
+let git_revision () =
+  match command_output "git rev-parse HEAD" with
+  | Some out when String.trim out <> "" -> String.trim out
+  | _ -> "unknown"
+
+let git_dirty_digest () =
+  match command_output "git status --porcelain" with
+  | None -> "unknown"
+  | Some status when String.trim status = "" -> "clean"
+  | Some _ -> (
+    match command_output "git diff HEAD" with
+    | Some diff -> Digest.to_hex (Digest.string diff)
+    | None -> "unknown")
+
+(* ------------------------------------------------------------------ *)
+(* the manifest *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_manifest ~path ~job ~n ~chunk_size ~meta plan =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n";
+      p "  \"schema\": \"icc-dist-manifest/1\",\n";
+      p "  \"git_rev\": \"%s\",\n" (json_escape (git_revision ()));
+      p "  \"git_dirty\": \"%s\",\n" (json_escape (git_dirty_digest ()));
+      p "  \"job\": \"%s\",\n" (json_escape job);
+      p "  \"n\": %d,\n" n;
+      p "  \"chunk_size\": %d,\n" chunk_size;
+      p "  \"shards\": %d,\n" (Array.length plan);
+      List.iter
+        (fun (k, v) -> p "  \"%s\": \"%s\",\n" (json_escape k) (json_escape v))
+        meta;
+      p "  \"shard_map\": [\n";
+      Array.iteri
+        (fun i s ->
+          p "    {\"id\": %d, \"lo\": %d, \"hi\": %d, \"journal_key\": \"%s\"}%s\n"
+            s.id s.lo s.hi (key ~job s)
+            (if i = Array.length plan - 1 then "" else ","))
+        plan;
+      p "  ]\n";
+      p "}\n")

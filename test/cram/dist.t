@@ -1,0 +1,72 @@
+Distributed sweeps.  The one-command local mode (--distribute) forks
+workers, shards the planned schedule, journals every shard and merges
+the results — and is bit-identical to the single-process sweep:
+
+  $ miracc search sample.mira --strategy random --budget 16 --seed 3 > serial.txt
+  $ miracc search sample.mira --strategy random --budget 16 --seed 3 --distribute 2 --dist-dir d2 > dist.txt
+  $ diff serial.txt dist.txt
+
+--distribute is a random-strategy feature; anything else is a usage
+error:
+
+  $ miracc search sample.mira --strategy hill --budget 4 --distribute 2
+  miracc: --distribute requires --strategy random
+  [1]
+
+The explicit coordinator/worker pair: sweep-serve plans and serves
+shards over a Unix-domain socket, sweep-work joins, evaluates and
+streams costs back.  Both sides reconstruct the sweep from
+(file, arch, seed, samples) independently:
+
+  $ timeout 60 miracc sweep-serve sample.mira --samples 12 --seed 7 --workers 1 --dir run > serve.out 2>&1 &
+  $ sleep 0.3
+  $ miracc sweep-work sample.mira --samples 12 --seed 7 --dir run/workers/w0 --socket run/coord.sock --slot 0
+  shards completed: 4
+  $ wait
+  $ cat serve.out
+  evaluations: 12
+  best sequence: inline,cprop,cfold,dce,licm
+  best cost: 1059 cycles
+  workers: 1, shards: 4, steals: 0, requeues: 0, deaths: 0
+
+A single-worker run is deterministic down to its journal layout;
+sweep-status reads the manifest and every worker journal (git
+provenance and the job digest are environment-dependent, so they are
+filtered here):
+
+  $ miracc sweep-status --dir run | grep -v -e git -e job
+  "schema": "icc-dist-manifest/1",
+  "n": 12,
+  "chunk_size": 10,
+  "shards": 4,
+  w0/shard-0.journal: 1/1 chunks
+  w0/shard-1.journal: 1/1 chunks
+  w0/shard-2.journal: 1/1 chunks
+  w0/shard-3.journal: 1/1 chunks
+
+  $ miracc sweep-status --dir nowhere
+  miracc: no manifest at nowhere/manifest.json
+  [1]
+
+A worker started with different sweep inputs computes a different job
+key and is rejected at hello — the typed dist exit code (5), distinct
+from cache errors (4):
+
+  $ timeout 60 miracc sweep-serve sample.mira --samples 12 --seed 7 --workers 1 --dir run2 > serve2.out 2>&1 &
+  $ sleep 0.3
+  $ miracc sweep-work sample.mira --samples 12 --seed 9 --dir run2/workers/bad --socket run2/coord.sock
+  miracc: dist error: coordinator rejected worker: job key mismatch (different sweep inputs)
+  [5]
+  $ miracc sweep-work sample.mira --samples 12 --seed 7 --dir run2/workers/w0 --socket run2/coord.sock --slot 0
+  shards completed: 4
+  $ wait
+
+An unusable socket path is the same typed failure:
+
+  $ miracc sweep-serve sample.mira --samples 4 --workers 1 --dir d3 --socket /dev/null/coord.sock
+  miracc: dist error: cannot listen on /dev/null/coord.sock: Not a directory
+  [5]
+
+  $ miracc sweep-serve sample.mira --samples 0
+  miracc: --samples must be > 0
+  [1]
