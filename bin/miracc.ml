@@ -805,56 +805,169 @@ let sweep_work_cmd =
       $ no_share_arg $ engine_arg $ obs_term)
 
 let sweep_status_cmd =
-  let doc = "Report a distributed run directory: manifest and journals." in
-  let run dir =
-    let manifest = Filename.concat dir "manifest.json" in
-    (match read_file manifest with
+  let doc =
+    "Report a distributed run directory: progress, per-worker health, rollup."
+  in
+  (* one snapshot of the run, rebuilt cold from the directory (manifest
+     + journals + worker metrics + any live rollup.json the coordinator
+     left) — works on finished, crashed and in-flight runs alike *)
+  let snapshot dir =
+    match Engine.Dist.survey ~dir with
+    | Some input -> input
+    | None ->
+      Fmt.epr "miracc: no manifest at %s@."
+        (Filename.concat dir "manifest.json");
+      exit 1
+  in
+  let totals (input : Obs.Rollup.input) =
+    List.fold_left
+      (fun (d, t, torn) (s : Obs.Rollup.shard) ->
+        (d + s.chunks_done, t + s.chunks_total, torn + s.torn))
+      (0, 0, 0) input.Obs.Rollup.shards
+  in
+  let progress_line (input : Obs.Rollup.input) =
+    let done_, total, torn = totals input in
+    let pct = if total > 0 then 100 * done_ / total else 0 in
+    let b = Buffer.create 80 in
+    Buffer.add_string b
+      (Printf.sprintf "progress: %d/%d chunks (%d%%)" done_ total pct);
+    let el = input.Obs.Rollup.elapsed_s in
+    if el > 0.0 && done_ > 0 then begin
+      Buffer.add_string b (Printf.sprintf ", elapsed %.1fs" el);
+      if done_ < total then
+        Buffer.add_string b
+          (Printf.sprintf ", eta %.1fs"
+             (el /. float_of_int done_ *. float_of_int (total - done_)))
+    end;
+    if torn > 0 then
+      Buffer.add_string b
+        (Printf.sprintf " [%d torn line%s skipped]" torn
+           (if torn = 1 then "" else "s"));
+    Buffer.contents b
+  in
+  let print_human dir (input : Obs.Rollup.input) =
+    (* the manifest's one-line provenance fields, verbatim *)
+    (match read_file (Filename.concat dir "manifest.json") with
      | s ->
-       (* surface the one-line provenance fields without a JSON parser:
-          the manifest is machine-written, one "key": "value" per line *)
        String.split_on_char '\n' s
        |> List.iter (fun line ->
               let line = String.trim line in
               let keep =
                 List.exists
-                  (fun k -> String.length line > String.length k
-                            && String.sub line 0 (String.length k) = k)
-                  [ "\"schema\""; "\"git_rev\""; "\"git_dirty\""; "\"job\"";
-                    "\"n\""; "\"chunk_size\""; "\"shards\"" ]
+                  (fun k ->
+                    String.length line > String.length k
+                    && String.sub line 0 (String.length k) = k)
+                  [ "\"schema\""; "\"run\""; "\"git_rev\""; "\"git_dirty\"";
+                    "\"job\""; "\"n\""; "\"chunk_size\""; "\"shards\"" ]
               in
               if keep then Fmt.pr "%s@." line)
-     | exception Sys_error _ ->
-       Fmt.epr "miracc: no manifest at %s@." manifest;
-       exit 1);
-    let wroot = Filename.concat dir "workers" in
-    let workers =
-      match Sys.readdir wroot with
-      | names -> Array.to_list names |> List.sort compare
-      | exception Sys_error _ -> []
-    in
+     | exception Sys_error _ -> ());
     List.iter
-      (fun w ->
-        let wdir = Filename.concat wroot w in
-        match Sys.readdir wdir with
-        | names ->
-          Array.to_list names |> List.sort compare
-          |> List.iter (fun f ->
-                 if Filename.check_suffix f ".journal" then
-                   match
-                     Engine.Journal.describe ~path:(Filename.concat wdir f)
-                   with
-                   | Some d ->
-                     Fmt.pr "%s/%s: %d/%d chunks@." w f
-                       d.Engine.Journal.done_chunks d.Engine.Journal.total
-                   | None -> Fmt.pr "%s/%s: unreadable@." w f)
-        | exception Sys_error _ -> ())
-      workers
+      (fun (s : Obs.Rollup.shard) ->
+        Fmt.pr "shard %d%s: %d/%d chunks%s@." s.shard
+          (if s.worker = "" then "" else Printf.sprintf " (%s)" s.worker)
+          s.chunks_done s.chunks_total
+          (if s.torn > 0 then
+             Printf.sprintf " [%d torn line%s skipped]" s.torn
+               (if s.torn = 1 then "" else "s")
+           else ""))
+      input.Obs.Rollup.shards;
+    Fmt.pr "%s@." (progress_line input);
+    if input.Obs.Rollup.workers_seen > 0 then
+      Fmt.pr
+        "workers: %d seen, %d deaths, %d respawns, %d steals, %d requeues@."
+        input.Obs.Rollup.workers_seen input.Obs.Rollup.worker_deaths
+        input.Obs.Rollup.respawns input.Obs.Rollup.steals
+        input.Obs.Rollup.requeues
+  in
+  let complete (input : Obs.Rollup.input) =
+    let done_, total, _ = totals input in
+    total > 0 && done_ = total
+  in
+  let run dir follow json =
+    if follow then begin
+      (* tail the journals until every chunk is in; one compact line per
+         refresh so the terminal shows the run converging *)
+      let continue = ref true in
+      while !continue do
+        let input = snapshot dir in
+        Fmt.pr "%s@." (progress_line input);
+        if complete input then continue := false else Unix.sleepf 0.5
+      done;
+      if not json then print_human dir (snapshot dir)
+    end;
+    let input = snapshot dir in
+    if json then print_string (Obs.Rollup.to_json input)
+    else if not follow then print_human dir input
   in
   let dir_arg =
     Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
            ~doc:"The run directory to describe.")
   in
-  Cmd.v (Cmd.info "sweep-status" ~doc) Term.(const run $ dir_arg)
+  let follow_arg =
+    Arg.(value & flag & info [ "follow" ]
+           ~doc:"Keep tailing the journals, printing a progress/ETA line \
+                 per refresh, until the run completes.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the run rollup (schema icc-rollup/1) instead of \
+                 the human report.")
+  in
+  Cmd.v (Cmd.info "sweep-status" ~doc)
+    Term.(const run $ dir_arg $ follow_arg $ json_arg)
+
+let trace_merge_cmd =
+  let doc = "Merge a run's per-process trace files into one Chrome trace." in
+  let run dir output =
+    let sources = Engine.Dist.trace_sources ~dir in
+    if sources = [] then begin
+      Fmt.epr "miracc: no trace files under %s@." dir;
+      exit 1
+    end;
+    let out_path =
+      match output with
+      | Some o -> o
+      | None -> Filename.concat dir "trace-merged.json"
+    in
+    (* never merge the previous merge back in *)
+    let sources = List.filter (fun (_, p) -> p <> out_path) sources in
+    match open_out out_path with
+    | exception Sys_error e ->
+      Fmt.epr "miracc: cannot write %s: %s@." out_path e;
+      exit 1
+    | oc ->
+      let st =
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Obs.Merge.merge_files sources oc)
+      in
+      Fmt.pr "merged %d trace files, %d events -> %s@." st.Obs.Merge.files
+        st.Obs.Merge.events out_path;
+      (match st.Obs.Merge.run with
+       | Some r -> Fmt.pr "run: %s@." r
+       | None -> Fmt.pr "run: (no shared id)@.");
+      if st.Obs.Merge.skipped > 0 then
+        Fmt.pr "skipped %d torn line%s@." st.Obs.Merge.skipped
+          (if st.Obs.Merge.skipped = 1 then "" else "s");
+      List.iter
+        (fun l ->
+          Fmt.epr "miracc: warning: %s announced no matching run id@." l)
+        st.Obs.Merge.mismatched
+  in
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"The run directory whose trace files to merge \
+                 (trace*.json at the top level is the coordinator, \
+                 workers/*/trace*.json the workers).")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the merged trace to $(docv) (default: \
+                 DIR/trace-merged.json).")
+  in
+  Cmd.v (Cmd.info "trace-merge" ~doc)
+    Term.(const run $ dir_arg $ output_arg)
 
 (* --- dynamic ------------------------------------------------------- *)
 
@@ -889,5 +1002,5 @@ let () =
           [
             compile_cmd; run_cmd; features_cmd; counters_cmd; workloads_cmd;
             train_cmd; predict_cmd; search_cmd; sweep_serve_cmd;
-            sweep_work_cmd; sweep_status_cmd; dynamic_cmd;
+            sweep_work_cmd; sweep_status_cmd; trace_merge_cmd; dynamic_cmd;
           ]))

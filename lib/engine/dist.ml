@@ -8,6 +8,7 @@
    journal instead of recomputing it. *)
 
 type stats = {
+  mutable run_id : string;
   mutable workers_seen : int;
   mutable shards_served : int;
   mutable steals : int;
@@ -38,6 +39,7 @@ let shard_ms = Obs.Metrics.histogram "dist.shard_ms"
 
 let new_stats () =
   {
+    run_id = "";
     workers_seen = 0;
     shards_served = 0;
     steals = 0;
@@ -63,6 +65,33 @@ let worker_dir ~dir i =
   Filename.concat (Filename.concat dir "workers") (Printf.sprintf "w%d" i)
 
 let serial_dir dir = Filename.concat (Filename.concat dir "workers") "serial"
+
+(* the run id: a fresh digest over the job key, wall clock and pid —
+   unique per coordinator invocation, stable for its whole lifetime.
+   It is recorded in the manifest, stamped on every process's trace
+   ({!Obs.Trace.set_run}) and returned to workers in the hello reply. *)
+let mint_run spec =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "run\x00%s\x00%d\x00%.9f\x00%d" spec.job spec.n
+          (Unix.gettimeofday ()) (Unix.getpid ())))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let worker_subdirs dir =
+  let wroot = Filename.concat dir "workers" in
+  match Sys.readdir wroot with
+  | exception Sys_error _ -> []
+  | arr ->
+    Array.to_list arr
+    |> List.filter (fun d ->
+           try Sys.is_directory (Filename.concat wroot d)
+           with Sys_error _ -> false)
+    |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* framing: 8 hex digits of payload length, then the payload.  Frames
@@ -131,18 +160,24 @@ type conn = {
   fd : Unix.file_descr;
   mutable rbuf : string;          (* bytes received, not yet framed *)
   mutable greeted : bool;
+  mutable wname : string;         (* the name the worker announced *)
   mutable home : int;
   mutable inflight : Shard.t option;
+  mutable granted : float;        (* when the in-flight shard was sent *)
   mutable parked : bool;          (* a [need] awaiting work *)
   mutable finished : bool;        (* [fin] sent *)
 }
 
 type state = {
   spec : spec;
+  run : string;                   (* the minted run id *)
   total : int;                    (* shard count *)
   queues : Shard.t list array;    (* per home slot, front = next *)
   results : float array option array;
   mutable completed : int;
+  mutable shard_log : (int * string * float) list;
+      (* (shard id, completing worker, grant-to-done secs), first
+         completion only — feeds the rollup's per-shard throughput *)
   mutable conns : conn list;
   st : stats;
 }
@@ -244,6 +279,7 @@ and grant st c =
     end;
     (* in-flight before the send: if the send fails, the drop re-queues *)
     c.inflight <- Some s;
+    c.granted <- Unix.gettimeofday ();
     c.parked <- false;
     safe_send st c
       (Printf.sprintf "shard|%d|%d|%d" s.Shard.id s.Shard.lo s.Shard.hi)
@@ -266,7 +302,7 @@ and grant st c =
 
 let handle_message st c payload =
   match String.split_on_char '|' payload with
-  | [ "hello"; _name; slot; job; n; cs ] ->
+  | [ "hello"; name; slot; job; n; cs ] ->
     if
       job <> st.spec.job
       || n <> string_of_int st.spec.n
@@ -277,6 +313,7 @@ let handle_message st c payload =
     end
     else begin
       c.greeted <- true;
+      c.wname <- name;
       st.st.workers_seen <- st.st.workers_seen + 1;
       Obs.Metrics.incr m_workers;
       let homes = Array.length st.queues in
@@ -284,7 +321,9 @@ let handle_message st c payload =
         (match int_of_string_opt slot with
          | Some s when s >= 0 -> s mod homes
          | _ -> (st.st.workers_seen - 1) mod homes);
-      safe_send st c "ok"
+      (* the reply carries the run id: that is how the correlation id
+         crosses the process boundary to every worker's telemetry *)
+      safe_send st c ("ok|" ^ st.run)
     end
   | [ "need" ] when c.greeted -> grant st c
   | [ "done"; id; costs ] when c.greeted -> (
@@ -298,6 +337,8 @@ let handle_message st c payload =
         c.inflight <- None;
         if st.results.(id) = None then begin
           st.results.(id) <- Some costs;
+          st.shard_log <-
+            (id, c.wname, Unix.gettimeofday () -. c.granted) :: st.shard_log;
           st.completed <- st.completed + 1;
           if st.completed >= st.total then unpark st
         end
@@ -348,26 +389,149 @@ let read_conn st c =
     drop_conn st c ~death:true
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
+(* ------------------------------------------------------------------ *)
+(* run telemetry: journal scanning + rollup building
+
+   The coordinator and a cold `miracc sweep-status` both want the same
+   view: per-shard chunks done, read straight from whatever journals the
+   workers left under <dir>/workers/ (home runs, stolen shards, serial
+   fallback — all of them), validated against each shard's derived
+   journal key so an alien or stale journal never inflates progress. *)
+
+type shard_scan = { sworker : string; sdone : int; storn : int }
+
+let scan_worker_journals ~dir ~job ~chunk_size (plan : Shard.t array) =
+  let wroot = Filename.concat dir "workers" in
+  let subdirs = worker_subdirs dir in
+  Array.map
+    (fun (s : Shard.t) ->
+      let expect =
+        Journal.derived_key ~key:(Shard.key ~job s) ~chunk_size
+          ~n:(s.Shard.hi - s.Shard.lo)
+      in
+      let acc = ref { sworker = ""; sdone = 0; storn = 0 } in
+      List.iter
+        (fun w ->
+          let path =
+            Filename.concat (Filename.concat wroot w)
+              (Printf.sprintf "shard-%d.journal" s.Shard.id)
+          in
+          match Journal.describe ~path with
+          | Some d when d.Journal.key = expect ->
+            let a = !acc in
+            (* several journals can exist for one shard (death + steal):
+               the most advanced one is the shard's real progress *)
+            acc :=
+              {
+                sworker =
+                  (if d.Journal.done_chunks > a.sdone || a.sworker = "" then w
+                   else a.sworker);
+                sdone = max a.sdone d.Journal.done_chunks;
+                storn = a.storn + d.Journal.torn;
+              }
+          | _ -> ())
+        subdirs;
+      !acc)
+    plan
+
+let worker_metrics_docs ~dir =
+  let wroot = Filename.concat dir "workers" in
+  List.filter_map
+    (fun w ->
+      let p = Filename.concat (Filename.concat wroot w) "metrics.jsonl" in
+      match read_file p with
+      | text -> Some text
+      | exception _ -> None)
+    (worker_subdirs dir)
+
+let rollup_of_state ~dir ~t0 (st : state) (plan : Shard.t array) =
+  let scans =
+    scan_worker_journals ~dir ~job:st.spec.job ~chunk_size:st.spec.chunk_size
+      plan
+  in
+  let shards =
+    Array.to_list
+      (Array.mapi
+         (fun i (s : Shard.t) ->
+           let scan = scans.(i) in
+           let total =
+             (s.Shard.hi - s.Shard.lo + st.spec.chunk_size - 1)
+             / st.spec.chunk_size
+           in
+           let finished = st.results.(i) <> None in
+           let logged =
+             List.find_opt (fun (id, _, _) -> id = s.Shard.id) st.shard_log
+           in
+           {
+             Obs.Rollup.shard = s.Shard.id;
+             worker =
+               (match logged with
+                | Some (_, w, _) -> w
+                | None -> scan.sworker);
+             chunks_total = total;
+             chunks_done = (if finished then total else min scan.sdone total);
+             torn = scan.storn;
+             secs = (match logged with Some (_, _, t) -> t | None -> 0.0);
+           })
+         plan)
+  in
+  {
+    Obs.Rollup.run = st.run;
+    job = st.spec.job;
+    n = st.spec.n;
+    chunk_size = st.spec.chunk_size;
+    elapsed_s = Unix.gettimeofday () -. t0;
+    workers_seen = st.st.workers_seen;
+    shards_served = st.st.shards_served;
+    steals = st.st.steals;
+    requeues = st.st.requeues;
+    worker_deaths = st.st.worker_deaths;
+    respawns = st.st.respawns;
+    serial_fallbacks = st.st.serial_fallbacks;
+    absorbed = st.st.absorbed;
+    absorb_duplicates = st.st.absorb_duplicates;
+    absorb_rejected = st.st.absorb_rejected;
+    shards;
+    metrics_docs = Obs.Metrics.to_jsonl () :: worker_metrics_docs ~dir;
+  }
+
+(* best effort: a rollup that cannot be written must never hurt the
+   sweep it describes *)
+let write_rollup ~dir ~t0 st plan =
+  try
+    Obs.Rollup.write
+      ~path:(Filename.concat dir "rollup.json")
+      (rollup_of_state ~dir ~t0 st plan)
+  with Sys_error _ | Unix.Unix_error (_, _, _) -> ()
+
 let serve_core ~listener ~socket ~dir ~homes ?(meta = []) ?(tick = fun _ -> ())
-    spec =
+    ?run spec =
   if homes <= 0 then invalid_arg "Dist.serve: workers must be > 0";
   mkdir_p dir;
+  let run = match run with Some r -> r | None -> mint_run spec in
+  let t0 = Unix.gettimeofday () in
+  (* correlate this process's own telemetry with the run before any
+     span of the serve loop is emitted *)
+  Obs.Trace.set_run run;
   let plan = Shard.plan ~n:spec.n ~shards:spec.shards in
   Shard.write_manifest
     ~path:(Filename.concat dir "manifest.json")
-    ~job:spec.job ~n:spec.n ~chunk_size:spec.chunk_size ~meta plan;
+    ~run ~job:spec.job ~n:spec.n ~chunk_size:spec.chunk_size ~meta plan;
   let total = Array.length plan in
   let st =
     {
       spec;
+      run;
       total;
       queues = Array.make homes [];
       results = Array.make total None;
       completed = 0;
+      shard_log = [];
       conns = [];
       st = new_stats ();
     }
   in
+  st.st.run_id <- run;
   (* home assignment: shard id mod homes, appended in index order so
      each home queue runs front-to-back in sweep order *)
   for i = total - 1 downto 0 do
@@ -404,8 +568,17 @@ let serve_core ~listener ~socket ~dir ~homes ?(meta = []) ?(tick = fun _ -> ())
           st.conns = [] || Unix.gettimeofday () > Option.get !drain_deadline
         end
       in
+      let last_rollup = ref 0.0 in
       while not (finished ()) do
         tick st;
+        (* the live rollup: refreshed at most twice a second, atomically
+           replaced, so `sweep-status --follow` always reads a coherent
+           document while the run is in flight *)
+        let nowt = Unix.gettimeofday () in
+        if nowt -. !last_rollup > 0.5 then begin
+          last_rollup := nowt;
+          write_rollup ~dir ~t0 st plan
+        end;
         let fds = listener :: List.map (fun c -> c.fd) st.conns in
         match Unix.select fds [] [] 0.05 with
         | readable, _, _ ->
@@ -419,8 +592,10 @@ let serve_core ~listener ~socket ~dir ~homes ?(meta = []) ?(tick = fun _ -> ())
                       fd = cfd;
                       rbuf = "";
                       greeted = false;
+                      wname = "";
                       home = 0;
                       inflight = None;
+                      granted = 0.0;
                       parked = false;
                       finished = false;
                     }
@@ -435,6 +610,7 @@ let serve_core ~listener ~socket ~dir ~homes ?(meta = []) ?(tick = fun _ -> ())
             readable
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
+      write_rollup ~dir ~t0 st plan;
       let costs = Array.make spec.n nan in
       Array.iteri
         (fun i s ->
@@ -502,19 +678,43 @@ let run_shard ~dir ~spec ~eval (s : Shard.t) =
   in
   Obs.span_with ~cat:"dist" ~hist:shard_ms "dist.shard"
     ~end_args:(fun _ ->
-      [
-        ("shard", Obs.Trace.Int s.id);
-        ("lo", Obs.Trace.Int s.lo);
-        ("hi", Obs.Trace.Int s.hi);
-      ])
+      let base =
+        [
+          ("shard", Obs.Trace.Int s.id);
+          ("lo", Obs.Trace.Int s.lo);
+          ("hi", Obs.Trace.Int s.hi);
+        ]
+      in
+      (* the shared run id on every shard span: a merged trace filters
+         to one run by arg, not by guessing from file layout *)
+      match Obs.Trace.run_id () with
+      | Some r -> ("run", Obs.Trace.Str r) :: base
+      | None -> base)
     (fun () ->
       Journal.run ?on_chunk ~path ~key:(Shard.key ~job:spec.job s)
         ~chunk_size:spec.chunk_size ~n:(s.hi - s.lo) (fun a b ->
           eval (s.lo + a) (s.lo + b)))
 
-let work ?(name = Printf.sprintf "w%d" (Unix.getpid ())) ?(slot = -1) ~socket
-    ~dir spec ~eval () =
+let work ?(name = Printf.sprintf "w%d" (Unix.getpid ())) ?(slot = -1)
+    ?metrics_path ~socket ~dir spec ~eval () =
   mkdir_p dir;
+  let metrics_path =
+    match metrics_path with
+    | Some p -> p
+    | None -> Filename.concat dir "metrics.jsonl"
+  in
+  (* the worker's metrics export, refreshed after every shard so a crash
+     loses at most one shard's worth of counters; atomic via rename so a
+     live rollup read never sees a torn file *)
+  let write_metrics () =
+    try
+      let tmp = metrics_path ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc (Obs.Metrics.to_jsonl ());
+      close_out oc;
+      Sys.rename tmp metrics_path
+    with Sys_error _ -> ()
+  in
   let fd = connect socket in
   Fun.protect
     ~finally:(fun () ->
@@ -525,6 +725,10 @@ let work ?(name = Printf.sprintf "w%d" (Unix.getpid ())) ?(slot = -1) ~socket
            spec.chunk_size);
       (match recv_frame fd with
        | Some "ok" -> ()
+       | Some p when String.starts_with ~prefix:"ok|" p ->
+         (* the coordinator's minted run id: from here on this worker's
+            traces and spans carry the shared correlation id *)
+         Obs.Trace.set_run (String.sub p 3 (String.length p - 3))
        | Some p when String.starts_with ~prefix:"reject|" p ->
          raise
            (Dist_error
@@ -548,10 +752,12 @@ let work ?(name = Printf.sprintf "w%d" (Unix.getpid ())) ?(slot = -1) ~socket
               let s = { Shard.id; lo; hi } in
               let costs = run_shard ~dir ~spec ~eval s in
               send_frame fd (Printf.sprintf "done|%d|%s" id (hex_costs costs));
-              incr completed
+              incr completed;
+              write_metrics ()
             | _ -> raise (Dist_error "malformed shard grant"))
           | _ -> raise (Dist_error ("unexpected message: " ^ p)))
       done;
+      write_metrics ();
       !completed)
 
 (* ------------------------------------------------------------------ *)
@@ -591,9 +797,22 @@ let sweep_local ~workers ~dir ?(max_respawns = 2) ?cache ?meta spec ~make_eval
     match Unix.fork () with
     | 0 ->
       (try Unix.close listener with Unix.Unix_error (_, _, _) -> ());
-      Obs.Trace.on_fork ~pid:(Unix.getpid ());
+      let cpid = Unix.getpid () in
       let wdir = worker_dir ~dir i in
       mkdir_p wdir;
+      (* when the parent is tracing, each worker writes its own
+         crash-safe trace file (pid-suffixed: a respawn in the same slot
+         must not clobber its predecessor's evidence), on the parent's
+         epoch so `trace-merge` needs no rebasing.  Otherwise the plain
+         fork isolation is enough. *)
+      (if Obs.Trace.enabled () then
+         match
+           open_out
+             (Filename.concat wdir (Printf.sprintf "trace-%d.json" cpid))
+         with
+         | oc -> Obs.Trace.stream_after_fork ~pid:cpid oc
+         | exception Sys_error _ -> Obs.Trace.on_fork ~pid:cpid
+       else Obs.Trace.on_fork ~pid:cpid);
       let code =
         try
           let eval = make_eval ~worker_dir:wdir in
@@ -610,6 +829,7 @@ let sweep_local ~workers ~dir ?(max_respawns = 2) ?cache ?meta spec ~make_eval
           Printf.eprintf "dist worker %d: %s\n%!" i (Printexc.to_string e);
           20
       in
+      Obs.Trace.finish ();
       Unix._exit code
     | pid -> pids.(i) <- Some pid
     | exception Unix.Unix_error (_, _, _) -> pids.(i) <- None
@@ -693,12 +913,18 @@ let sweep_local ~workers ~dir ?(max_respawns = 2) ?cache ?meta spec ~make_eval
                 | None -> ())
               pids)
           (fun () ->
+            (* mint (and trace-announce) the run id before the first
+               fork: a child forked earlier would inherit — and its
+               trace file would announce — whatever run this process
+               served last *)
+            let run = mint_run spec in
+            Obs.Trace.set_run run;
             for i = 0 to workers - 1 do
               spawn i
             done;
             let r =
               serve_core ~listener ~socket ~dir ~homes:workers ?meta ~tick
-                spec
+                ~run spec
             in
             (* the fleet got fin (or EOF); reap everyone before merging
                caches.  A worker that never managed to connect is still
@@ -735,3 +961,170 @@ let sweep_local ~workers ~dir ?(max_respawns = 2) ?cache ?meta spec ~make_eval
   in
   absorb_worker_caches ~cache ~dirs stats;
   (stats, costs)
+
+(* ------------------------------------------------------------------ *)
+(* cold reads: reconstruct the run view from the directory alone
+
+   `miracc sweep-status` and `trace-merge` must work with no coordinator
+   alive — on a finished run, a crashed one, or one still in flight in
+   another process.  Everything below is read-only. *)
+
+type manifest = {
+  m_run : string;
+  m_job : string;
+  m_n : int;
+  m_chunk_size : int;
+  m_plan : Shard.t array;
+}
+
+let read_manifest ~path =
+  match read_file path with
+  | exception _ -> None
+  | text -> (
+    let str = Obs.Jscan.str_field and num = Obs.Jscan.num_field in
+    match (str text "job", num text "n", num text "chunk_size") with
+    | Some job, Some n, Some cs ->
+      let plan =
+        String.split_on_char '\n' text
+        |> List.filter_map (fun line ->
+               if Obs.Jscan.str_field line "journal_key" = None then None
+               else
+                 match
+                   (num line "id", num line "lo", num line "hi")
+                 with
+                 | Some id, Some lo, Some hi ->
+                   Some
+                     {
+                       Shard.id = int_of_float id;
+                       lo = int_of_float lo;
+                       hi = int_of_float hi;
+                     }
+                 | _ -> None)
+        |> Array.of_list
+      in
+      Some
+        {
+          m_run = Option.value ~default:"" (str text "run");
+          m_job = job;
+          m_n = int_of_float n;
+          m_chunk_size = int_of_float cs;
+          m_plan = plan;
+        }
+    | _ -> None)
+
+let survey ~dir =
+  match read_manifest ~path:(Filename.concat dir "manifest.json") with
+  | None -> None
+  | Some m ->
+    let scans =
+      scan_worker_journals ~dir ~job:m.m_job ~chunk_size:m.m_chunk_size m.m_plan
+    in
+    (* the coordinator-only facts (orchestration counts, elapsed time,
+       per-shard grant timings) are not recoverable from journals; lift
+       them from the live rollup the coordinator left behind, if any *)
+    let rollup =
+      match read_file (Filename.concat dir "rollup.json") with
+      | text -> Some text
+      | exception _ -> None
+    in
+    let rint key =
+      match rollup with
+      | Some t -> (
+        match Obs.Jscan.num_field t key with
+        | Some v -> int_of_float v
+        | None -> 0)
+      | None -> 0
+    in
+    let rollup_shards =
+      match rollup with
+      | None -> []
+      | Some t ->
+        String.split_on_char '\n' t
+        |> List.filter_map (fun line ->
+               match
+                 ( Obs.Jscan.num_field line "shard",
+                   Obs.Jscan.num_field line "secs" )
+               with
+               | Some id, Some secs ->
+                 Some
+                   ( int_of_float id,
+                     ( Option.value ~default:""
+                         (Obs.Jscan.str_field line "worker"),
+                       secs ) )
+               | _ -> None)
+    in
+    let shards =
+      Array.to_list
+        (Array.mapi
+           (fun i (s : Shard.t) ->
+             let scan = scans.(i) in
+             let total =
+               (s.Shard.hi - s.Shard.lo + m.m_chunk_size - 1) / m.m_chunk_size
+             in
+             let logged = List.assoc_opt s.Shard.id rollup_shards in
+             {
+               Obs.Rollup.shard = s.Shard.id;
+               worker =
+                 (if scan.sworker <> "" then scan.sworker
+                  else match logged with Some (w, _) -> w | None -> "");
+               chunks_total = total;
+               chunks_done = min scan.sdone total;
+               torn = scan.storn;
+               secs = (match logged with Some (_, t) -> t | None -> 0.0);
+             })
+           m.m_plan)
+    in
+    Some
+      {
+        Obs.Rollup.run = m.m_run;
+        job = m.m_job;
+        n = m.m_n;
+        chunk_size = m.m_chunk_size;
+        elapsed_s =
+          (match rollup with
+           | Some t ->
+             Option.value ~default:0.0 (Obs.Jscan.num_field t "elapsed_s")
+           | None -> 0.0);
+        workers_seen = rint "workers_seen";
+        shards_served = rint "shards_served";
+        steals = rint "steals";
+        requeues = rint "requeues";
+        worker_deaths = rint "worker_deaths";
+        respawns = rint "respawns";
+        serial_fallbacks = rint "serial_fallbacks";
+        absorbed = rint "absorbed";
+        absorb_duplicates = rint "absorb_duplicates";
+        absorb_rejected = rint "absorb_rejected";
+        shards;
+        metrics_docs = worker_metrics_docs ~dir;
+      }
+
+let trace_sources ~dir =
+  let json_traces d =
+    match Sys.readdir d with
+    | exception Sys_error _ -> []
+    | arr ->
+      Array.to_list arr
+      |> List.filter (fun f ->
+             String.starts_with ~prefix:"trace" f
+             && Filename.check_suffix f ".json")
+      |> List.sort compare
+      |> List.map (Filename.concat d)
+  in
+  let label base = function
+    | 0 -> base
+    | k -> Printf.sprintf "%s+%d" base k
+  in
+  let coord =
+    List.mapi (fun k p -> (label "coordinator" k, p)) (json_traces dir)
+  in
+  let wroot = Filename.concat dir "workers" in
+  let workers =
+    List.concat_map
+      (fun w ->
+        List.mapi
+          (fun k p -> (label w k, p))
+          (json_traces (Filename.concat wroot w)))
+      (worker_subdirs dir)
+  in
+  coord @ workers

@@ -40,10 +40,27 @@
 
     Everything is instrumented through {!Obs}: [dist.*] counters
     (shards served, steals, re-queues, worker deaths, respawns, merged
-    entries) and spans around serving, per-shard work and the merge. *)
+    entries) and spans around serving, per-shard work and the merge.
+
+    {b Run telemetry.}  The coordinator mints a {e run id} per
+    invocation, records it in the manifest and returns it to every
+    worker in the hello reply ([ok|<id>]); workers stamp it on their
+    traces ({!Obs.Trace.set_run}) and shard spans, so the scattered
+    telemetry of one run is correlatable after the fact.  While serving,
+    the coordinator maintains [<dir>/rollup.json] (schema
+    [icc-rollup/1], refreshed at most twice a second, atomically
+    replaced): per-shard progress read from the worker journals,
+    orchestration counts, and the merged per-worker metrics exports.
+    Workers write [<worker dir>/metrics.jsonl] after every shard, and —
+    when tracing is on — [sweep_local] children write their own
+    crash-safe [<worker dir>/trace-<pid>.json] on the coordinator's
+    trace epoch, which {!Obs.Merge} (via [miracc trace-merge]) stitches
+    into one Chrome trace.  {!survey} rebuilds the rollup view cold from
+    the run directory alone. *)
 
 (** everything the coordinator observed while serving one sweep *)
 type stats = {
+  mutable run_id : string;      (** the run id minted for this invocation *)
   mutable workers_seen : int;   (** distinct worker names that said hello *)
   mutable shards_served : int;  (** shard grants, including re-serves *)
   mutable steals : int;         (** grants filled from another home's queue *)
@@ -102,11 +119,18 @@ val serve :
     [>= 0], requests a home queue — give a rejoining worker its old
     slot so it is offered its own half-journaled shard first.  Returns
     the number of shards this worker completed.
+
+    The worker's metrics registry is exported to [metrics_path]
+    (default [dir/metrics.jsonl]) after every completed shard and at
+    [fin] — atomically, so the coordinator's live rollup can read it at
+    any moment.  If the hello reply carries a run id it is installed
+    with {!Obs.Trace.set_run} before any shard span is emitted.
     @raise Dist_error if the coordinator is unreachable or rejects the
     job key *)
 val work :
   ?name:string ->
   ?slot:int ->
+  ?metrics_path:string ->
   socket:string ->
   dir:string ->
   spec ->
@@ -140,3 +164,21 @@ val sweep_local :
     sweep — exposed so callers can point a resumed run at the same
     layout *)
 val worker_dir : dir:string -> int -> string
+
+(** [survey ~dir] — rebuild the run's rollup view cold, from the run
+    directory alone: the manifest names the shards and their journal
+    keys, the worker journals under [dir/workers/*/] give per-shard
+    chunk progress (torn tails counted, never fatal), the worker
+    [metrics.jsonl] exports feed the merged metrics, and — since
+    orchestration counts and timings live only in the coordinator — the
+    last [rollup.json] it left behind fills those in when present.
+    [None] when [dir] has no readable manifest.  Read-only and
+    lock-free: safe on a run another process is still serving. *)
+val survey : dir:string -> Obs.Rollup.input option
+
+(** [trace_sources ~dir] — the [(label, path)] trace files of a run, in
+    merge order: any [trace*.json] directly in [dir] (labelled
+    [coordinator]) first, then each worker directory's [trace*.json]
+    (labelled by worker, [+k]-suffixed when a respawned slot left
+    several).  Feed straight to {!Obs.Merge.merge_files}. *)
+val trace_sources : dir:string -> (string * string) list

@@ -22,6 +22,7 @@ let m_recorded = Obs.Metrics.counter "journal.chunks_recorded"
 let m_reused = Obs.Metrics.counter "journal.chunks_reused"
 let m_quarantined = Obs.Metrics.counter "journal.quarantined"
 let m_discarded = Obs.Metrics.counter "journal.discarded"
+let m_torn_tail = Obs.Metrics.counter "journal.torn_tail"
 let chunk_ms = Obs.Metrics.histogram "journal.chunk_ms"
 
 type t = {
@@ -32,7 +33,7 @@ type t = {
   mutable oc : out_channel option;
 }
 
-type description = { key : string; total : int; done_chunks : int }
+type description = { key : string; total : int; done_chunks : int; torn : int }
 
 let dec s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
@@ -175,7 +176,12 @@ let remove path = if Sys.file_exists path then Sys.remove path
 
 (* progress without resuming: header + count of validly journaled
    chunks.  Read-only, lock-free — safe to call on a journal another
-   process is appending to (at worst the count is one chunk behind). *)
+   process is appending to (at worst the count is one chunk behind).
+   A line that fails the checksum or does not parse as a chunk — a
+   worker killed mid-append leaves exactly one such torn tail — is
+   counted in [torn] (and in the journal.torn_tail metric) instead of
+   failing the description: a progress report over a crashed run is the
+   main reason this function exists. *)
 let describe ~path =
   if not (Sys.file_exists path) then None
   else
@@ -191,6 +197,7 @@ let describe ~path =
           | None -> None
           | Some (key, total) ->
             let seen = Hashtbl.create 16 in
+            let torn = ref 0 in
             (try
                while true do
                  let line = input_line ic in
@@ -199,19 +206,23 @@ let describe ~path =
                      Option.bind (Rcache.unseal_line line) chunk_of_payload
                    with
                    | Some (idx, _) -> Hashtbl.replace seen idx ()
-                   | None -> ()
+                   | None ->
+                     incr torn;
+                     Obs.Metrics.incr m_torn_tail
                done
              with End_of_file -> ());
-            Some { key; total; done_chunks = Hashtbl.length seen }))
+            Some
+              { key; total; done_chunks = Hashtbl.length seen; torn = !torn }))
+
+(* the chunking parameters are part of the identity of the sweep *)
+let derived_key ~key ~chunk_size ~n =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "%s\x00%d\x00%d" key chunk_size n))
 
 let run ?on_chunk ~path ~key ~chunk_size ~n eval =
   if chunk_size <= 0 then invalid_arg "Journal.run: chunk_size must be > 0";
   if n < 0 then invalid_arg "Journal.run: n must be >= 0";
-  (* the chunking parameters are part of the identity of the sweep *)
-  let key =
-    Digest.to_hex
-      (Digest.string (Printf.sprintf "%s\x00%d\x00%d" key chunk_size n))
-  in
+  let key = derived_key ~key ~chunk_size ~n in
   let nchunks = (n + chunk_size - 1) / chunk_size in
   let t = open_ ~path ~key ~total:nchunks in
   Fun.protect

@@ -46,14 +46,24 @@ val close : t -> unit
 (** delete a journal file (e.g. to force a fresh sweep); missing is fine *)
 val remove : string -> unit
 
-(** what {!describe} reads out of a journal file *)
-type description = { key : string; total : int; done_chunks : int }
+(** what {!describe} reads out of a journal file; [torn] counts lines
+    that failed the checksum or chunk parse — a worker killed mid-append
+    leaves exactly one *)
+type description = { key : string; total : int; done_chunks : int; torn : int }
 
 (** [describe ~path] — the journal's key and chunks done / total,
     read-only and lock-free ([None] if [path] is missing or not a
     journal).  Safe to call on a journal another process is appending
-    to: at worst the count is one chunk behind. *)
+    to: at worst the count is one chunk behind.  Torn lines are skipped
+    and counted (in [torn] and the [journal.torn_tail] metric), never
+    fatal: progress reports over crashed runs are the point. *)
 val describe : path:string -> description option
+
+(** the key {!run} actually stamps in the journal header: the caller's
+    key folded with the chunking parameters.  Exposed so a progress
+    reader can match a journal file on disk against a manifest's
+    per-shard key without resuming it. *)
+val derived_key : key:string -> chunk_size:int -> n:int -> string
 
 (** [run ~path ~key ~chunk_size ~n eval] — the checkpointed sweep
     driver.  Computes [eval lo hi] (costs of items [lo..hi-1], in

@@ -74,7 +74,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_manifest ~path ~job ~n ~chunk_size ~meta plan =
+let write_manifest ~path ~run ~job ~n ~chunk_size ~meta plan =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -82,6 +82,7 @@ let write_manifest ~path ~job ~n ~chunk_size ~meta plan =
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
       p "  \"schema\": \"icc-dist-manifest/1\",\n";
+      p "  \"run\": \"%s\",\n" (json_escape run);
       p "  \"git_rev\": \"%s\",\n" (json_escape (git_revision ()));
       p "  \"git_dirty\": \"%s\",\n" (json_escape (git_dirty_digest ()));
       p "  \"job\": \"%s\",\n" (json_escape job);

@@ -35,12 +35,15 @@ val git_revision : unit -> string
     checkout.  Byte-exact reproducibility needs rev {e and} diff. *)
 val git_dirty_digest : unit -> string
 
-(** [write_manifest ~path ~job ~n ~chunk_size ~meta plan] writes the
-    run manifest as JSON: schema, git provenance, job key, sweep shape,
-    caller metadata (config name, sampling seed, ...), and the shard
-    map with per-shard journal keys. *)
+(** [write_manifest ~path ~run ~job ~n ~chunk_size ~meta plan] writes
+    the run manifest as JSON: schema, the run id [run] (the correlation
+    id every process of the run stamps on its telemetry), git
+    provenance, job key, sweep shape, caller metadata (config name,
+    sampling seed, ...), and the shard map with per-shard journal
+    keys. *)
 val write_manifest :
   path:string ->
+  run:string ->
   job:string ->
   n:int ->
   chunk_size:int ->

@@ -1,0 +1,83 @@
+(* Field scanner for our own machine-written JSON lines (metrics JSONL,
+   trace event lines, manifest lines): fixed key order, no nesting
+   beyond one array level, keys never appear inside string values we
+   care about.  A full JSON parser would buy nothing here and this keeps
+   the obs library dependency-free. *)
+
+(* index just past ["key":] in [line], or None *)
+let after_key line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+(* string literal starting at [i] (which must hold the opening quote) *)
+let str_at line i =
+  let b = Buffer.create 16 in
+  let n = String.length line in
+  let rec go j =
+    if j >= n then Buffer.contents b
+    else
+      match line.[j] with
+      | '"' -> Buffer.contents b
+      | '\\' when j + 1 < n ->
+        (match line.[j + 1] with
+         | 'n' -> Buffer.add_char b '\n'
+         | c -> Buffer.add_char b c);
+        go (j + 2)
+      | c ->
+        Buffer.add_char b c;
+        go (j + 1)
+  in
+  go (i + 1)
+
+let is_num_char = function
+  | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+  | _ -> false
+
+(* number at [i]; accepts the quoted form used for nan/inf.  Returns the
+   value and the index just past it (for in-place rewriting). *)
+let num_span line i =
+  if i < String.length line && line.[i] = '"' then begin
+    let s = str_at line i in
+    (float_of_string s, i + String.length s + 2)
+  end
+  else begin
+    let n = String.length line in
+    let j = ref i in
+    while !j < n && is_num_char line.[!j] do
+      incr j
+    done;
+    (float_of_string (String.sub line i (!j - i)), !j)
+  end
+
+let num_at line i = fst (num_span line i)
+
+(* pretty-printed documents (manifest, rollup) put a space after the
+   colon; the convenience accessors tolerate it *)
+let skip_ws line i =
+  let n = String.length line in
+  let j = ref i in
+  while !j < n && (line.[!j] = ' ' || line.[!j] = '\t') do
+    incr j
+  done;
+  !j
+
+(* convenience: the string value of [key], if present *)
+let str_field line key =
+  match after_key line key with
+  | Some i ->
+    let i = skip_ws line i in
+    if i < String.length line && line.[i] = '"' then Some (str_at line i)
+    else None
+  | None -> None
+
+(* convenience: the numeric value of [key], if present and parseable *)
+let num_field line key =
+  match after_key line key with
+  | Some i -> (try Some (num_at line (skip_ws line i)) with _ -> None)
+  | None -> None

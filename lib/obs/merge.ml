@@ -1,0 +1,192 @@
+(* Run-level trace merging.  See merge.mli; implementation notes:
+
+   - Each input is a file our own stream sink wrote: "[\n" then one JSON
+     event object per line (trailing comma on all but the last), with an
+     optional "\n]\n" terminator.  A process killed mid-write leaves a
+     torn final line; anything that does not read as a complete object
+     on one line is counted in [skipped] and dropped — merging a crashed
+     run is the point, not an error.
+   - Correlation and rebasing both hang off the "trace.run" instant each
+     process emits ({!Trace.set_run}): its ["id"] arg is the shared run
+     id, its ["epoch_s"] arg is that process's trace epoch in absolute
+     seconds.  Event timestamps are relative microseconds, so shifting a
+     file by (epoch - min epoch) * 1e6 puts every process on one
+     timeline.  Files forked from the coordinator share its epoch
+     ({!Trace.stream_after_fork}) and shift by zero.
+   - Output ordering: Chrome trace_event metadata ("M") events naming
+     each process first, then all events sorted by rebased timestamp
+     (stable within a file, so B/E nesting per pid survives). *)
+
+type stats = {
+  run : string option;
+  files : int;
+  events : int;
+  skipped : int;
+  mismatched : string list;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type source = {
+  label : string;
+  mutable epoch : float option;
+  mutable sid : string option; (* run id announced in this file *)
+  mutable first_pid : int option;
+  mutable evs : (float * string) list; (* (ts_us, line) in file order, reversed *)
+  mutable torn : int;
+}
+
+(* one event line: strip the separator comma, demand a complete object *)
+let event_of_line line =
+  let line = String.trim line in
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = ',' then String.sub line 0 (n - 1) else line
+  in
+  let n = String.length line in
+  if n = 0 || line = "[" || line = "]" then None
+  else if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then Some (Error ())
+  else Some (Ok line)
+
+let scan_source label text =
+  let s =
+    { label; epoch = None; sid = None; first_pid = None; evs = []; torn = 0 }
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         match event_of_line raw with
+         | None -> ()
+         | Some (Error ()) -> s.torn <- s.torn + 1
+         | Some (Ok line) -> (
+           match Jscan.num_field line "ts" with
+           | None -> s.torn <- s.torn + 1
+           | Some ts ->
+             (if s.first_pid = None then
+                match Jscan.num_field line "pid" with
+                | Some p -> s.first_pid <- Some (int_of_float p)
+                | None -> ());
+             (match Jscan.str_field line "name" with
+              | Some "trace.run" ->
+                (* the args come after the fixed header fields, so the
+                   scanner finds "id"/"epoch_s" without parsing args.
+                   The LAST announce wins: a forked child re-announces
+                   whatever id it inherited, then the coordinator's
+                   hello reply installs the authoritative one *)
+                (match Jscan.str_field line "id" with
+                 | Some _ as id -> s.sid <- id
+                 | None -> ());
+                (match Jscan.num_field line "epoch_s" with
+                 | Some _ as e -> s.epoch <- e
+                 | None -> ())
+              | _ -> ());
+             s.evs <- (ts, line) :: s.evs));
+  s.evs <- List.rev s.evs;
+  s
+
+(* rewrite the ts field of an event line to [ts] (already in µs) *)
+let with_ts line ts =
+  match Jscan.after_key line "ts" with
+  | None -> line
+  | Some i ->
+    let j = ref i in
+    let n = String.length line in
+    while !j < n && Jscan.is_num_char line.[!j] do
+      incr j
+    done;
+    String.sub line 0 i
+    ^ Printf.sprintf "%.3f" ts
+    ^ String.sub line !j (n - !j)
+
+let meta_event ~pid ~name ~args_json =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"meta\",\"ph\":\"M\",\"ts\":0,\"pid\":%d,\
+     \"tid\":0,\"args\":{%s}}"
+    name pid args_json
+
+let merge_files sources out =
+  let parsed =
+    List.filter_map
+      (fun (label, path) ->
+        match read_file path with
+        | text -> Some (scan_source label text)
+        | exception _ -> None)
+      sources
+  in
+  let epochs = List.filter_map (fun s -> s.epoch) parsed in
+  let epoch0 = List.fold_left Float.min infinity epochs in
+  let offset s =
+    match s.epoch with
+    | Some e when epoch0 <> infinity -> (e -. epoch0) *. 1e6
+    | _ -> 0.0
+  in
+  (* run-id agreement: the first announced id is the candidate; files
+     announcing a different id (or none) are reported, and a genuine
+     conflict voids the merged id *)
+  let candidate =
+    List.fold_left
+      (fun acc s -> match acc with None -> s.sid | some -> some)
+      None parsed
+  in
+  let mismatched =
+    List.filter_map
+      (fun s -> if s.sid <> candidate then Some s.label else None)
+      parsed
+  in
+  let conflict =
+    List.exists (fun s -> s.sid <> None && s.sid <> candidate) parsed
+  in
+  let run = if conflict then None else candidate in
+  (* collect rebased events; the sort key includes source and file order
+     so equal timestamps keep their within-process order (B/E nesting) *)
+  let all = ref [] in
+  List.iteri
+    (fun si s ->
+      let off = offset s in
+      List.iteri
+        (fun li (ts, line) ->
+          let ts' = ts +. off in
+          all := (ts', si, li, with_ts line ts') :: !all)
+        s.evs)
+    parsed;
+  let arr = Array.of_list !all in
+  Array.sort
+    (fun (a, sa, la, _) (b, sb, lb, _) ->
+      let c = compare a b in
+      if c <> 0 then c
+      else
+        let c = compare sa sb in
+        if c <> 0 then c else compare la lb)
+    arr;
+  output_string out "[\n";
+  let emitted = ref 0 in
+  let emit line =
+    if !emitted > 0 then output_string out ",\n";
+    output_string out line;
+    incr emitted
+  in
+  List.iteri
+    (fun si s ->
+      match s.first_pid with
+      | None -> ()
+      | Some pid ->
+        emit
+          (meta_event ~pid ~name:"process_name"
+             ~args_json:(Printf.sprintf "\"name\":\"%s\"" s.label));
+        emit
+          (meta_event ~pid ~name:"process_sort_index"
+             ~args_json:(Printf.sprintf "\"sort_index\":%d" si)))
+    parsed;
+  Array.iter (fun (_, _, _, line) -> emit line) arr;
+  output_string out "\n]\n";
+  flush out;
+  {
+    run;
+    files = List.length parsed;
+    events = !emitted;
+    skipped = List.fold_left (fun a s -> a + s.torn) 0 parsed;
+    mismatched;
+  }

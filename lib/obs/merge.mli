@@ -1,0 +1,32 @@
+(** Run-level trace merging: stitch the per-process Chrome trace files of
+    one distributed run into a single loadable trace.
+
+    Every process of a run announces the shared run id and its own trace
+    epoch in a ["trace.run"] instant ({!Trace.set_run}); the merger uses
+    the ids to confirm the files belong together and the epochs to rebase
+    each file's relative timestamps onto the earliest process's timeline.
+    The merged document opens with trace_event metadata (["M"]) events
+    naming each process (its source label) and ordering them in source
+    order, so a viewer shows the coordinator's row above its workers with
+    every span on one clock.
+
+    Torn trailing lines — a worker killed mid-write — are skipped and
+    counted, never fatal: merging crashed runs is a primary use case. *)
+
+type stats = {
+  run : string option;
+      (** the shared run id, when every file that announced one agreed;
+          [None] when ids conflict or none were announced *)
+  files : int;  (** input files read (unreadable paths are dropped) *)
+  events : int;  (** events written, metadata included *)
+  skipped : int;  (** torn or unparseable lines dropped *)
+  mismatched : string list;
+      (** labels of files whose run id was missing or disagreed with the
+          first announced id *)
+}
+
+(** [merge_files sources out] reads each [(label, path)] trace file,
+    rebases and interleaves their events, and writes one Chrome
+    trace_event JSON array to [out].  Sources should be listed
+    coordinator first: the metadata sort index follows list order. *)
+val merge_files : (string * string) list -> out_channel -> stats

@@ -110,27 +110,31 @@ let bucket_upper i =
   if i = 0 then lo_bound
   else lo_bound *. Float.pow 2.0 (float_of_int i)
 
-let quantile h q =
-  if h.n = 0 then nan
-  else if q <= 0.0 then h.mn
-  else if q >= 1.0 then h.mx
+(* the quantile math over raw components, so merged bucket arrays (from
+   several processes' exports) can be queried without a live handle *)
+let quantile_of ~counts ~n ~mn ~mx q =
+  if n = 0 then nan
+  else if q <= 0.0 then mn
+  else if q >= 1.0 then mx
   else begin
-    let rank = q *. float_of_int h.n in
+    let rank = q *. float_of_int n in
     let i = ref 0 and cum = ref 0.0 in
-    while !cum +. float_of_int h.counts.(!i) < rank && !i < n_buckets + 1 do
-      cum := !cum +. float_of_int h.counts.(!i);
+    while !cum +. float_of_int counts.(!i) < rank && !i < n_buckets + 1 do
+      cum := !cum +. float_of_int counts.(!i);
       i := !i + 1
     done;
-    let in_bucket = float_of_int h.counts.(!i) in
-    let lower = Float.max h.mn (bucket_lower !i) in
+    let in_bucket = float_of_int counts.(!i) in
+    let lower = Float.max mn (bucket_lower !i) in
     let upper =
-      if !i = n_buckets + 1 then h.mx else Float.min h.mx (bucket_upper !i)
+      if !i = n_buckets + 1 then mx else Float.min mx (bucket_upper !i)
     in
-    if in_bucket <= 0.0 then Float.min upper h.mx
+    if in_bucket <= 0.0 then Float.min upper mx
     else
       let frac = (rank -. !cum) /. in_bucket in
-      Float.max h.mn (Float.min h.mx (lower +. ((upper -. lower) *. frac)))
+      Float.max mn (Float.min mx (lower +. ((upper -. lower) *. frac)))
   end
+
+let quantile h q = quantile_of ~counts:h.counts ~n:h.n ~mn:h.mn ~mx:h.mx q
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -194,6 +198,23 @@ let jfloat v =
     Printf.sprintf "\"%s\"" (string_of_float v)
   else fnum v
 
+(* sparse: only non-empty buckets, as [index,count] pairs — the typical
+   histogram hits a handful of its 66 buckets *)
+let buckets_json counts =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '[';
+  let first = ref true in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        if not !first then Buffer.add_char b ',';
+        first := false;
+        Buffer.add_string b (Printf.sprintf "[%d,%d]" i n)
+      end)
+    counts;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
 let metric_to_json = function
   | C c ->
     Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}"
@@ -204,12 +225,14 @@ let metric_to_json = function
   | H h ->
     Printf.sprintf
       "{\"type\":\"histogram\",\"name\":\"%s\",\"unit\":\"%s\",\"count\":%d,\
-       \"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+       \"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\
+       \"buckets\":%s}"
       (jescape h.hname) (jescape h.hunit) h.n (jfloat h.sum) (jfloat h.mn)
       (jfloat h.mx)
       (jfloat (quantile h 0.5))
       (jfloat (quantile h 0.9))
       (jfloat (quantile h 0.99))
+      (buckets_json h.counts)
 
 let to_jsonl () =
   let rows =
@@ -236,3 +259,120 @@ let reset () =
         h.mn <- infinity;
         h.mx <- neg_infinity)
     registry
+
+(* ------------------------------------------------------------------ *)
+(* merging exports from several processes
+
+   The input is our own machine-written JSONL (one object per line,
+   fixed key order, no nesting except the buckets array), so the Jscan
+   field scanner is enough — no JSON library needed, which keeps this
+   module dependency-free. *)
+
+let after_key = Jscan.after_key
+let str_at = Jscan.str_at
+let num_at = Jscan.num_at
+
+(* sparse bucket array [[i,n],...] starting at [i] (the opening '[') *)
+let buckets_at line i =
+  let counts = Array.make (n_buckets + 2) 0 in
+  let n = String.length line in
+  let j = ref (i + 1) in
+  let depth = ref 1 in
+  let nums = ref [] in
+  while !depth > 0 && !j < n do
+    match line.[!j] with
+    | '[' ->
+      Stdlib.incr depth;
+      Stdlib.incr j
+    | ']' ->
+      Stdlib.decr depth;
+      Stdlib.incr j
+    | '0' .. '9' ->
+      let k = ref !j in
+      while
+        !k < n && match line.[!k] with '0' .. '9' -> true | _ -> false
+      do
+        Stdlib.incr k
+      done;
+      nums := int_of_string (String.sub line !j (!k - !j)) :: !nums;
+      j := !k
+    | _ -> Stdlib.incr j
+  done;
+  (* [nums] is reversed, so pairs arrive count-first *)
+  let rec fill = function
+    | cnt :: idx :: rest ->
+      if idx >= 0 && idx < Array.length counts then
+        counts.(idx) <- counts.(idx) + cnt;
+      fill rest
+    | _ -> ()
+  in
+  fill !nums;
+  counts
+
+let merge_line tbl line =
+  match (after_key line "type", after_key line "name") with
+  | Some ti, Some ni -> (
+    let ty = str_at line ti and name = str_at line ni in
+    let num key default =
+      match after_key line key with Some i -> num_at line i | None -> default
+    in
+    match ty with
+    | "counter" -> (
+      let v = int_of_float (num "value" 0.0) in
+      match Hashtbl.find_opt tbl name with
+      | Some (C c) -> c.c <- c.c + v
+      | Some _ -> ()
+      | None -> Hashtbl.replace tbl name (C { cname = name; c = v }))
+    | "gauge" -> (
+      (* gauges are levels (queue depth, workers alive): across
+         processes the max is the honest summary; summing would
+         double-count *)
+      let v = num "value" 0.0 in
+      match Hashtbl.find_opt tbl name with
+      | Some (G g) -> if v > g.g then g.g <- v
+      | Some _ -> ()
+      | None ->
+        Hashtbl.replace tbl name (G { gname = name; g = v; gtouched = true }))
+    | "histogram" -> (
+      let unit_ =
+        match after_key line "unit" with Some i -> str_at line i | None -> "ms"
+      in
+      let cnt = int_of_float (num "count" 0.0) in
+      let sum = num "sum" 0.0 in
+      let mn = num "min" infinity in
+      let mx = num "max" neg_infinity in
+      let counts =
+        match after_key line "buckets" with
+        | Some i -> buckets_at line i
+        | None -> Array.make (n_buckets + 2) 0
+      in
+      match Hashtbl.find_opt tbl name with
+      | Some (H h) ->
+        Array.iteri (fun i c -> h.counts.(i) <- h.counts.(i) + c) counts;
+        h.sum <- h.sum +. sum;
+        h.n <- h.n + cnt;
+        if mn < h.mn then h.mn <- mn;
+        if mx > h.mx then h.mx <- mx
+      | Some _ -> ()
+      | None ->
+        Hashtbl.replace tbl name
+          (H { hname = name; hunit = unit_; counts; sum; n = cnt; mn; mx }))
+    | _ -> ())
+  | _ -> ()
+
+let merge_jsonl docs =
+  let tbl : (string, metric) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun doc ->
+      String.split_on_char '\n' doc
+      |> List.iter (fun line ->
+             let line = String.trim line in
+             if line <> "" then try merge_line tbl line with _ -> ()))
+    docs;
+  Hashtbl.fold
+    (fun name m acc ->
+      if interesting m then (name, metric_to_json m) :: acc else acc)
+    tbl []
+  |> List.sort compare
+  |> List.map (fun (_, j) -> j ^ "\n")
+  |> String.concat ""

@@ -11,6 +11,12 @@
 module Clock = Clock
 module Trace = Trace
 module Metrics = Metrics
+module Merge = Merge
+module Rollup = Rollup
+
+(* the field scanner for our machine-written JSON lines; exposed because
+   the engine layer reads the same documents (manifest, rollup) back *)
+module Jscan = Jscan
 
 (* [span ~cat ?hist name f]: a trace span around [f] when tracing is
    enabled, and/or a duration sample (milliseconds) into [hist] when

@@ -1,0 +1,53 @@
+(** Run rollups: aggregate one distributed run's scattered telemetry —
+    per-worker metrics exports, per-shard journal progress, coordinator
+    orchestration counts — into a single [rollup.json] document
+    (schema [icc-rollup/1]).
+
+    This module is pure presentation over facts the caller supplies: the
+    engine layer owns journal and manifest formats and feeds the numbers
+    in, so the obs library stays dependency-free.  The coordinator writes
+    the rollup incrementally while a run is live ({!write} is atomic via
+    rename), and [miracc sweep-status] rebuilds the same document cold
+    from the run directory. *)
+
+type shard = {
+  shard : int;
+  worker : string;  (** completing / home worker name; [""] if unknown *)
+  chunks_total : int;
+  chunks_done : int;
+  torn : int;  (** torn journal lines skipped while counting *)
+  secs : float;  (** grant-to-finish wall seconds; [0.] if unknown *)
+}
+
+type input = {
+  run : string;
+  job : string;
+  n : int;
+  chunk_size : int;
+  elapsed_s : float;
+  workers_seen : int;
+  shards_served : int;
+  steals : int;
+  requeues : int;
+  worker_deaths : int;
+  respawns : int;
+  serial_fallbacks : int;
+  absorbed : int;
+  absorb_duplicates : int;
+  absorb_rejected : int;
+  shards : shard list;
+  metrics_docs : string list;
+      (** per-process {!Metrics.to_jsonl} exports, merged with
+          {!Metrics.merge_jsonl} into the document's ["metrics"] array *)
+}
+
+(** render the rollup document.  Derived fields: total/done/torn chunk
+    sums, ["complete"], per-shard throughput in sequences per second
+    (when [secs] is known), and cache/dedup hit rates extracted from the
+    merged metrics ([engine.cache.*], [engine.dedup_hits],
+    [engine.evals]). *)
+val to_json : input -> string
+
+(** write the document to [path] atomically (temp file + rename), so a
+    live reader never sees a half-written rollup *)
+val write : path:string -> input -> unit

@@ -20,7 +20,7 @@ streams costs back.  Both sides reconstruct the sweep from
 
   $ timeout 60 miracc sweep-serve sample.mira --samples 12 --seed 7 --workers 1 --dir run > serve.out 2>&1 &
   $ sleep 0.3
-  $ miracc sweep-work sample.mira --samples 12 --seed 7 --dir run/workers/w0 --socket run/coord.sock --slot 0
+  $ miracc sweep-work sample.mira --samples 12 --seed 7 --dir run/workers/w0 --socket run/coord.sock --slot 0 --name w0
   shards completed: 4
   $ wait
   $ cat serve.out
@@ -30,19 +30,22 @@ streams costs back.  Both sides reconstruct the sweep from
   workers: 1, shards: 4, steals: 0, requeues: 0, deaths: 0
 
 A single-worker run is deterministic down to its journal layout;
-sweep-status reads the manifest and every worker journal (git
-provenance and the job digest are environment-dependent, so they are
-filtered here):
+sweep-status rebuilds the run view from the manifest, the worker
+journals and the coordinator's rollup (the run id, git provenance, job
+digest and wall-clock are environment-dependent, so they are filtered
+here):
 
-  $ miracc sweep-status --dir run | grep -v -e git -e job
+  $ miracc sweep-status --dir run | grep -v -e git -e job -e '"run"' | sed 's/elapsed [0-9.]*s/elapsed _s/'
   "schema": "icc-dist-manifest/1",
   "n": 12,
   "chunk_size": 10,
   "shards": 4,
-  w0/shard-0.journal: 1/1 chunks
-  w0/shard-1.journal: 1/1 chunks
-  w0/shard-2.journal: 1/1 chunks
-  w0/shard-3.journal: 1/1 chunks
+  shard 0 (w0): 1/1 chunks
+  shard 1 (w0): 1/1 chunks
+  shard 2 (w0): 1/1 chunks
+  shard 3 (w0): 1/1 chunks
+  progress: 4/4 chunks (100%), elapsed _s
+  workers: 1 seen, 0 deaths, 0 respawns, 0 steals, 0 requeues
 
   $ miracc sweep-status --dir nowhere
   miracc: no manifest at nowhere/manifest.json

@@ -1,0 +1,84 @@
+Run-level telemetry.  A two-worker sweep leaves a run directory full
+of scattered evidence: a manifest naming the run, per-worker journals
+and metric exports, the coordinator's rollup, and one crash-safe trace
+file per process.
+
+  $ mkdir d2
+  $ miracc search sample.mira --strategy random --budget 24 --seed 3 --distribute 2 --dist-dir d2 --trace d2/trace.json
+  evaluations: 24
+  best sequence: inline,cprop,strength,strength,unroll4
+  cycles: 1410 -> 1002 (speedup 1.41x)
+
+sweep-status --json renders the rollup (schema icc-rollup/1).  The run
+id, wall-clock and throughput change run to run, so what is checked
+here is the stable spine: chunk accounting, completeness, shard count
+and the merged per-worker metrics.
+
+  $ miracc sweep-status --dir d2 --json | grep -o '"schema": "icc-rollup/1"'
+  "schema": "icc-rollup/1"
+  $ miracc sweep-status --dir d2 --json | grep -o '"chunks": {[^}]*}'
+  "chunks": {"total": 8, "done": 8, "torn": 0}
+  $ miracc sweep-status --dir d2 --json | grep -o '"complete": true'
+  "complete": true
+  $ miracc sweep-status --dir d2 --json | grep -c '"shard":'
+  8
+  $ miracc sweep-status --dir d2 --json | grep -o '"name":"engine.evals","value":24'
+  "name":"engine.evals","value":24
+
+trace-merge stitches the coordinator's and both workers' trace files
+into one Chrome trace on a shared timeline, and the merged file passes
+the multi-process checks: several pids, one run id announced by all.
+
+  $ miracc trace-merge --dir d2 | sed -e 's/run: .*/run: <id>/' -e 's/[0-9]\+/N/g'
+  merged N trace files, N events -> dN/trace-merged.json
+  run: <id>
+  $ trace_check --merged d2/trace-merged.json | tail -1 | sed 's/run [0-9a-f]*/run <id>/'
+  merged OK: run <id> announced by 3 processes
+
+The same run id threads through every artifact — manifest, rollup and
+merged trace agree:
+
+  $ R=$(miracc sweep-status --dir d2 --json | sed -n 's/.*"run": "\([0-9a-f]*\)".*/\1/p')
+  $ grep -c "\"run\": \"$R\"" d2/manifest.json
+  1
+  $ trace_check --merged d2/trace-merged.json | grep -c "run $R"
+  1
+
+The bench regression gate compares a fresh report against a baseline
+with per-metric rules: timings tolerate a 2x factor (machines differ),
+speedups must keep half the baseline, bit-identity flags and counters
+are exact, machine facts like "cores" are skipped.
+
+  $ cat > base.json <<'EOF'
+  > {"schema": "icc-bench-demo/1", "total_ms": 100.0, "speedup": 4.0, "identical": true, "sims": 400, "cores": 8}
+  > EOF
+  $ cat > good.json <<'EOF'
+  > {"schema": "icc-bench-demo/1", "total_ms": 180.0, "speedup": 2.1, "identical": true, "sims": 400, "cores": 2}
+  > EOF
+  $ cat > bad.json <<'EOF'
+  > {"schema": "icc-bench-demo/1", "total_ms": 300.0, "speedup": 1.5, "identical": false, "sims": 399, "cores": 2}
+  > EOF
+  $ bench_check base.json good.json
+  bench OK: good.json within tolerance of base.json (factor 2)
+  $ bench_check base.json bad.json
+  bench REGRESSION: bad.json vs base.json
+    total_ms: timing <= 2x baseline (baseline 100, fresh 300)
+    speedup: speedup >= 0.5x baseline (baseline 4, fresh 1.5)
+    identical: boolean exact (baseline true, fresh false)
+    sims: counter exact (baseline 400, fresh 399)
+  [1]
+  $ bench_check --json base.json bad.json | grep -o '"ok": false'
+  "ok": false
+
+A missing metric is a shape regression, reported with its own exit
+code so CI can tell "slower" from "the report changed shape":
+
+  $ cat > shape.json <<'EOF'
+  > {"schema": "icc-bench-demo/1", "total_ms": 90.0}
+  > EOF
+  $ bench_check base.json shape.json
+  bench REGRESSION: shape.json vs base.json
+    speedup: shape: missing in fresh (baseline 4, fresh (absent))
+    identical: shape: missing in fresh (baseline true, fresh (absent))
+    sims: shape: missing in fresh (baseline 400, fresh (absent))
+  [2]

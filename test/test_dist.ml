@@ -191,6 +191,143 @@ let test_worker_killed_resumes_from_journal () =
   Alcotest.(check bool) "shard 0 journal completed" true !complete
 
 (* ------------------------------------------------------------------ *)
+(* run telemetry under fire: a sweep that loses a worker still yields a
+   mergeable trace and a rollup whose chunk counts reconcile with the
+   journals on disk *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_killed_sweep_telemetry () =
+  with_tmp_dir "dist-telemetry" @@ fun dir ->
+  let trace_path = Filename.concat dir "trace.json" in
+  let oc = open_out trace_path in
+  Obs.Trace.enable_stream oc;
+  Obs.Trace.set_pid (Unix.getpid ());
+  let stats, costs =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.finish ();
+        Obs.Trace.disable ();
+        close_out_noerr oc)
+      (fun () ->
+        Faults.with_plan (Faults.parse_exn "dist-worker-exit@0") (fun () ->
+            sweep ~dir ~max_respawns:4 ~workers:2 ~shards:4 ~chunk_size:2
+              ~n:12 ()))
+  in
+  check_float_array "telemetry run = serial" (fake_eval 0 12) costs;
+  Alcotest.(check bool) "a worker died" true (stats.Dist.worker_deaths >= 1);
+  Alcotest.(check bool) "a run id was minted" true (stats.Dist.run_id <> "");
+  (* the coordinator's final rollup reconciles with the journals: for
+     each shard, progress is the best journal any worker holds for it *)
+  let rollup = read_file (Filename.concat dir "rollup.json") in
+  let jnum key =
+    match Obs.Jscan.num_field rollup key with
+    | Some v -> int_of_float v
+    | None -> Alcotest.failf "rollup.json lacks %S" key
+  in
+  let by_shard = Hashtbl.create 8 in
+  Array.iter
+    (fun w ->
+      let wdir = Filename.concat (Filename.concat dir "workers") w in
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".journal" then
+            match Journal.describe ~path:(Filename.concat wdir f) with
+            | Some d ->
+              let prev =
+                match Hashtbl.find_opt by_shard f with
+                | Some (dn, _) -> dn
+                | None -> 0
+              in
+              if d.Journal.done_chunks >= prev then
+                Hashtbl.replace by_shard f
+                  (d.Journal.done_chunks, d.Journal.total)
+            | None -> ())
+        (Sys.readdir wdir))
+    (Sys.readdir (Filename.concat dir "workers"));
+  let journal_done =
+    Hashtbl.fold (fun _ (dn, _) acc -> acc + dn) by_shard 0
+  in
+  let journal_total =
+    Hashtbl.fold (fun _ (_, t) acc -> acc + t) by_shard 0
+  in
+  Alcotest.(check int) "rollup done = journals' best" journal_done
+    (jnum "done");
+  Alcotest.(check int) "rollup total = journals'" journal_total
+    (jnum "total");
+  Alcotest.(check bool) "run completed in the rollup" true
+    (jnum "done" = jnum "total");
+  (match Obs.Jscan.str_field rollup "run" with
+   | Some r -> Alcotest.(check string) "rollup carries the run id"
+                 stats.Dist.run_id r
+   | None -> Alcotest.fail "rollup.json lacks the run id");
+  (* the cold survey agrees with the file the coordinator wrote *)
+  (match Dist.survey ~dir with
+   | Some input ->
+     let sdone =
+       List.fold_left
+         (fun acc (s : Obs.Rollup.shard) -> acc + s.Obs.Rollup.chunks_done)
+         0 input.Obs.Rollup.shards
+     in
+     Alcotest.(check int) "survey done = rollup done" (jnum "done") sdone;
+     Alcotest.(check string) "survey run id" stats.Dist.run_id
+       input.Obs.Rollup.run
+   | None -> Alcotest.fail "survey found no manifest");
+  (* the scattered trace files — including the dead worker's, truncated
+     by its _exit — merge into one loadable, correlated trace *)
+  let sources = Dist.trace_sources ~dir in
+  Alcotest.(check bool) "coordinator + both workers left traces" true
+    (List.length sources >= 3);
+  let merged_path = Filename.concat dir "trace-merged.json" in
+  let moc = open_out merged_path in
+  let mst =
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr moc)
+      (fun () -> Obs.Merge.merge_files sources moc)
+  in
+  Alcotest.(check bool) "merge agreed on a run id" true
+    (mst.Obs.Merge.run = Some stats.Dist.run_id);
+  Alcotest.(check (list string)) "no source disagreed" []
+    mst.Obs.Merge.mismatched;
+  Alcotest.(check bool) "events survived the merge" true
+    (mst.Obs.Merge.events > 0);
+  let merged = read_file merged_path in
+  Alcotest.(check bool) "merged trace is a closed array" true
+    (String.length merged > 2
+    && merged.[0] = '['
+    && String.sub merged (String.length merged - 2) 2 = "]\n");
+  (* span nesting per pid never goes negative: no orphan span ends, even
+     with the victim's truncated file in the mix *)
+  let depth = Hashtbl.create 4 in
+  String.split_on_char '\n' merged
+  |> List.iter (fun line ->
+         match (Obs.Jscan.str_field line "ph", Obs.Jscan.num_field line "pid")
+         with
+         | Some ph, Some pid ->
+           let pid = int_of_float pid in
+           let d =
+             match Hashtbl.find_opt depth pid with
+             | Some r -> r
+             | None ->
+               let r = ref 0 in
+               Hashtbl.replace depth pid r;
+               r
+           in
+           if ph = "B" then incr d
+           else if ph = "E" then begin
+             decr d;
+             if !d < 0 then
+               Alcotest.failf "orphan span end for pid %d" pid
+           end
+         | _ -> ());
+  Alcotest.(check bool) "multiple pids in the merged trace" true
+    (Hashtbl.length depth >= 3)
+
+(* ------------------------------------------------------------------ *)
 (* skewed shards: stealing keeps the fleet busy *)
 
 let test_steal_heavy_skew () =
@@ -443,6 +580,8 @@ let () =
           Alcotest.test_case "manifest contents" `Quick test_manifest_contents;
           Alcotest.test_case "killed worker resumes from journal" `Quick
             test_worker_killed_resumes_from_journal;
+          Alcotest.test_case "killed sweep: mergeable trace + rollup" `Quick
+            test_killed_sweep_telemetry;
           Alcotest.test_case "skewed shards are stolen" `Quick
             test_steal_heavy_skew;
           Alcotest.test_case "mismatched worker rejected" `Quick

@@ -84,12 +84,98 @@ let test_table_deterministic () =
     "{\"type\":\"counter\",\"name\":\"t.det.count\",\"value\":3}\n\
      {\"type\":\"gauge\",\"name\":\"t.det.g\",\"value\":2.5}\n\
      {\"type\":\"histogram\",\"name\":\"t.det.h\",\"unit\":\"ms\",\"count\":2,\
-      \"sum\":8,\"min\":4,\"max\":4,\"p50\":4,\"p90\":4,\"p99\":4}\n"
+      \"sum\":8,\"min\":4,\"max\":4,\"p50\":4,\"p90\":4,\"p99\":4,\
+      \"buckets\":[[22,2]]}\n"
     (Metrics.to_jsonl ());
   Metrics.reset ();
   Alcotest.(check string) "empty table"
     "metrics (none recorded)\n"
     (Format.asprintf "%a" Metrics.pp_table ())
+
+(* Cross-process merge: the documented contract is that merging two
+   registries' JSONL exports is indistinguishable from one registry
+   that observed the concatenation (gauges excepted: they keep the
+   max).  Buckets are combined pointwise and count/sum/min/max exactly,
+   so for histograms the equivalence is byte-for-byte. *)
+let test_merge_equals_concat () =
+  let populate obs =
+    Metrics.reset ();
+    Metrics.incr ~by:(List.length obs) (Metrics.counter "t.m.count");
+    let h = Metrics.histogram "t.m.h" in
+    List.iter (Metrics.observe h) obs;
+    Metrics.to_jsonl ()
+  in
+  let a = [ 0.5; 3.0; 7.0; 42.0 ] in
+  let b = [ 1.5; 90.0; 0.002; 7.0; 512.0 ] in
+  let doc_a = populate a in
+  let doc_b = populate b in
+  let doc_all = populate (a @ b) in
+  Metrics.reset ();
+  Alcotest.(check string) "merge of two exports = export of concatenation"
+    doc_all
+    (Metrics.merge_jsonl [ doc_a; doc_b ])
+
+let test_merge_kinds () =
+  let export f =
+    Metrics.reset ();
+    f ();
+    Metrics.to_jsonl ()
+  in
+  let doc_a =
+    export (fun () ->
+        Metrics.incr ~by:3 (Metrics.counter "t.mk.c");
+        Metrics.set (Metrics.gauge "t.mk.g") 7.0;
+        Metrics.incr (Metrics.counter "t.mk.only_a"))
+  in
+  let doc_b =
+    export (fun () ->
+        Metrics.incr ~by:4 (Metrics.counter "t.mk.c");
+        Metrics.set (Metrics.gauge "t.mk.g") 2.0)
+  in
+  Metrics.reset ();
+  Alcotest.(check string)
+    "counters add, gauges keep max, singletons survive, sorted"
+    "{\"type\":\"counter\",\"name\":\"t.mk.c\",\"value\":7}\n\
+     {\"type\":\"gauge\",\"name\":\"t.mk.g\",\"value\":7}\n\
+     {\"type\":\"counter\",\"name\":\"t.mk.only_a\",\"value\":1}\n"
+    (Metrics.merge_jsonl [ doc_a; doc_b ]);
+  (* torn / foreign lines are skipped, not fatal *)
+  Alcotest.(check string) "garbage lines are skipped" doc_a
+    (Metrics.merge_jsonl [ "not json\n" ^ doc_a; "{\"type\":\"count" ])
+
+(* merged quantiles obey the same 2x bucket-ratio bound as a single
+   registry over the concatenated samples *)
+let test_merge_quantile_bound () =
+  let export obs =
+    Metrics.reset ();
+    let h = Metrics.histogram "t.mq.h" in
+    List.iter (Metrics.observe h) obs;
+    Metrics.to_jsonl ()
+  in
+  let a = List.init 60 (fun i -> float_of_int (i + 1)) in
+  let b = List.init 40 (fun i -> float_of_int ((i + 1) * 17)) in
+  let doc_a = export a in
+  let doc_b = export b in
+  Metrics.reset ();
+  let merged = Metrics.merge_jsonl [ doc_a; doc_b ] in
+  let all = List.sort compare (a @ b) in
+  let truth q =
+    List.nth all
+      (max 0
+         (min (List.length all - 1)
+            (int_of_float (Float.round (q *. float_of_int (List.length all - 1))))))
+  in
+  List.iter
+    (fun (label, q) ->
+      let v =
+        match Obs.Jscan.num_field merged label with
+        | Some v -> v
+        | None -> Alcotest.failf "merged export lacks %s" label
+      in
+      let t = truth q in
+      if v < t /. 2.0 || v > t *. 2.0 then
+        Alcotest.failf "merged %s = %g not within 2x of %g" label v t)
+    [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
 
 (* ------------------------------------------------------------------ *)
 (* Trace *)
@@ -278,6 +364,11 @@ let () =
           Alcotest.test_case "kinds" `Quick test_kinds;
           Alcotest.test_case "deterministic table" `Quick
             test_table_deterministic;
+          Alcotest.test_case "merge = concatenated registry" `Quick
+            test_merge_equals_concat;
+          Alcotest.test_case "merge kinds" `Quick test_merge_kinds;
+          Alcotest.test_case "merged quantile bound" `Quick
+            test_merge_quantile_bound;
         ] );
       ( "trace",
         [

@@ -1,0 +1,255 @@
+(* bench_check — the bench regression gate.
+
+   Compares a fresh `miracc-bench ... --json` report against a
+   checked-in BENCH_*.json baseline, field by field, with per-metric
+   tolerance rules chosen by key name:
+
+   - timing fields ("ns", or ending in _ns/_ms/_s): benches run on
+     whatever machine CI hands us, so only a large slowdown is a
+     regression — fresh must stay under baseline * factor
+     (default 2.0, --factor to override).  Faster is always fine.
+   - speedup fields (containing "speedup"): relative measurements are
+     steadier than absolute ones, but still noisy — fresh must keep at
+     least half the baseline's speedup.
+   - booleans (the "identical" bit-identity flags): exact.  These are
+     correctness claims, not measurements.
+   - every other number (counters: trace_words, dedup_hits, ...):
+     exact.  The engine is deterministic; a drifted counter means the
+     computation changed, which is exactly what this gate is for.
+   - strings: exact, except keys in the skip list.
+   - skip list (machine-dependent facts): "cores", plus --skip KEY.
+
+   The baseline drives the walk: every baseline field must be present
+   and comparable in the fresh report (a vanished metric is a shape
+   regression); extra fresh fields are ignored, so adding metrics never
+   breaks the gate.  Arrays of objects are matched by their "name" /
+   "benchmark" field when present, by index otherwise.
+
+   Exit 0 all rules hold, 1 regressions, 2 usage/parse/shape trouble.
+   --json prints a machine-readable verdict (icc-bench-verdict/1). *)
+
+type outcome = {
+  path : string;
+  rule : string;
+  base : string;
+  fresh : string;
+}
+
+let shape_error = ref false
+
+let jstr = function
+  | Tjson.Str s -> Printf.sprintf "%S" s
+  | Tjson.Num n ->
+    if Float.is_integer n && Float.abs n < 1e15 then
+      Printf.sprintf "%d" (int_of_float n)
+    else Printf.sprintf "%g" n
+  | Tjson.Bool b -> string_of_bool b
+  | Tjson.Null -> "null"
+  | Tjson.List _ -> "[...]"
+  | Tjson.Obj _ -> "{...}"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let ends_with suf s =
+  let ns = String.length s and nf = String.length suf in
+  ns >= nf && String.sub s (ns - nf) nf = suf
+
+let is_timing key =
+  key = "ns" || ends_with "_ns" key || ends_with "_ms" key
+  || ends_with "_s" key
+
+let is_speedup key = contains key "speedup"
+
+(* the label an array element is matched by across baseline and fresh *)
+let element_key ev =
+  match Tjson.mem "name" ev with
+  | Some (Tjson.Str s) -> Some s
+  | _ ->
+    (match Tjson.mem "benchmark" ev with
+     | Some (Tjson.Str s) -> Some s
+     | _ -> None)
+
+let rec compare_values ~factor ~skip ~path ~key regressions base fresh =
+  let fail rule bv fv =
+    regressions :=
+      { path; rule; base = jstr bv; fresh = jstr fv } :: !regressions
+  in
+  let shape why =
+    shape_error := true;
+    regressions :=
+      { path; rule = "shape: " ^ why; base = jstr base; fresh = jstr fresh }
+      :: !regressions
+  in
+  if List.mem key skip then ()
+  else
+    match (base, fresh) with
+    | Tjson.Num b, Tjson.Num f ->
+      if is_timing key then begin
+        if f > b *. factor then
+          fail (Printf.sprintf "timing <= %gx baseline" factor) base fresh
+      end
+      else if is_speedup key then begin
+        if f < b *. 0.5 then fail "speedup >= 0.5x baseline" base fresh
+      end
+      else if f <> b then fail "counter exact" base fresh
+    | Tjson.Bool b, Tjson.Bool f ->
+      if b <> f then fail "boolean exact" base fresh
+    | Tjson.Str b, Tjson.Str f ->
+      if b <> f then fail "string exact" base fresh
+    | Tjson.Null, Tjson.Null -> ()
+    | Tjson.Obj bfs, (Tjson.Obj _ as fobj) ->
+      List.iter
+        (fun (k, bv) ->
+          let sub = if path = "" then k else path ^ "." ^ k in
+          match Tjson.mem k fobj with
+          | Some fv ->
+            compare_values ~factor ~skip ~path:sub ~key:k regressions bv fv
+          | None ->
+            if not (List.mem k skip) then begin
+              shape_error := true;
+              regressions :=
+                { path = sub; rule = "shape: missing in fresh";
+                  base = jstr bv; fresh = "(absent)" }
+                :: !regressions
+            end)
+        bfs
+    | Tjson.List bs, Tjson.List fs ->
+      let keyed = List.for_all (fun e -> element_key e <> None) bs in
+      if keyed && bs <> [] then
+        List.iter
+          (fun bv ->
+            let k = Option.get (element_key bv) in
+            let sub = Printf.sprintf "%s[%s]" path k in
+            match List.find_opt (fun fv -> element_key fv = Some k) fs with
+            | Some fv ->
+              compare_values ~factor ~skip ~path:sub ~key regressions bv fv
+            | None ->
+              shape_error := true;
+              regressions :=
+                { path = sub; rule = "shape: missing in fresh";
+                  base = "{...}"; fresh = "(absent)" }
+                :: !regressions)
+          bs
+      else begin
+        if List.length fs < List.length bs then
+          shape (Printf.sprintf "array shrank %d -> %d" (List.length bs)
+                   (List.length fs));
+        List.iteri
+          (fun i bv ->
+            match List.nth_opt fs i with
+            | Some fv ->
+              compare_values ~factor ~skip
+                ~path:(Printf.sprintf "%s[%d]" path i)
+                ~key regressions bv fv
+            | None -> ())
+          bs
+      end
+    | _ -> shape "type changed"
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let json = ref false in
+  let factor = ref 2.0 in
+  let skip = ref [ "cores" ] in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse_args rest
+    | "--factor" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f >= 1.0 -> factor := f
+       | _ ->
+         prerr_endline "bench_check: --factor wants a number >= 1";
+         exit 2);
+      parse_args rest
+    | "--skip" :: k :: rest ->
+      skip := k :: !skip;
+      parse_args rest
+    | f :: rest ->
+      files := f :: !files;
+      parse_args rest
+  in
+  parse_args args;
+  let base_path, fresh_path =
+    match List.rev !files with
+    | [ b; f ] -> (b, f)
+    | _ ->
+      prerr_endline
+        "usage: bench_check [--json] [--factor F] [--skip KEY] BASELINE FRESH";
+      exit 2
+  in
+  let load what path =
+    match Tjson.parse (Tjson.read_file path) with
+    | v -> v
+    | exception Tjson.Error msg ->
+      Printf.eprintf "bench_check: %s %s: %s\n" what path msg;
+      exit 2
+    | exception Sys_error e ->
+      Printf.eprintf "bench_check: %s\n" e;
+      exit 2
+  in
+  let base = load "baseline" base_path in
+  let fresh = load "fresh" fresh_path in
+  let regressions = ref [] in
+  compare_values ~factor:!factor ~skip:!skip ~path:"" ~key:"" regressions
+    base fresh;
+  let regs = List.rev !regressions in
+  let ok = regs = [] in
+  if !json then begin
+    Printf.printf "{\n  \"schema\": \"icc-bench-verdict/1\",\n";
+    Printf.printf "  \"baseline\": \"%s\",\n  \"fresh\": \"%s\",\n"
+      (escape base_path) (escape fresh_path);
+    Printf.printf "  \"factor\": %g,\n  \"ok\": %b,\n" !factor ok;
+    Printf.printf "  \"regressions\": [%s\n  ]\n}\n"
+      (String.concat ","
+         (List.map
+            (fun r ->
+              Printf.sprintf
+                "\n    {\"path\": \"%s\", \"rule\": \"%s\", \
+                 \"baseline\": %s, \"fresh\": %s}"
+                (escape r.path) (escape r.rule)
+                (let q s =
+                   (* scalar renderings from [jstr] are already JSON *)
+                   if s = "(absent)" then "\"(absent)\""
+                   else if s = "[...]" || s = "{...}" then
+                     Printf.sprintf "%S" s
+                   else s
+                 in
+                 q r.base)
+                (let q s =
+                   if s = "(absent)" then "\"(absent)\""
+                   else if s = "[...]" || s = "{...}" then
+                     Printf.sprintf "%S" s
+                   else s
+                 in
+                 q r.fresh))
+            regs))
+  end
+  else if ok then
+    Printf.printf "bench OK: %s within tolerance of %s (factor %g)\n"
+      fresh_path base_path !factor
+  else begin
+    Printf.printf "bench REGRESSION: %s vs %s\n" fresh_path base_path;
+    List.iter
+      (fun r ->
+        Printf.printf "  %s: %s (baseline %s, fresh %s)\n" r.path r.rule
+          r.base r.fresh)
+      regs
+  end;
+  if ok then exit 0 else if !shape_error then exit 2 else exit 1

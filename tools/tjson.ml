@@ -1,0 +1,199 @@
+(* Tjson — the tools' tiny JSON reader.
+
+   One recursive-descent parser shared by the trace validator and the
+   bench regression gate, so the two keep identical ideas about what
+   our machine-written JSON means.  Two entry points:
+
+   - [parse] reads one complete document (bench reports, rollups);
+   - [parse_trace] reads a Chrome trace_event array and tolerates a
+     missing closing "]", as the spec allows: a crashed run truncates
+     after a complete object.  Returns the events plus a
+     truncation flag.
+
+   Errors raise [Error] with a byte offset.  Numbers are floats;
+   \u escapes above ASCII collapse to '?' — nothing we emit needs
+   more. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+type cursor = { s : string; len : int; mutable pos : int }
+
+let error c msg = raise (Error (Printf.sprintf "byte %d: %s" c.pos msg))
+let peek c = if c.pos < c.len then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < c.len
+    && (match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  if peek c = Some ch then c.pos <- c.pos + 1
+  else error c (Printf.sprintf "expected %c" ch)
+
+let literal c word v =
+  if c.pos + String.length word <= c.len
+     && String.sub c.s c.pos (String.length word) = word
+  then begin
+    c.pos <- c.pos + String.length word;
+    v
+  end
+  else error c ("expected " ^ word)
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= c.len then error c "unterminated string";
+    match c.s.[c.pos] with
+    | '"' -> c.pos <- c.pos + 1
+    | '\\' ->
+      c.pos <- c.pos + 1;
+      (if c.pos >= c.len then error c "unterminated escape";
+       match c.s.[c.pos] with
+       | '"' | '\\' | '/' -> Buffer.add_char b c.s.[c.pos]
+       | 'n' -> Buffer.add_char b '\n'
+       | 't' -> Buffer.add_char b '\t'
+       | 'r' -> Buffer.add_char b '\r'
+       | 'b' | 'f' -> Buffer.add_char b ' '
+       | 'u' ->
+         if c.pos + 4 >= c.len then error c "short \\u escape";
+         (match int_of_string ("0x" ^ String.sub c.s (c.pos + 1) 4) with
+          | code ->
+            c.pos <- c.pos + 4;
+            Buffer.add_char b (if code < 128 then Char.chr code else '?')
+          | exception _ -> error c "bad \\u escape")
+       | ch -> error c (Printf.sprintf "bad escape \\%c" ch));
+      c.pos <- c.pos + 1;
+      go ()
+    | ch ->
+      Buffer.add_char b ch;
+      c.pos <- c.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while c.pos < c.len && num_char c.s.[c.pos] do c.pos <- c.pos + 1 done;
+  match float_of_string_opt (String.sub c.s start (c.pos - start)) with
+  | Some v -> v
+  | None -> error c "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (k, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members ()
+        | Some '}' -> c.pos <- c.pos + 1
+        | _ -> error c "expected , or } in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          elements ()
+        | Some ']' -> c.pos <- c.pos + 1
+        | _ -> error c "expected , or ] in array"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> Num (parse_number c)
+
+let parse s =
+  let c = { s; len = String.length s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if peek c <> None then error c "trailing garbage after document";
+  v
+
+let parse_trace s =
+  let c = { s; len = String.length s; pos = 0 } in
+  skip_ws c;
+  expect c '[';
+  let events = ref [] in
+  let truncated = ref false in
+  skip_ws c;
+  (match peek c with
+   | Some ']' -> c.pos <- c.pos + 1
+   | None -> truncated := true
+   | Some _ ->
+     let rec loop () =
+       events := parse_value c :: !events;
+       skip_ws c;
+       match peek c with
+       | Some ',' ->
+         c.pos <- c.pos + 1;
+         skip_ws c;
+         if peek c = None then truncated := true else loop ()
+       | Some ']' -> c.pos <- c.pos + 1
+       | None -> truncated := true
+       | Some ch -> error c (Printf.sprintf "expected , or ] but got %c" ch)
+     in
+     loop ());
+  skip_ws c;
+  if peek c <> None then error c "trailing garbage after array";
+  (List.rev !events, !truncated)
+
+let mem k = function Obj fs -> List.assoc_opt k fs | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,29 @@
+(** The tools' tiny JSON reader — shared by {!Trace_check} and
+    {!Bench_check} so both agree on what our machine-written JSON
+    means.  Numbers are floats; non-ASCII [\u] escapes collapse to
+    ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** parse failure, with a byte offset in the message *)
+exception Error of string
+
+(** [parse s] — one complete JSON document, strict. *)
+val parse : string -> t
+
+(** [parse_trace s] — a Chrome trace_event array; a missing closing
+    ["]"] (crashed writer) is tolerated and reported as
+    [(events, true)]. *)
+val parse_trace : string -> t list * bool
+
+(** [mem k v] — field [k] of object [v]; [None] on non-objects. *)
+val mem : string -> t -> t option
+
+(** slurp a file; raises [Sys_error]. *)
+val read_file : string -> string

@@ -5,190 +5,33 @@
      "]" is accepted, as the trace_event spec allows: a crashed run
      truncates after a complete object);
    - every event has "name", "ph", "ts", "pid" of the right types and a
-     phase letter we emit (B, E, i, C);
+     phase letter we emit (B, E, i, C, plus the "M" metadata events
+     the trace merger adds);
    - "E" events never outnumber the "B" events above them per pid (an
      unmatched end would corrupt the viewer's nesting).
+
+   With --merged the file is additionally held to the promises of
+   [miracc trace-merge] output: at least two distinct pids, every
+   process that announced a run id (the "trace.run" instants) announced
+   the same one, and at least two did — so the file really is one
+   correlated multi-process run, not a concatenation of strangers.
 
    Prints a one-line summary plus the sorted category set, so CI can
    assert which subsystems showed up.  Exit 1 on any violation. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
-
 exception Bad of string
 
-let check path =
-  let s =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+let check ~merged path =
+  let events, truncated =
+    try Tjson.parse_trace (Tjson.read_file path)
+    with Tjson.Error msg -> raise (Bad msg)
   in
-  let len = String.length s in
-  let pos = ref 0 in
-  let error msg = raise (Bad (Printf.sprintf "byte %d: %s" !pos msg)) in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < len
-      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    if peek () = Some c then incr pos
-    else error (Printf.sprintf "expected %c" c)
-  in
-  let literal word v =
-    if !pos + String.length word <= len
-       && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else error ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= len then error "unterminated string";
-      match s.[!pos] with
-      | '"' -> incr pos
-      | '\\' ->
-        incr pos;
-        (if !pos >= len then error "unterminated escape";
-         match s.[!pos] with
-         | '"' | '\\' | '/' -> Buffer.add_char b s.[!pos]
-         | 'n' -> Buffer.add_char b '\n'
-         | 't' -> Buffer.add_char b '\t'
-         | 'r' -> Buffer.add_char b '\r'
-         | 'b' | 'f' -> Buffer.add_char b ' '
-         | 'u' ->
-           if !pos + 4 >= len then error "short \\u escape";
-           (match int_of_string ("0x" ^ String.sub s (!pos + 1) 4) with
-            | code ->
-              pos := !pos + 4;
-              Buffer.add_char b (if code < 128 then Char.chr code else '?')
-            | exception _ -> error "bad \\u escape")
-         | c -> error (Printf.sprintf "bad escape \\%c" c));
-        incr pos;
-        go ()
-      | c ->
-        Buffer.add_char b c;
-        incr pos;
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while !pos < len && num_char s.[!pos] do incr pos done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some v -> v
-    | None -> error "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> error "unexpected end of input"
-    | Some '"' -> Str (parse_string ())
-    | Some '{' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some '}' then begin
-        incr pos;
-        Obj []
-      end
-      else begin
-        let fields = ref [] in
-        let rec members () =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          fields := (k, v) :: !fields;
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            members ()
-          | Some '}' -> incr pos
-          | _ -> error "expected , or } in object"
-        in
-        members ();
-        Obj (List.rev !fields)
-      end
-    | Some '[' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some ']' then begin
-        incr pos;
-        List []
-      end
-      else begin
-        let items = ref [] in
-        let rec elements () =
-          let v = parse_value () in
-          items := v :: !items;
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            elements ()
-          | Some ']' -> incr pos
-          | _ -> error "expected , or ] in array"
-        in
-        elements ();
-        List (List.rev !items)
-      end
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-  in
-  (* the top level: '[' then events; EOF instead of ']' is legal *)
-  skip_ws ();
-  expect '[';
-  let events = ref [] in
-  let truncated = ref false in
-  skip_ws ();
-  (match peek () with
-   | Some ']' -> incr pos
-   | None -> truncated := true
-   | Some _ ->
-     let rec loop () =
-       events := parse_value () :: !events;
-       skip_ws ();
-       match peek () with
-       | Some ',' ->
-         incr pos;
-         skip_ws ();
-         if peek () = None then truncated := true else loop ()
-       | Some ']' -> incr pos
-       | None -> truncated := true
-       | Some c -> error (Printf.sprintf "expected , or ] but got %c" c)
-     in
-     loop ());
-  skip_ws ();
-  if peek () <> None then error "trailing garbage after array";
-  let events = List.rev !events in
   (* per-event shape + span-balance accounting *)
   let counts = Hashtbl.create 4 in
   let cats = Hashtbl.create 16 in
   let depth : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  (* pid -> run id announced by its "trace.run" instant *)
+  let runs : (int, string) Hashtbl.t = Hashtbl.create 4 in
   let bump tbl k =
     match Hashtbl.find_opt tbl k with
     | Some r -> incr r
@@ -196,32 +39,38 @@ let check path =
   in
   List.iteri
     (fun i ev ->
-      let fields =
-        match ev with
-        | Obj fs -> fs
-        | _ -> raise (Bad (Printf.sprintf "event %d is not an object" i))
-      in
-      let field k = List.assoc_opt k fields in
+      (match ev with
+       | Tjson.Obj _ -> ()
+       | _ -> raise (Bad (Printf.sprintf "event %d is not an object" i)));
       let str k =
-        match field k with
-        | Some (Str v) -> v
+        match Tjson.mem k ev with
+        | Some (Tjson.Str v) -> v
         | _ -> raise (Bad (Printf.sprintf "event %d: missing string %S" i k))
       in
       let num k =
-        match field k with
-        | Some (Num v) -> v
+        match Tjson.mem k ev with
+        | Some (Tjson.Num v) -> v
         | _ -> raise (Bad (Printf.sprintf "event %d: missing number %S" i k))
       in
       let ph = str "ph" in
-      ignore (str "name");
+      let name = str "name" in
       ignore (num "ts");
       let pid = int_of_float (num "pid") in
-      (match field "cat" with
-       | Some (Str c) -> Hashtbl.replace cats c ()
+      (match Tjson.mem "cat" ev with
+       | Some (Tjson.Str c) -> Hashtbl.replace cats c ()
        | _ -> ());
-      (match field "args" with
-       | None | Some (Obj _) -> ()
+      (match Tjson.mem "args" ev with
+       | None | Some (Tjson.Obj _) -> ()
        | Some _ -> raise (Bad (Printf.sprintf "event %d: args not an object" i)));
+      if name = "trace.run" then begin
+        match Tjson.mem "args" ev with
+        | Some (Tjson.Obj fs) ->
+          (match List.assoc_opt "id" fs with
+           | Some (Tjson.Str id) -> Hashtbl.replace runs pid id
+           | _ ->
+             raise (Bad (Printf.sprintf "event %d: trace.run without id" i)))
+        | _ -> raise (Bad (Printf.sprintf "event %d: trace.run without args" i))
+      end;
       let d =
         match Hashtbl.find_opt depth pid with
         | Some r -> r
@@ -236,7 +85,7 @@ let check path =
          if !d = 0 then
            raise (Bad (Printf.sprintf "event %d: E without open B (pid %d)" i pid));
          decr d
-       | "i" | "C" -> ()
+       | "i" | "C" | "M" -> ()
        | p -> raise (Bad (Printf.sprintf "event %d: unknown phase %S" i p)));
       bump counts ph)
     events;
@@ -250,19 +99,49 @@ let check path =
   Printf.printf "trace OK: %d events (B=%d E=%d i=%d C=%d), %d pids, unclosed %d%s\n"
     (List.length events) (count "B") (count "E") (count "i") (count "C")
     (Hashtbl.length depth) unclosed
-    (if !truncated then ", truncated" else "");
-  Printf.printf "categories: %s\n" (String.concat ", " cat_list)
+    (if truncated then ", truncated" else "");
+  Printf.printf "categories: %s\n" (String.concat ", " cat_list);
+  if merged then begin
+    if Hashtbl.length depth < 2 then
+      raise (Bad (Printf.sprintf "merged trace has %d pid(s), want >= 2"
+                    (Hashtbl.length depth)));
+    let announced =
+      Hashtbl.fold (fun pid id acc -> (pid, id) :: acc) runs []
+      |> List.sort compare
+    in
+    (match announced with
+     | [] | [ _ ] ->
+       raise (Bad (Printf.sprintf
+                     "merged trace: %d process(es) announced a run id, want >= 2"
+                     (List.length announced)))
+     | (_, first) :: rest ->
+       List.iter
+         (fun (pid, id) ->
+           if id <> first then
+             raise (Bad (Printf.sprintf
+                           "merged trace: pid %d announced run %s, others %s"
+                           pid id first)))
+         rest;
+       Printf.printf "merged OK: run %s announced by %d processes\n" first
+         (List.length announced))
+  end
 
 let () =
-  match Sys.argv with
-  | [| _; path |] -> (
-    try check path with
+  let merged, path =
+    match Sys.argv with
+    | [| _; path |] -> (false, Some path)
+    | [| _; "--merged"; path |] | [| _; path; "--merged" |] -> (true, Some path)
+    | _ -> (false, None)
+  in
+  match path with
+  | Some path -> (
+    try check ~merged path with
     | Bad msg ->
       Printf.eprintf "trace_check: %s: %s\n" path msg;
       exit 1
     | Sys_error e ->
       Printf.eprintf "trace_check: %s\n" e;
       exit 1)
-  | _ ->
-    prerr_endline "usage: trace_check FILE.json";
+  | None ->
+    prerr_endline "usage: trace_check [--merged] FILE.json";
     exit 2
