@@ -61,6 +61,9 @@ let () =
          Fmt.epr "--distribute expects a positive integer@.";
          exit 1);
       strip_opts rest
+    | "--tstore" :: dir :: rest ->
+      Util.tstore := Some dir;
+      strip_opts rest
     | "--engine" :: e :: rest ->
       (match Mach.Sim.engine_of_string e with
        | Some eng -> Mach.Sim.default_engine := eng

@@ -23,6 +23,11 @@ let share = ref true
    worker processes (coordinator/worker sharding, 1 = in-process) *)
 let distribute = ref 1
 
+(* main.ml's --tstore flag: persistent trace store directory for the
+   arch experiment's cross-run warm phase (empty first run populates it;
+   later runs replay straight from disk) *)
+let tstore : string option ref = ref None
+
 let data_dir = "bench_data"
 
 let ensure_dir () =

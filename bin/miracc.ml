@@ -160,6 +160,14 @@ let cache_dir_arg =
          ~doc:"Persist evaluation results under $(docv) (created if \
                missing); later runs reuse them.")
 
+let tstore_arg =
+  Arg.(value & opt (some string) None & info [ "tstore" ] ~docv:"DIR"
+         ~doc:"Persist generated event traces under $(docv) (created if \
+               missing); later runs, grid replays and distributed \
+               workers reuse them instead of re-executing program \
+               semantics.  Execution goes through the trace engine's \
+               replay path (bit-identical to every other engine).")
+
 let cache_stats_arg =
   Arg.(value & flag & info [ "cache-stats" ]
          ~doc:"Print the evaluation-engine statistics table at the end.")
@@ -191,7 +199,28 @@ let cache_error_exit = 4
    unusable, worker rejected, protocol breakdown) *)
 let dist_error_exit = 5
 
-let make_engine ~config ~jobs ~cache ~inject ~max_restarts ~share =
+(* trace-store failures share the cache exit code: same class of error
+   (a store directory that cannot be used), same operator remedy *)
+let open_tstore dir =
+  match Engine.Tstore.open_dir dir with
+  | ts -> ts
+  | exception Engine.Tstore.Store_error e ->
+    Fmt.epr "miracc: trace store error: %s@." e;
+    exit cache_error_exit
+  | exception Sys_error e ->
+    Fmt.epr "miracc: trace store error: %s@." e;
+    exit cache_error_exit
+
+let with_tstore dir f =
+  match dir with
+  | None -> f None
+  | Some dir ->
+    let ts = open_tstore dir in
+    Fun.protect
+      ~finally:(fun () -> Engine.Tstore.close ts)
+      (fun () -> f (Some ts))
+
+let make_engine ~config ~jobs ~cache ~tstore ~inject ~max_restarts ~share =
   (match inject with
    | Some spec -> (
      match Engine.Faults.parse spec with
@@ -217,12 +246,16 @@ let make_engine ~config ~jobs ~cache ~inject ~max_restarts ~share =
           exit cache_error_exit)
       cache
   in
-  Engine.create ~jobs ?cache ~max_respawns:max_restarts ~share config
+  let tstore = Option.map open_tstore tstore in
+  Engine.create ~jobs ?cache ?tstore ~max_respawns:max_restarts ~share config
 
 let finish_engine ~cache_stats eng =
   if cache_stats then Fmt.pr "%a" (Engine.pp_stats ~wall:true) eng;
   if not (Engine.healthy eng) then Fmt.epr "%a@." Engine.pp_health eng;
-  Engine.Rcache.close (Engine.cache eng)
+  Engine.Rcache.close (Engine.cache eng);
+  match Engine.Tcache.store (Engine.tcache eng) with
+  | Some ts -> Engine.Tstore.close ts
+  | None -> ()
 
 (* --- compile ------------------------------------------------------- *)
 
@@ -248,21 +281,32 @@ let compile_cmd =
 
 let run_cmd =
   let doc = "Compile and execute on the cycle-level machine simulator." in
-  let run file arch level seq show_counters engine profile () =
+  let run file arch level seq show_counters engine tstore profile () =
     set_engine engine;
     if profile then Obs.Metrics.timing := true;
     let p = load_program file in
     let config = arch_of_name arch in
     let p' = Passes.Pass.apply_sequence (parse_seq ~level ~seq) p in
+    (* with --tstore the run goes through the persisted-trace replay
+       path (bit-identical by the engine oracle); without, the chosen
+       engine as before *)
+    let simulate () =
+      match tstore with
+      | None -> Mach.Sim.run ~config p'
+      | Some dir ->
+        with_tstore (Some dir) (fun ts ->
+            let tcache = Engine.Tcache.create ?store:ts () in
+            (Engine.Grid.run_grid ~tcache ~configs:[| config |] p').(0))
+    in
     (* --profile: one line on stderr with the decode/execute wall-time
        split, read back from the instrumentation histograms the run
        fills (the ref engine never decodes, reported as such) *)
     let execute () =
-      if not profile then Mach.Sim.run ~config p'
+      if not profile then simulate ()
       else begin
         let decode_h = Obs.Metrics.histogram "decode.translate_ms" in
         let execute_h = Obs.Metrics.histogram "sim.execute_ms" in
-        let r = Mach.Sim.run ~config p' in
+        let r = simulate () in
         let e = Obs.Metrics.hist_sum execute_h in
         (if Obs.Metrics.hist_count decode_h = 0 then
            Fmt.epr "profile: decode n/a (ref engine), execute %.3f ms@." e
@@ -299,7 +343,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ file_arg $ arch_arg $ level_arg $ seq_arg $ counters_flag
-          $ engine_arg $ profile_flag $ obs_term)
+          $ engine_arg $ tstore_arg $ profile_flag $ obs_term)
 
 (* --- features ------------------------------------------------------ *)
 
@@ -315,19 +359,27 @@ let features_cmd =
 
 let counters_cmd =
   let doc = "Profile at -O0 and print per-instruction counter rates." in
-  let run file arch configs engine () =
+  let run file arch configs engine jobs tstore () =
     set_engine engine;
     let p = load_program file in
     match configs with
     | None ->
       let config = arch_of_name arch in
-      let r = Mach.Sim.run ~config p in
+      let r =
+        match tstore with
+        | None -> Mach.Sim.run ~config p
+        | Some dir ->
+          with_tstore (Some dir) (fun ts ->
+              let tcache = Engine.Tcache.create ?store:ts () in
+              (Engine.Grid.run_grid ~tcache ~configs:[| config |] p).(0))
+      in
       List.iter
         (fun (n, v) -> Fmt.pr "%-10s %.6f@." n v)
         (Icc.Characterize.counter_assoc r.Mach.Sim.counters)
     | Some names ->
-      (* architecture grid: one semantic execution (the trace), one
-         model replay per config, one column per config *)
+      (* architecture grid: one semantic execution (the trace — served
+         from the trace store with --tstore), one model replay per
+         config (forked across --jobs workers), one column per config *)
       let configs =
         names |> String.split_on_char ',' |> List.map String.trim
         |> List.filter (fun s -> s <> "")
@@ -337,7 +389,13 @@ let counters_cmd =
         Fmt.epr "miracc: --configs needs at least one architecture@.";
         exit 1
       end;
-      let rs = Mach.Sim.run_grid ~configs p in
+      let rs =
+        with_tstore tstore (fun ts ->
+            let tcache =
+              Option.map (fun ts -> Engine.Tcache.create ~store:ts ()) ts
+            in
+            Engine.Grid.run_grid ~jobs ?tcache ~configs p)
+      in
       let assocs =
         Array.map
           (fun (r : Mach.Sim.result) ->
@@ -363,7 +421,7 @@ let counters_cmd =
   in
   Cmd.v (Cmd.info "counters" ~doc)
     Term.(const run $ file_arg $ arch_arg $ configs_arg $ engine_arg
-          $ obs_term)
+          $ jobs_arg $ tstore_arg $ obs_term)
 
 (* --- workloads ----------------------------------------------------- *)
 
@@ -397,7 +455,7 @@ let train_cmd =
     Fmt.pr "training on %d programs, %d sequences each (%s)...@."
       (List.length programs) per_program config.Mach.Config.name;
     let eng =
-      make_engine ~config ~jobs ~cache ~inject ~max_restarts
+      make_engine ~config ~jobs ~cache ~tstore:None ~inject ~max_restarts
         ~share:(not no_share)
     in
     let kb =
@@ -467,8 +525,9 @@ let predict_cmd =
 
 let search_cmd =
   let doc = "Search the optimization space for a program." in
-  let run file arch strategy budget seed kb_path jobs cache cache_stats
-      inject max_restarts no_share engine distribute dist_dir () =
+  let run file arch strategy budget seed kb_path jobs cache tstore
+      cache_stats inject max_restarts no_share engine distribute dist_dir ()
+      =
     set_engine engine;
     if distribute > 1 && strategy <> "random" then begin
       Fmt.epr "miracc: --distribute requires --strategy random@.";
@@ -477,7 +536,7 @@ let search_cmd =
     let p = load_program file in
     let config = arch_of_name arch in
     let eng =
-      make_engine ~config ~jobs ~cache ~inject ~max_restarts
+      make_engine ~config ~jobs ~cache ~tstore ~inject ~max_restarts
         ~share:(not no_share)
     in
     let eval = Engine.evaluator eng p in
@@ -508,8 +567,17 @@ let search_cmd =
           let wcache =
             Engine.Rcache.open_dir (Filename.concat worker_dir "cache")
           in
+          (* with --tstore each worker traces into its own store at
+             <worker_dir>/tstore; the coordinator absorbs them all at
+             the end, like the result caches *)
+          let wtstore =
+            Option.map
+              (fun _ -> open_tstore (Filename.concat worker_dir "tstore"))
+              tstore
+          in
           let weng =
-            Engine.create ~jobs:1 ~cache:wcache ~share:(not no_share) config
+            Engine.create ~jobs:1 ~cache:wcache ?tstore:wtstore
+              ~share:(not no_share) config
           in
           fun lo hi ->
             Engine.costs weng p (Array.to_list (Array.sub seqs lo (hi - lo)))
@@ -517,6 +585,7 @@ let search_cmd =
         (match
            Engine.Dist.sweep_local ~workers:distribute ~dir:dist_dir
              ~cache:(Engine.cache eng)
+             ?tstore:(Engine.Tcache.store (Engine.tcache eng))
              ~meta:
                [ ("program", file); ("arch", config.Mach.Config.name);
                  ("seed", string_of_int seed);
@@ -593,9 +662,9 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc)
     Term.(
       const run $ file_arg $ arch_arg $ strategy_arg $ budget_arg $ seed_arg
-      $ kb_opt $ jobs_arg $ cache_dir_arg $ cache_stats_arg $ inject_arg
-      $ max_restarts_arg $ no_share_arg $ engine_arg $ distribute_arg
-      $ search_dist_dir_arg $ obs_term)
+      $ kb_opt $ jobs_arg $ cache_dir_arg $ tstore_arg $ cache_stats_arg
+      $ inject_arg $ max_restarts_arg $ no_share_arg $ engine_arg
+      $ distribute_arg $ search_dist_dir_arg $ obs_term)
 
 (* --- distributed sweeps -------------------------------------------- *)
 
@@ -774,7 +843,7 @@ let sweep_work_cmd =
     mkdir_p dir;
     let eng =
       make_engine ~config ~jobs ~cache:(Some (Filename.concat dir "cache"))
-        ~inject ~max_restarts ~share:(not no_share)
+        ~tstore:None ~inject ~max_restarts ~share:(not no_share)
     in
     let eval lo hi =
       Engine.costs eng p (Array.to_list (Array.sub seqs lo (hi - lo)))
@@ -994,6 +1063,13 @@ let () =
   (* real time for the observability layer (Obs itself is clockless) *)
   Obs.Clock.set Unix.gettimeofday;
   Obs.Trace.set_pid (Unix.getpid ());
+  (* MIRA_FAULTS applies to every command, engine-backed or not (the
+     trace-store paths of run/counters have no engine); --inject, where
+     offered, overrides it in make_engine *)
+  (try Engine.Faults.install_from_env ()
+   with Invalid_argument e ->
+     Fmt.epr "miracc: bad MIRA_FAULTS: %s@." e;
+     exit 1);
   let doc = "an intelligent compiler for the Mira language" in
   let info = Cmd.info "miracc" ~version:"1.0.0" ~doc in
   exit

@@ -783,8 +783,29 @@ let absorb_worker_caches ~cache ~dirs st =
               donor msg)
       dirs
 
-let sweep_local ~workers ~dir ?(max_respawns = 2) ?cache ?meta spec ~make_eval
-    =
+(* same merge discipline for the workers' trace stores: donors at
+   <worker_dir>/tstore, counted by Tstore's own obs metrics (the result
+   stats record stays about result caches) *)
+let absorb_worker_tstores ~tstore ~dirs =
+  match tstore with
+  | None -> ()
+  | Some ts ->
+    List.iter
+      (fun wdir ->
+        let donor = Filename.concat wdir "tstore" in
+        if Sys.file_exists donor then
+          match Tstore.absorb ts donor with
+          | (_ : Tstore.absorb_stats) -> ()
+          | exception Tstore.Store_error msg ->
+            (* a donor store too mangled to merge costs warm-start on
+               the next grid replay, not correctness *)
+            Printf.eprintf
+              "dist: skipping unmergeable worker trace store %s: %s\n%!"
+              donor msg)
+      dirs
+
+let sweep_local ~workers ~dir ?(max_respawns = 2) ?cache ?tstore ?meta spec
+    ~make_eval =
   if workers <= 0 then invalid_arg "Dist.sweep_local: workers must be > 0";
   mkdir_p dir;
   let socket = Filename.concat dir "coord.sock" in
@@ -960,6 +981,7 @@ let sweep_local ~workers ~dir ?(max_respawns = 2) ?cache ?meta spec ~make_eval
     List.init workers (fun i -> worker_dir ~dir i) @ [ serial_dir dir ]
   in
   absorb_worker_caches ~cache ~dirs stats;
+  absorb_worker_tstores ~tstore ~dirs;
   (stats, costs)
 
 (* ------------------------------------------------------------------ *)

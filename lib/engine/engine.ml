@@ -8,6 +8,8 @@ module Faults = Faults
 module Journal = Journal
 module Pctrie = Pctrie
 module Tcache = Tcache
+module Tstore = Tstore
+module Grid = Grid
 module Shard = Shard
 module Dist = Dist
 module Ir = Mira.Ir
@@ -61,12 +63,16 @@ let create ?(jobs = 1) ?cache ?(fuel = Mach.Sim.default_fuel)
     ?(task_timeout = Pool.default_task_timeout) ?(retries = 1)
     ?(max_respawns = Pool.default_max_respawns)
     ?(respawn_backoff = Pool.default_respawn_backoff) ?(share = true)
-    ?trie_capacity ?tcache config =
+    ?trie_capacity ?tcache ?tstore config =
   let cache =
     match cache with Some c -> c | None -> Rcache.in_memory ()
   in
   let tcache =
-    match tcache with Some c -> c | None -> Tcache.create ()
+    (* an explicit tcache keeps its own store wiring; tstore only
+       shapes the default one *)
+    match tcache with
+    | Some c -> c
+    | None -> Tcache.create ?store:tstore ()
   in
   {
     config;
@@ -559,7 +565,15 @@ let pp_stats ?(wall = true) ppf t =
   if Tcache.hits t.tcache + Tcache.misses t.tcache > 0 then begin
     row "trace hits" (string_of_int (Tcache.hits t.tcache));
     row "trace misses" (string_of_int (Tcache.misses t.tcache));
-    row "trace evictions" (string_of_int (Tcache.evictions t.tcache))
+    row "trace evictions" (string_of_int (Tcache.evictions t.tcache));
+    (* store rows only when a durable tier is attached (keeps the
+       cram-pinned shapes of store-less runs intact) *)
+    match Tcache.store t.tcache with
+    | None -> ()
+    | Some store ->
+      row "store hits" (string_of_int (Tstore.hits store));
+      row "store misses" (string_of_int (Tstore.misses store));
+      row "store entries" (string_of_int (Tstore.entries store))
   end;
   row "failures" (string_of_int s.failures);
   row "hit rate" (Printf.sprintf "%.1f%%" (100.0 *. hit_rate t));

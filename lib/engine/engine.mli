@@ -52,6 +52,8 @@ module Faults = Faults
 module Journal = Journal
 module Pctrie = Pctrie
 module Tcache = Tcache
+module Tstore = Tstore
+module Grid = Grid
 module Shard = Shard
 module Dist = Dist
 
@@ -86,7 +88,10 @@ type t
     materialized IRs (default {!Pctrie.default_capacity}).
     [tcache] plugs in a trace cache (default: a fresh one) — engines for
     different configs of the same architecture grid should share one, so
-    each program is traced once for the whole grid. *)
+    each program is traced once for the whole grid.  [tstore] attaches a
+    persistent trace store as the default trace cache's durable tier
+    (ignored when an explicit [tcache] is given — wire the store into
+    that cache instead); the caller keeps ownership and closes it. *)
 val create :
   ?jobs:int ->
   ?cache:Rcache.t ->
@@ -98,6 +103,7 @@ val create :
   ?share:bool ->
   ?trie_capacity:int ->
   ?tcache:Tcache.t ->
+  ?tstore:Tstore.t ->
   Mach.Config.t ->
   t
 

@@ -44,7 +44,10 @@ point@*            fire at every occurrence v}
       mid-shard, right after journaling the shard's first chunk
       (occurrence = shard id; consulted only on the shard's {e first}
       attempt, so a worker that rejoins and resumes the shard from its
-      journal survives). *)
+      journal survives);
+    - ["tstore-write"] — a trace-store append is torn mid-payload (the
+      entry header and roughly half the payload bytes reach the disk,
+      with no terminator), as a crash mid-write would (counted). *)
 
 (** raised {e by} injected faults that surface as exceptions
     ([spawn-fail], [fail-append], [compact-crash]) *)

@@ -28,6 +28,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable uncached : int;  (* traces generated but too big to retain *)
+  store : Tstore.t option; (* durable tier: miss -> store -> generate *)
 }
 
 (* 8M words = 64 MiB of events on a 64-bit host; a few hundred traces
@@ -38,7 +39,13 @@ let m_hits = Obs.Metrics.counter "tcache.hits"
 let m_misses = Obs.Metrics.counter "tcache.misses"
 let m_evictions = Obs.Metrics.counter "tcache.evictions"
 
-let create ?(capacity_words = default_capacity_words) () =
+(* capacity-pressure signals: how full the budget is and how often it
+   is blown entirely (hits/misses/evictions alone cannot distinguish a
+   tight budget from cold traffic) *)
+let g_resident_words = Obs.Metrics.gauge "tcache.resident_words"
+let g_uncached = Obs.Metrics.gauge "tcache.uncached"
+
+let create ?(capacity_words = default_capacity_words) ?store () =
   {
     tbl = Hashtbl.create 64;
     order = Queue.create ();
@@ -49,6 +56,7 @@ let create ?(capacity_words = default_capacity_words) () =
     misses = 0;
     evictions = 0;
     uncached = 0;
+    store;
   }
 
 let key ~ir_digest ~fuel = ir_digest ^ "\x00" ^ string_of_int fuel
@@ -73,6 +81,7 @@ let rec evict_to_fit t =
        (* current marker: this really is the least recently used entry *)
        Hashtbl.remove t.tbl k;
        t.resident_words <- t.resident_words - slot.words;
+       Obs.Metrics.set g_resident_words (float_of_int t.resident_words);
        t.evictions <- t.evictions + 1;
        Obs.Metrics.incr m_evictions
      | _ -> ());  (* stale marker or already evicted: skip *)
@@ -99,22 +108,39 @@ let find_or_generate t ~ir_digest ~fuel gen =
   | None ->
     t.misses <- t.misses + 1;
     Obs.Metrics.incr m_misses;
-    let tr = gen () in
+    (* the durable tier answers memory misses before [gen]; a fresh
+       generation is written through so later runs (and absorbed
+       workers) find it *)
+    let tr =
+      match t.store with
+      | None -> gen ()
+      | Some store -> (
+        match Tstore.find store ~ir_digest ~fuel with
+        | Some tr -> tr
+        | None ->
+          let tr = gen () in
+          Tstore.add store ~ir_digest ~fuel tr;
+          tr)
+    in
     let words = words_of tr in
     if words <= t.capacity_words then begin
       (* insert first, then shrink: the newest entry is never the LRU *)
       let slot = { tr; words; stamp = 0 } in
       Hashtbl.replace t.tbl k slot;
       t.resident_words <- t.resident_words + words;
+      Obs.Metrics.set g_resident_words (float_of_int t.resident_words);
       touch t k slot;
       evict_to_fit t
     end
-    else
+    else begin
       (* a trace bigger than the whole budget would evict everything
          and still not fit — hand it back unretained *)
       t.uncached <- t.uncached + 1;
+      Obs.Metrics.set g_uncached (float_of_int t.uncached)
+    end;
     tr
 
+let store t = t.store
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions

@@ -20,21 +20,33 @@ type t
 (** default retention budget, in trace words *)
 val default_capacity_words : int
 
-val create : ?capacity_words:int -> unit -> t
+(** [?store] attaches a durable {!Tstore} tier: memory misses consult
+    the store before generating, and fresh generations are written
+    through, so a warm store replays grids across runs and processes
+    without re-executing semantics.  The caller keeps ownership of the
+    store (and closes it). *)
+val create : ?capacity_words:int -> ?store:Tstore.t -> unit -> t
 
 (** the cached trace for (ir_digest, fuel), refreshing its LRU position *)
 val find : t -> ir_digest:string -> fuel:int -> Mach.Mtrace.t option
 
 (** [find_or_generate t ~ir_digest ~fuel gen] returns the cached trace
-    or calls [gen] exactly once, retaining the result (budget
-    permitting).  [gen] must produce the trace of the compiled program
-    [ir_digest] digests, at [fuel] — the cache trusts the caller's
-    keying, as Rcache does. *)
+    or calls [gen] at most once, retaining the result (budget
+    permitting).  With a [store] attached, memory misses consult the
+    store first (a store hit skips [gen]) and a fresh generation is
+    written through.  [gen] must produce the trace of the compiled
+    program [ir_digest] digests, at [fuel] — the cache trusts the
+    caller's keying, as Rcache does. *)
 val find_or_generate :
   t -> ir_digest:string -> fuel:int -> (unit -> Mach.Mtrace.t) -> Mach.Mtrace.t
 
-(** {2 Statistics} (also mirrored into the Obs metrics registry as
-    [tcache.hits] / [tcache.misses] / [tcache.evictions]) *)
+(** the attached durable tier, if any *)
+val store : t -> Tstore.t option
+
+(** {2 Statistics} (also mirrored into the Obs metrics registry:
+    [tcache.hits] / [tcache.misses] / [tcache.evictions] counters and
+    the capacity-pressure gauges [tcache.resident_words] /
+    [tcache.uncached]) *)
 
 val hits : t -> int
 val misses : t -> int

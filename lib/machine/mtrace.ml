@@ -628,3 +628,282 @@ let generate ?(fuel = 200_000_000) (dp : D.t) : t =
 
 let generate_program ?fuel (p : Mira.Ir.program) : t =
   generate ?fuel (D.decode p)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: the compact on-disk form Engine.Tstore persists.
+
+   Event words are delta-coded per tag — the stream interleaves tags,
+   but values within one tag are strongly autocorrelated (a striding
+   load's addresses, a loop's branch site, a repeated simple run word),
+   so each word stores the zigzagged difference from the previous value
+   of the *same* tag.  The first byte of a word packs the tag into its
+   low 2 bits next to 5 payload bits and a continuation bit; subsequent
+   bytes are plain 7-bit LEB128.  Loop-dominated traces therefore
+   encode almost every word in one byte, far under the 8 bytes/word of
+   the in-memory array.  The remaining record fields (sig tables, base
+   counters, outcome, ret, output, steps) are varint/zigzag-coded after
+   the event section; [sig_uses] is not stored — it is reconstructed
+   exactly from the flattened columns and the sentinel [max_reg + 1].
+
+   The payload carries no checksum: framing, integrity and versioning
+   belong to the store (Tstore seals each entry with an MD5 prefix).
+   [decode] still validates structurally — version byte, tags, bounds,
+   exact consumption — so a logically corrupt but checksum-valid entry
+   is reported as an error, never a crash. *)
+
+let codec_version = 1
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let put_varint b v =
+  let rec go v =
+    if v land lnot 0x7f = 0 then Buffer.add_char b (Char.chr v)
+    else (
+      Buffer.add_char b (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7))
+  in
+  if v < 0 then invalid_arg "Mtrace.put_varint: negative";
+  go v
+
+let zigzag i = (i lsl 1) lxor (i asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+let put_zigzag b i = put_varint b (zigzag i)
+
+(* one event word: [cont:1][payload:5][tag:2], then LEB128 chunks *)
+let put_event b tag zz =
+  let lo = zz land 0x1f and rest = zz lsr 5 in
+  if rest = 0 then Buffer.add_char b (Char.chr ((lo lsl 2) lor tag))
+  else (
+    Buffer.add_char b (Char.chr (0x80 lor (lo lsl 2) lor tag));
+    put_varint b rest)
+
+let put_string b s =
+  put_varint b (String.length s);
+  Buffer.add_string b s
+
+let put_float b f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let put_value b (v : Interp.value) =
+  match v with
+  | Interp.VUndef -> Buffer.add_char b '\000'
+  | Interp.VInt i ->
+    Buffer.add_char b '\001';
+    put_zigzag b i
+  | Interp.VFloat f ->
+    Buffer.add_char b '\002';
+    put_float b f
+  | Interp.VBool x ->
+    Buffer.add_char b '\003';
+    Buffer.add_char b (if x then '\001' else '\000')
+  | Interp.VArr a ->
+    Buffer.add_char b '\004';
+    (match a.Interp.payload with
+    | Interp.IA ia ->
+      Buffer.add_char b '\000';
+      put_varint b (Array.length ia);
+      Array.iter (put_zigzag b) ia
+    | Interp.FA fa ->
+      Buffer.add_char b '\001';
+      put_varint b (Array.length fa);
+      Array.iter (put_float b) fa);
+    put_varint b a.Interp.base;
+    put_varint b a.Interp.esize;
+    Buffer.add_char b (if a.Interp.mask32 then '\001' else '\000')
+
+let encode (tr : t) : string =
+  let b = Buffer.create (tr.n + 256) in
+  Buffer.add_char b (Char.chr codec_version);
+  put_varint b tr.n;
+  let last = Array.make 4 0 in
+  for i = 0 to tr.n - 1 do
+    let w = tr.events.(i) in
+    let tag = w land 3 and v = w lsr 2 in
+    put_event b tag (zigzag (v - last.(tag)));
+    last.(tag) <- v
+  done;
+  let nsig = Array.length tr.sig_dst in
+  put_varint b nsig;
+  for i = 0 to nsig - 1 do
+    put_zigzag b tr.sig_dst.(i);
+    put_varint b tr.sig_u0.(i);
+    put_varint b tr.sig_u1.(i)
+  done;
+  put_varint b tr.max_reg;
+  put_varint b (Array.length tr.base);
+  Array.iter (put_varint b) tr.base;
+  (match tr.outcome with
+  | Finished -> Buffer.add_char b '\000'
+  | Trapped m ->
+    Buffer.add_char b '\001';
+    put_string b m
+  | Exhausted -> Buffer.add_char b '\002');
+  put_value b tr.ret;
+  put_string b tr.output;
+  put_varint b tr.steps;
+  Buffer.contents b
+
+(* decoding reads from (s, pos); every primitive bounds-checks *)
+
+type rd = { s : string; mutable pos : int }
+
+let rd_byte r =
+  if r.pos >= String.length r.s then corrupt "truncated at %d" r.pos;
+  let c = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let rd_varint r =
+  let rec go shift acc =
+    if shift > 62 then corrupt "varint overflow at %d" r.pos;
+    let c = rd_byte r in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let rd_zigzag r = unzigzag (rd_varint r)
+
+let rd_event r =
+  let c = rd_byte r in
+  let tag = c land 3 and lo = (c lsr 2) land 0x1f in
+  let zz = if c land 0x80 = 0 then lo else lo lor (rd_varint r lsl 5) in
+  (tag, unzigzag zz)
+
+let rd_string r =
+  let len = rd_varint r in
+  if r.pos + len > String.length r.s then corrupt "string overruns at %d" r.pos;
+  let s = String.sub r.s r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let rd_float r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits (Int64.shift_left (Int64.of_int (rd_byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let rd_value r : Interp.value =
+  match rd_byte r with
+  | 0 -> Interp.VUndef
+  | 1 -> Interp.VInt (rd_zigzag r)
+  | 2 -> Interp.VFloat (rd_float r)
+  | 3 -> Interp.VBool (rd_byte r <> 0)
+  | 4 ->
+    let payload =
+      match rd_byte r with
+      | 0 -> Interp.IA (Array.init (rd_varint r) (fun _ -> rd_zigzag r))
+      | 1 -> Interp.FA (Array.init (rd_varint r) (fun _ -> rd_float r))
+      | k -> corrupt "bad array payload kind %d" k
+    in
+    let base = rd_varint r in
+    let esize = rd_varint r in
+    let mask32 = rd_byte r <> 0 in
+    Interp.VArr { Interp.payload; base; esize; mask32 }
+  | k -> corrupt "bad value tag %d" k
+
+let decode (s : string) : (t, string) result =
+  try
+    let r = { s; pos = 0 } in
+    (match rd_byte r with
+    | v when v = codec_version -> ()
+    | v -> corrupt "codec version %d (want %d)" v codec_version);
+    let n = rd_varint r in
+    let events = Array.make n 0 in
+    let last = Array.make 4 0 in
+    for i = 0 to n - 1 do
+      let tag, d = rd_event r in
+      let v = last.(tag) + d in
+      if v < 0 then corrupt "negative payload at event %d" i;
+      last.(tag) <- v;
+      events.(i) <- (v lsl 2) lor tag
+    done;
+    let nsig = rd_varint r in
+    let sig_dst = Array.make nsig 0 in
+    let sig_u0 = Array.make nsig 0 in
+    let sig_u1 = Array.make nsig 0 in
+    for i = 0 to nsig - 1 do
+      sig_dst.(i) <- rd_zigzag r;
+      sig_u0.(i) <- rd_varint r;
+      sig_u1.(i) <- rd_varint r
+    done;
+    let max_reg = rd_varint r in
+    let sentinel = max_reg + 1 in
+    let sig_uses =
+      Array.init nsig (fun i ->
+          if sig_u0.(i) = sentinel then [||]
+          else if sig_u1.(i) = sentinel then [| sig_u0.(i) |]
+          else [| sig_u0.(i); sig_u1.(i) |])
+    in
+    let nbank = rd_varint r in
+    let base = Array.init nbank (fun _ -> rd_varint r) in
+    let outcome =
+      match rd_byte r with
+      | 0 -> Finished
+      | 1 -> Trapped (rd_string r)
+      | 2 -> Exhausted
+      | k -> corrupt "bad outcome tag %d" k
+    in
+    let ret = rd_value r in
+    let output = rd_string r in
+    let steps = rd_varint r in
+    if r.pos <> String.length s then
+      corrupt "%d trailing bytes" (String.length s - r.pos);
+    Ok
+      {
+        events;
+        n;
+        sig_uses;
+        sig_dst;
+        sig_u0;
+        sig_u1;
+        max_reg;
+        base;
+        outcome;
+        ret;
+        output;
+        steps;
+      }
+  with Corrupt m -> Error m
+
+(* bit-exact trace equality (floats compared by bit pattern); the
+   events *capacity* is allowed to differ — only [0, n) is meaningful *)
+let equal (a : t) (b : t) =
+  let feq x y = Int64.bits_of_float x = Int64.bits_of_float y in
+  let veq (x : Interp.value) (y : Interp.value) =
+    match (x, y) with
+    | Interp.VFloat f, Interp.VFloat g -> feq f g
+    | Interp.VArr u, Interp.VArr v -> (
+      u.Interp.base = v.Interp.base
+      && u.Interp.esize = v.Interp.esize
+      && u.Interp.mask32 = v.Interp.mask32
+      &&
+      match (u.Interp.payload, v.Interp.payload) with
+      | Interp.IA p, Interp.IA q -> p = q
+      | Interp.FA p, Interp.FA q ->
+        Array.length p = Array.length q
+        && Array.for_all2 feq p q
+      | _ -> false)
+    | _ -> x = y
+  in
+  a.n = b.n
+  && (let rec same i = i >= a.n || (a.events.(i) = b.events.(i) && same (i + 1)) in
+      same 0)
+  && a.sig_uses = b.sig_uses
+  && a.sig_dst = b.sig_dst
+  && a.sig_u0 = b.sig_u0
+  && a.sig_u1 = b.sig_u1
+  && a.max_reg = b.max_reg
+  && a.base = b.base
+  && a.outcome = b.outcome
+  && veq a.ret b.ret
+  && a.output = b.output
+  && a.steps = b.steps

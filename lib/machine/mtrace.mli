@@ -113,3 +113,31 @@ val generate : ?fuel:int -> Mira.Decode.t -> t
 
 (** [decode] + {!generate} *)
 val generate_program : ?fuel:int -> Mira.Ir.program -> t
+
+(** {2 Serialization}
+
+    The compact form [Engine.Tstore] persists: a version byte, then the
+    event words delta-coded {e per tag} (zigzag + LEB128 varints, with
+    the tag packed into the first byte of each word next to 5 payload
+    bits), then the remaining record fields.  Values within one tag are
+    strongly autocorrelated — a striding load's addresses, a loop's
+    branch site, a repeated run word — so loop-dominated traces encode
+    almost every word in a single byte, far below the 8 bytes/word of
+    the in-memory array.  [sig_uses] is not stored; it is reconstructed
+    exactly from the flattened columns and the sentinel [max_reg + 1].
+
+    The payload carries no checksum — framing and integrity belong to
+    the store — but {!decode} validates structurally (version, tags,
+    bounds, exact consumption) and returns [Error] rather than raising
+    on any malformed input. *)
+
+val codec_version : int
+
+val encode : t -> string
+(** compact binary form; [decode (encode tr)] is bit-exact ({!equal}) *)
+
+val decode : string -> (t, string) result
+
+val equal : t -> t -> bool
+(** bit-exact equality (floats by bit pattern); events capacity beyond
+    [n] is ignored *)

@@ -55,6 +55,11 @@ val run_decoded : ?config:Config.t -> ?fuel:int -> Mira.Decode.t -> result
 val run_grid :
   ?fuel:int -> configs:Config.t array -> Mira.Ir.program -> result array
 
+(** convert a {!Flatsim.result} (also what {!Replay.run} produces) —
+    for callers that drive {!Replay} themselves, e.g. the engine's
+    parallel grid and trace-store paths *)
+val of_flatsim : Flatsim.result -> result
+
 (** How a measured run ended.  [Trapped] and [Exhausted] are distinct on
     purpose: fuel exhaustion is deterministic, so search strategies can
     drop such a sequence instead of re-trying it, while a trap may be

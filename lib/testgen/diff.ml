@@ -105,9 +105,29 @@ let diff_sim ?(config = Mach.Config.default) ?fuel (p : Mira.Ir.program) :
         [ Printf.sprintf "sim outcome[%s]: ref=%s %s=%s" tag
             (outcome_repr a) ename (outcome_repr b) ]
   in
+  (* fourth leg: the persisted-trace path.  Encode/decode the trace
+     through Mtrace's on-disk codec (what Engine.Tstore stores, minus
+     the store's framing/checksums, which its own tests cover) and
+     replay the decoded trace — a disagreement here means the codec
+     dropped or distorted something the round-trip equality below
+     missed, or vice versa. *)
+  let store_leg () =
+    let tr = Mach.Mtrace.generate_program ?fuel p in
+    match Mach.Mtrace.decode (Mach.Mtrace.encode tr) with
+    | Error m ->
+      [ Printf.sprintf "trace codec[%s]: decode failed: %s" tag m ]
+    | Ok tr' ->
+      if not (Mach.Mtrace.equal tr tr') then
+        [ Printf.sprintf "trace codec[%s]: round-trip not bit-exact" tag ]
+      else
+        against "store"
+          (catching (fun () ->
+               Mach.Sim.of_flatsim (Mach.Replay.run ~config tr')))
+  in
   List.concat_map
     (fun e -> against (Mach.Sim.engine_name e) (run e))
     alt_engines
+  @ store_leg ()
 
 (* every preset config: the issue widths, cache geometries and predictor
    sizes differ enough that a model bug rarely hides on all three *)

@@ -19,15 +19,18 @@ val diff_plain : ?fuel:int -> Mira.Ir.program -> string list
 (** Under the machine simulator, on one config: [Sim.run ~engine:Ref]
     as the oracle against [Flat] and [Trace] (ret, output, steps,
     cycles, the full counter bank, outcome kind incl. exact trap
-    message) *)
+    message), plus the persisted-trace leg: the trace is round-tripped
+    through [Mtrace.encode]/[decode] (bit-exactness checked) and the
+    decoded trace replayed against the same oracle, so the on-disk
+    codec [Engine.Tstore] relies on sits inside the fuzzed surface *)
 val diff_sim :
   ?config:Mach.Config.t -> ?fuel:int -> Mira.Ir.program -> string list
 
 (** {!diff_sim} on every preset config ({!Mach.Config.all}) *)
 val diff_sim_presets : ?fuel:int -> Mira.Ir.program -> string list
 
-(** {!diff_plain} @ {!diff_sim_presets}: the full three-way oracle the
-    fuzzer and the shrinker run *)
+(** {!diff_plain} @ {!diff_sim_presets}: the full engine oracle (ref /
+    flat / trace / persisted trace) the fuzzer and the shrinker run *)
 val diff_all : ?fuel:int -> Mira.Ir.program -> string list
 
 (** Shrinker oracle: does compiling [src] (and applying [transform],

@@ -66,26 +66,26 @@ keeps the smoke test fast (shape, not timing quality).
   Architecture-grid benchmark: trace-once/model-many vs per-config simulation
   ============================================================
   18 workloads x 3 configs (amd-like, c6713-like, embedded), best of 1 runs
-  workload 3x flatsim cold (gen+grid) warm (grid) cold speedup warm speedup trace words
-  --------- ---------- --------------- ----------- ------------ ------------ -----------
-  adpcm Nms Nms Nms Nx Nx 362260
-  mcf_spars Nms Nms Nms Nx Nx 1271765
-  matmul Nms Nms Nms Nx Nx 1387556
-  fir Nms Nms Nms Nx Nx 1253143
-  crc32 Nms Nms Nms Nx Nx 245772
-  bitcount Nms Nms Nms Nx Nx 1170183
-  dijkstra Nms Nms Nms Nx Nx 1096171
-  qsort Nms Nms Nms Nx Nx 417042
-  histogram Nms Nms Nms Nx Nx 435855
-  nbody Nms Nms Nms Nx Nx 811792
-  stencil2d Nms Nms Nms Nx Nx 1460745
-  susan Nms Nms Nms Nx Nx 1073027
-  sha_mix Nms Nms Nms Nx Nx 270156
-  strsearch Nms Nms Nms Nx Nx 391705
-  jacobi Nms Nms Nms Nx Nx 1503421
-  lud Nms Nms Nms Nx Nx 1101592
-  blowfish Nms Nms Nms Nx Nx 700107
-  spmv Nms Nms Nms Nx Nx 1904691
+  workload 3x flatsim cold (gen+grid) gen warm (grid) cold speedup warm speedup trace words
+  --------- ---------- --------------- ------- ----------- ------------ ------------ -----------
+  adpcm Nms Nms Nms Nms Nx Nx 362260
+  mcf_spars Nms Nms Nms Nms Nx Nx 1271765
+  matmul Nms Nms Nms Nms Nx Nx 1387556
+  fir Nms Nms Nms Nms Nx Nx 1253143
+  crc32 Nms Nms Nms Nms Nx Nx 245772
+  bitcount Nms Nms Nms Nms Nx Nx 1170183
+  dijkstra Nms Nms Nms Nms Nx Nx 1096171
+  qsort Nms Nms Nms Nms Nx Nx 417042
+  histogram Nms Nms Nms Nms Nx Nx 435855
+  nbody Nms Nms Nms Nms Nx Nx 811792
+  stencil2d Nms Nms Nms Nms Nx Nx 1460745
+  susan Nms Nms Nms Nms Nx Nx 1073027
+  sha_mix Nms Nms Nms Nms Nx Nx 270156
+  strsearch Nms Nms Nms Nms Nx Nx 391705
+  jacobi Nms Nms Nms Nms Nx Nx 1503421
+  lud Nms Nms Nms Nms Nx Nx 1101592
+  blowfish Nms Nms Nms Nms Nx Nx 700107
+  spmv Nms Nms Nms Nms Nx Nx 1904691
   
   all outcomes bit-identical across engines and configs
   geomean speedup: cold Nx, warm Nx (grid of 3 configs)
@@ -101,29 +101,30 @@ shape and verdict pinned:
 
   $ sed -E 's/[0-9]+\.[0-9]+/N/g' BENCH_arch.json
   {
-    "schema": "icc-bench-arch/1",
+    "schema": "icc-bench-arch/2",
     "configs": ["amd-like", "c6713-like", "embedded"],
     "reps": 1,
     "identical": true,
+    "tstore": false,
     "workloads": [
-      {"name": "adpcm", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 362260},
-      {"name": "mcf_spars", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1271765},
-      {"name": "matmul", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1387556},
-      {"name": "fir", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1253143},
-      {"name": "crc32", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 245772},
-      {"name": "bitcount", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1170183},
-      {"name": "dijkstra", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1096171},
-      {"name": "qsort", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 417042},
-      {"name": "histogram", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 435855},
-      {"name": "nbody", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 811792},
-      {"name": "stencil2d", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1460745},
-      {"name": "susan", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1073027},
-      {"name": "sha_mix", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 270156},
-      {"name": "strsearch", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 391705},
-      {"name": "jacobi", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1503421},
-      {"name": "lud", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1101592},
-      {"name": "blowfish", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 700107},
-      {"name": "spmv", "base_ms": N, "cold_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1904691}
+      {"name": "adpcm", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 362260},
+      {"name": "mcf_spars", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1271765},
+      {"name": "matmul", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1387556},
+      {"name": "fir", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1253143},
+      {"name": "crc32", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 245772},
+      {"name": "bitcount", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1170183},
+      {"name": "dijkstra", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1096171},
+      {"name": "qsort", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 417042},
+      {"name": "histogram", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 435855},
+      {"name": "nbody", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 811792},
+      {"name": "stencil2d", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1460745},
+      {"name": "susan", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1073027},
+      {"name": "sha_mix", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 270156},
+      {"name": "strsearch", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 391705},
+      {"name": "jacobi", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1503421},
+      {"name": "lud", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1101592},
+      {"name": "blowfish", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 700107},
+      {"name": "spmv", "base_ms": N, "cold_ms": N, "cold_gen_ms": N, "cold_replay_ms": N, "warm_ms": N, "speedup_cold": N, "speedup_warm": N, "trace_words": 1904691}
     ],
     "geomean_speedup_cold": N,
     "geomean_speedup_warm": N,

@@ -38,7 +38,7 @@ A lock left behind by a dead process is broken and the run proceeds:
 A malformed --inject spec is a usage error:
 
   $ miracc search sample.mira --strategy random --budget 3 --seed 1 --inject bogus@1
-  miracc: bad --inject spec: unknown injection point "bogus" (known: worker-crash, worker-hang, spawn-fail, torn-append, flip-append, fail-append, stale-lock, compact-crash, sweep-crash, sweep-torn, dist-worker-exit)
+  miracc: bad --inject spec: unknown injection point "bogus" (known: worker-crash, worker-hang, spawn-fail, torn-append, flip-append, fail-append, stale-lock, compact-crash, sweep-crash, sweep-torn, dist-worker-exit, tstore-write)
   [1]
 
 Self-healing: tear the last cache append mid-write (as a crash would).

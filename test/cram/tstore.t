@@ -1,0 +1,60 @@
+The persistent trace store from the CLI.  --tstore DIR keeps generated
+traces on disk, keyed by compiled-IR digest and fuel: the first run
+generates and persists, every later run — a different process — replays
+straight from the store.  Both must print the same table, because the
+stored trace replays bit-identically.
+
+A cold grid run populates the store:
+
+  $ miracc counters sample.mira --configs amd-like,embedded --tstore ts > cold.out
+  $ ls ts
+  store.log
+
+The warm run, in a fresh process, answers from disk and matches the
+cold run byte for byte:
+
+  $ miracc counters sample.mira --configs amd-like,embedded --tstore ts > warm.out
+  $ cmp cold.out warm.out
+  $ head -3 warm.out
+  counter        amd-like     embedded
+  TOT_INS        1.000000     1.000000
+  TOT_CYC        3.085339     2.474836
+
+The warm run never generates a trace: the trace.generates counter stays
+at zero (zero-valued counters are omitted from the metrics export), and
+the store serves a hit instead.
+
+  $ miracc counters sample.mira --configs amd-like,embedded --tstore ts --metrics m.jsonl > /dev/null
+  $ grep -c '"name":"trace.generates"' m.jsonl
+  0
+  [1]
+  $ grep -o '"name":"tstore.hits","value":1' m.jsonl
+  "name":"tstore.hits","value":1
+
+A store-backed single-config run prices through the same path:
+
+  $ miracc counters sample.mira --tstore ts --arch embedded | head -3
+  TOT_INS    1.000000
+  TOT_CYC    2.474836
+  LD_INS     0.109409
+
+And a plain run accepts the flag too, replaying the stored trace under
+the default machine:
+
+  $ miracc run sample.mira --tstore ts
+  836
+  return: 36
+  cycles: 1410  instructions: 610  CPI: 2.31
+
+The store survives corruption: tear an append mid-payload (the
+tstore-write fault point — what a crash mid-write leaves behind, run
+here via MIRA_FAULTS), and the next open quarantines the torn entry and
+heals the log instead of crashing.
+
+  $ MIRA_FAULTS=tstore-write@0 miracc run sample.mira --tstore ts2
+  836
+  return: 36
+  cycles: 1410  instructions: 610  CPI: 2.31
+  $ miracc counters sample.mira --configs amd-like --tstore ts2 --metrics m2.jsonl > /dev/null
+  $ grep -o '"name":"tstore.quarantined","value":1' m2.jsonl
+  "name":"tstore.quarantined","value":1

@@ -1,0 +1,362 @@
+(* The persistent trace store: codec round-trips (bit-exact, compact),
+   cross-process persistence (add / close / reopen / find), torn-write
+   quarantine and self-healing, absorb for distributed sweeps, the
+   write-through tier under Tcache, and the parallel grid replay's
+   bit-identity to the serial grid. *)
+
+module Mtrace = Mach.Mtrace
+module Replay = Mach.Replay
+module Config = Mach.Config
+module Flatsim = Mach.Flatsim
+module Tstore = Engine.Tstore
+module Tcache = Engine.Tcache
+module Faults = Engine.Faults
+
+let fuel = Mach.Sim.default_fuel
+
+let tmp_dir prefix =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let compile src =
+  match Mira.Lower.compile_source src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "test program does not compile: %s" e
+
+let trap_program =
+  {|fn main() -> int {
+      var s: int = 0;
+      for i = 0 to 10 { s = s + i; }
+      print(s);
+      return 1 / (s - s);
+    }|}
+
+(* bit-identity of two simulator results; Stdlib.compare so floats match
+   by bit-pattern semantics (NaN = NaN) *)
+let same (a : Flatsim.result) (b : Flatsim.result) =
+  Stdlib.compare
+    ( a.Flatsim.cycles, a.Flatsim.counters, a.Flatsim.ret, a.Flatsim.output,
+      a.Flatsim.steps )
+    ( b.Flatsim.cycles, b.Flatsim.counters, b.Flatsim.ret, b.Flatsim.output,
+      b.Flatsim.steps )
+  = 0
+
+(* ------------------------------------------------------------------ *)
+(* the codec *)
+
+(* Round-trip over the whole workload suite plus a trapping and an
+   exhausted trace: decode (encode tr) is bit-exact, a replay of the
+   decoded trace is bit-identical to a replay of the original on every
+   preset config, and the encoding stays compact (< 4 bytes per trace
+   word — the acceptance bound; the observed average is under 2). *)
+let test_codec_round_trip () =
+  let check_one name (tr : Mtrace.t) =
+    let s = Mtrace.encode tr in
+    match Mtrace.decode s with
+    | Error m -> Alcotest.failf "%s: decode failed: %s" name m
+    | Ok tr' ->
+      Alcotest.(check bool) (name ^ ": bit-exact") true (Mtrace.equal tr tr');
+      (* the < 4 B/word bound is an amortized claim: fixed metadata
+         (outcome, return value, signature table) dominates tiny traces,
+         so hold real workload traces to it, not the 5-word programs *)
+      if tr.Mtrace.n >= 1000 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: compact (%d bytes / %d words)" name
+             (String.length s) tr.Mtrace.n)
+          true
+          (String.length s < 4 * tr.Mtrace.n);
+      List.iter
+        (fun config ->
+          let run tr () = Replay.run ~config tr in
+          match (run tr (), run tr' ()) with
+          | a, b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s on %s: replay of decoded trace" name
+                 config.Config.name)
+              true (same a b)
+          | exception Mira.Interp.Trap m -> (
+            match run tr' () with
+            | _ -> Alcotest.failf "%s: decoded trace does not trap" name
+            | exception Mira.Interp.Trap m' ->
+              Alcotest.(check string) (name ^ ": trap message") m m')
+          | exception Mira.Interp.Out_of_fuel -> (
+            match run tr' () with
+            | _ -> Alcotest.failf "%s: decoded trace not exhausted" name
+            | exception Mira.Interp.Out_of_fuel -> ()))
+        Config.all
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      check_one w.Workloads.name
+        (Mtrace.generate ~fuel (Mira.Decode.decode (Workloads.program w))))
+    Workloads.all;
+  check_one "trap" (Mtrace.generate_program ~fuel (compile trap_program));
+  check_one "exhausted"
+    (Mtrace.generate_program ~fuel:10 (compile trap_program))
+
+let test_codec_rejects_garbage () =
+  let tr =
+    Mtrace.generate_program ~fuel (compile {|fn main() -> int { return 7; }|})
+  in
+  let s = Mtrace.encode tr in
+  Alcotest.(check bool) "empty" true (Result.is_error (Mtrace.decode ""));
+  Alcotest.(check bool)
+    "bad version" true
+    (Result.is_error (Mtrace.decode ("\xff" ^ String.sub s 1 (String.length s - 1))));
+  Alcotest.(check bool)
+    "truncated" true
+    (Result.is_error (Mtrace.decode (String.sub s 0 (String.length s / 2))));
+  Alcotest.(check bool)
+    "trailing bytes" true
+    (Result.is_error (Mtrace.decode (s ^ "\x00")))
+
+(* ------------------------------------------------------------------ *)
+(* persistence across a process boundary (open / close / reopen) *)
+
+let test_store_round_trip () =
+  let dir = tmp_dir "tstore" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let p = Workloads.program (List.hd Workloads.all) in
+  let tr = Mtrace.generate ~fuel (Mira.Decode.decode p) in
+  let d = Engine.Pctrie.digest p in
+  let ts = Tstore.open_dir dir in
+  Alcotest.(check int) "fresh store is empty" 0 (Tstore.entries ts);
+  Alcotest.(check bool) "miss before add" true
+    (Tstore.find ts ~ir_digest:d ~fuel = None);
+  Tstore.add ts ~ir_digest:d ~fuel tr;
+  Tstore.add ts ~ir_digest:d ~fuel tr (* idempotent *);
+  Alcotest.(check int) "one entry" 1 (Tstore.entries ts);
+  Tstore.close ts;
+  (* a new handle — the cross-run path: everything must come back from
+     disk, bit for bit *)
+  let ts = Tstore.open_dir dir in
+  Fun.protect ~finally:(fun () -> Tstore.close ts) @@ fun () ->
+  Alcotest.(check int) "entry survived the reopen" 1 (Tstore.entries ts);
+  Alcotest.(check int) "nothing quarantined" 0 (Tstore.quarantined ts);
+  Alcotest.(check bool) "fuel is part of the key" true
+    (Tstore.find ts ~ir_digest:d ~fuel:(fuel - 1) = None);
+  match Tstore.find ts ~ir_digest:d ~fuel with
+  | None -> Alcotest.fail "stored trace not found after reopen"
+  | Some tr' ->
+    Alcotest.(check bool) "bit-exact after reopen" true (Mtrace.equal tr tr');
+    List.iter
+      (fun config ->
+        Alcotest.(check bool)
+          (config.Config.name ^ ": replay from the store")
+          true
+          (same (Replay.run ~config tr) (Replay.run ~config tr')))
+      Config.all
+
+(* ------------------------------------------------------------------ *)
+(* torn writes: quarantine, never a crash, and self-healing *)
+
+let test_torn_write_quarantine () =
+  let dir = tmp_dir "tstore-torn" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let tr1 =
+    Mtrace.generate_program ~fuel (compile {|fn main() -> int { return 1; }|})
+  in
+  let tr2 =
+    Mtrace.generate_program ~fuel (compile {|fn main() -> int { return 2; }|})
+  in
+  let ts = Tstore.open_dir dir in
+  Tstore.add ts ~ir_digest:"a" ~fuel tr1;
+  (* the second append is torn mid-payload, as a crash would leave it
+     (occurrences are 0-based: @0 tears the first append in the plan) *)
+  Faults.with_plan (Faults.parse_exn "tstore-write@0") (fun () ->
+      Tstore.add ts ~ir_digest:"b" ~fuel tr2);
+  Alcotest.(check bool) "torn entry not indexed" true
+    (not (Tstore.mem ts ~ir_digest:"b" ~fuel));
+  Tstore.close ts;
+  (* reopen: the intact entry is served, the torn one is quarantined and
+     scrubbed from the log (self-heal), and a re-add sticks *)
+  let ts = Tstore.open_dir dir in
+  Alcotest.(check int) "torn entry quarantined" 1 (Tstore.quarantined ts);
+  Alcotest.(check int) "intact entry survives" 1 (Tstore.entries ts);
+  (match Tstore.find ts ~ir_digest:"a" ~fuel with
+  | Some tr -> Alcotest.(check bool) "intact payload" true (Mtrace.equal tr1 tr)
+  | None -> Alcotest.fail "intact entry lost to the tear");
+  Tstore.add ts ~ir_digest:"b" ~fuel tr2;
+  Tstore.close ts;
+  (* the heal was written out: a third open sees a clean two-entry log *)
+  let ts = Tstore.open_dir dir in
+  Fun.protect ~finally:(fun () -> Tstore.close ts) @@ fun () ->
+  Alcotest.(check int) "log healed" 0 (Tstore.quarantined ts);
+  Alcotest.(check int) "both entries" 2 (Tstore.entries ts);
+  match Tstore.find ts ~ir_digest:"b" ~fuel with
+  | Some tr -> Alcotest.(check bool) "re-added payload" true (Mtrace.equal tr2 tr)
+  | None -> Alcotest.fail "re-added entry lost"
+
+(* ------------------------------------------------------------------ *)
+(* absorb: the distributed-sweep merge *)
+
+let test_absorb () =
+  let dir = tmp_dir "tstore-main" and wdir = tmp_dir "tstore-worker" in
+  Fun.protect ~finally:(fun () -> rm_rf dir; rm_rf wdir) @@ fun () ->
+  let tr1 =
+    Mtrace.generate_program ~fuel (compile {|fn main() -> int { return 1; }|})
+  in
+  let tr2 =
+    Mtrace.generate_program ~fuel (compile {|fn main() -> int { return 2; }|})
+  in
+  let w = Tstore.open_dir wdir in
+  Tstore.add w ~ir_digest:"shared" ~fuel tr1;
+  Tstore.add w ~ir_digest:"fresh" ~fuel tr2;
+  let ts = Tstore.open_dir dir in
+  Fun.protect ~finally:(fun () -> Tstore.close ts) @@ fun () ->
+  Tstore.add ts ~ir_digest:"shared" ~fuel tr1;
+  Tstore.close w;
+  (* a donor locked by a live foreign process must be refused, not
+     merged (pid 1 is always alive); a dead owner's lock — the usual
+     crashed-worker case — does not block *)
+  let wlock = Filename.concat wdir "tstore.lock" in
+  let oc = open_out wlock in
+  output_string oc "1";
+  close_out oc;
+  (match Tstore.absorb ts wdir with
+  | _ -> Alcotest.fail "absorbing a live store must raise"
+  | exception Tstore.Store_error _ -> ());
+  Sys.remove wlock;
+  let st = Tstore.absorb ts wdir in
+  Alcotest.(check int) "absorbed" 1 st.Tstore.absorbed;
+  Alcotest.(check int) "duplicates" 1 st.Tstore.duplicates;
+  Alcotest.(check int) "rejected" 0 st.Tstore.rejected;
+  Alcotest.(check int) "merged size" 2 (Tstore.entries ts);
+  (* a missing donor is an empty merge, not an error *)
+  let st = Tstore.absorb ts (Filename.concat wdir "nope") in
+  Alcotest.(check int) "missing donor absorbs nothing" 0 st.Tstore.absorbed;
+  match Tstore.find ts ~ir_digest:"fresh" ~fuel with
+  | Some tr -> Alcotest.(check bool) "merged payload" true (Mtrace.equal tr2 tr)
+  | None -> Alcotest.fail "absorbed entry not found"
+
+(* ------------------------------------------------------------------ *)
+(* the write-through tier: Tcache in front of Tstore *)
+
+let test_tcache_write_through () =
+  let dir = tmp_dir "tstore-tier" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let p = compile {|fn main() -> int { return 41 + 1; }|} in
+  let gen_calls = ref 0 in
+  let gen () = incr gen_calls; Mtrace.generate_program ~fuel p in
+  let ts = Tstore.open_dir dir in
+  let tc = Tcache.create ~store:ts () in
+  let tr = Tcache.find_or_generate tc ~ir_digest:"p" ~fuel gen in
+  Alcotest.(check int) "generated once" 1 !gen_calls;
+  Alcotest.(check int) "written through" 1 (Tstore.entries ts);
+  ignore (Tcache.find_or_generate tc ~ir_digest:"p" ~fuel gen);
+  Alcotest.(check int) "memory hit, no second generate" 1 !gen_calls;
+  Tstore.close ts;
+  (* a cold cache over the same store: the trace must come from disk,
+     never from the generator *)
+  let ts = Tstore.open_dir dir in
+  Fun.protect ~finally:(fun () -> Tstore.close ts) @@ fun () ->
+  let tc = Tcache.create ~store:ts () in
+  let tr' =
+    Tcache.find_or_generate tc ~ir_digest:"p" ~fuel (fun () ->
+        Alcotest.fail "store-backed miss must not regenerate")
+  in
+  Alcotest.(check int) "store hit" 1 (Tstore.hits ts);
+  Alcotest.(check bool) "bit-exact through the tier" true
+    (Mtrace.equal tr tr')
+
+(* ------------------------------------------------------------------ *)
+(* parallel grid replay *)
+
+let test_parallel_grid_bit_identical () =
+  let configs = Array.of_list Config.all in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let p = Workloads.program w in
+      let serial = Mach.Sim.run_grid ~configs p in
+      let par = Engine.Grid.run_grid ~jobs:2 ~configs p in
+      Array.iteri
+        (fun i (a : Mach.Sim.result) ->
+          let b = par.(i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s: parallel == serial grid"
+               w.Workloads.name configs.(i).Config.name)
+            true
+            (Stdlib.compare
+               (a.Mach.Sim.cycles, a.Mach.Sim.counters, a.Mach.Sim.ret,
+                a.Mach.Sim.output, a.Mach.Sim.steps)
+               (b.Mach.Sim.cycles, b.Mach.Sim.counters, b.Mach.Sim.ret,
+                b.Mach.Sim.output, b.Mach.Sim.steps)
+             = 0))
+        serial)
+    [ List.hd Workloads.all; List.nth Workloads.all 4 ]
+
+let test_parallel_grid_trap () =
+  let p = compile trap_program in
+  let configs = Array.of_list Config.all in
+  match Engine.Grid.run_grid ~jobs:2 ~configs p with
+  | _ -> Alcotest.fail "grid of a trapping program must raise"
+  | exception Mira.Interp.Trap m ->
+    Alcotest.(check string) "trap message" "division by zero" m
+
+(* a store-backed grid across a reopen: second run replays from disk *)
+let test_grid_from_store () =
+  let dir = tmp_dir "tstore-grid" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let w = List.hd Workloads.all in
+  let p = Workloads.program w in
+  let configs = Array.of_list Config.all in
+  let run () =
+    let ts = Tstore.open_dir dir in
+    Fun.protect ~finally:(fun () -> Tstore.close ts) @@ fun () ->
+    Engine.Grid.run_grid ~tcache:(Tcache.create ~store:ts ()) ~configs p
+  in
+  let cold = run () and warm = run () in
+  let serial = Mach.Sim.run_grid ~configs p in
+  Array.iteri
+    (fun i (a : Mach.Sim.result) ->
+      List.iter
+        (fun ((b : Mach.Sim.result), leg) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s: %s grid == direct simulation"
+               w.Workloads.name configs.(i).Config.name leg)
+            true
+            (Stdlib.compare
+               (a.Mach.Sim.cycles, a.Mach.Sim.counters, a.Mach.Sim.ret,
+                a.Mach.Sim.output, a.Mach.Sim.steps)
+               (b.Mach.Sim.cycles, b.Mach.Sim.counters, b.Mach.Sim.ret,
+                b.Mach.Sim.output, b.Mach.Sim.steps)
+             = 0))
+        [ (cold.(i), "cold"); (warm.(i), "warm") ])
+    serial
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  [
+    ( "codec",
+      [
+        slow "round-trip: bit-exact, replayable, compact (suite + trap + fuel)"
+          test_codec_round_trip;
+        t "garbage is rejected, never crashes" test_codec_rejects_garbage;
+      ] );
+    ( "store",
+      [
+        t "add / close / reopen / find round-trip" test_store_round_trip;
+        t "torn write: quarantined and self-healed" test_torn_write_quarantine;
+        t "absorb merges worker stores" test_absorb;
+        t "Tcache writes through and reads back" test_tcache_write_through;
+      ] );
+    ( "grid",
+      [
+        t "parallel grid == serial grid (bit-identical)"
+          test_parallel_grid_bit_identical;
+        t "parallel grid re-raises traps" test_parallel_grid_trap;
+        t "store-backed grid across a reopen" test_grid_from_store;
+      ] );
+  ]
+
+let () = Alcotest.run "tstore" suite

@@ -25,6 +25,15 @@
    breaks the gate.  Arrays of objects are matched by their "name" /
    "benchmark" field when present, by index otherwise.
 
+   Schema evolution: when both reports carry a top-level "schema" of
+   the same family but a different version ("icc-bench-arch/1" vs
+   "icc-bench-arch/2" — the family is the part before '/'), the gate
+   goes lenient: the schema string mismatch is not a regression, and a
+   baseline field missing from the fresh report is skipped rather than
+   treated as a shape error — a report one schema version apart keeps
+   its numeric gates on every field both sides still share.  Different
+   families stay a hard string mismatch.
+
    Exit 0 all rules hold, 1 regressions, 2 usage/parse/shape trouble.
    --json prints a machine-readable verdict (icc-bench-verdict/1). *)
 
@@ -63,6 +72,22 @@ let is_timing key =
 
 let is_speedup key = contains key "speedup"
 
+(* "icc-bench-arch/2" -> ("icc-bench-arch", "2"); no '/' -> whole
+   string is the family *)
+let schema_family s =
+  match String.index_opt s '/' with
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> (s, "")
+
+(* same family, different version: comparing across one schema bump *)
+let cross_version base fresh =
+  match (Tjson.mem "schema" base, Tjson.mem "schema" fresh) with
+  | Some (Tjson.Str b), Some (Tjson.Str f) ->
+    let bf, bv = schema_family b and ff, fv = schema_family f in
+    bf = ff && bv <> fv
+  | _ -> false
+
 (* the label an array element is matched by across baseline and fresh *)
 let element_key ev =
   match Tjson.mem "name" ev with
@@ -72,7 +97,8 @@ let element_key ev =
      | Some (Tjson.Str s) -> Some s
      | _ -> None)
 
-let rec compare_values ~factor ~skip ~path ~key regressions base fresh =
+let rec compare_values ~factor ~skip ~lenient ~path ~key regressions base
+    fresh =
   let fail rule bv fv =
     regressions :=
       { path; rule; base = jstr bv; fresh = jstr fv } :: !regressions
@@ -98,7 +124,11 @@ let rec compare_values ~factor ~skip ~path ~key regressions base fresh =
     | Tjson.Bool b, Tjson.Bool f ->
       if b <> f then fail "boolean exact" base fresh
     | Tjson.Str b, Tjson.Str f ->
-      if b <> f then fail "string exact" base fresh
+      (* a lenient run exists precisely because the schema strings
+         differ within one family; don't re-flag the thing we already
+         decided to tolerate *)
+      if b <> f && not (lenient && key = "schema") then
+        fail "string exact" base fresh
     | Tjson.Null, Tjson.Null -> ()
     | Tjson.Obj bfs, (Tjson.Obj _ as fobj) ->
       List.iter
@@ -106,9 +136,10 @@ let rec compare_values ~factor ~skip ~path ~key regressions base fresh =
           let sub = if path = "" then k else path ^ "." ^ k in
           match Tjson.mem k fobj with
           | Some fv ->
-            compare_values ~factor ~skip ~path:sub ~key:k regressions bv fv
+            compare_values ~factor ~skip ~lenient ~path:sub ~key:k
+              regressions bv fv
           | None ->
-            if not (List.mem k skip) then begin
+            if not (List.mem k skip || lenient) then begin
               shape_error := true;
               regressions :=
                 { path = sub; rule = "shape: missing in fresh";
@@ -125,13 +156,16 @@ let rec compare_values ~factor ~skip ~path ~key regressions base fresh =
             let sub = Printf.sprintf "%s[%s]" path k in
             match List.find_opt (fun fv -> element_key fv = Some k) fs with
             | Some fv ->
-              compare_values ~factor ~skip ~path:sub ~key regressions bv fv
+              compare_values ~factor ~skip ~lenient ~path:sub ~key
+                regressions bv fv
             | None ->
-              shape_error := true;
-              regressions :=
-                { path = sub; rule = "shape: missing in fresh";
-                  base = "{...}"; fresh = "(absent)" }
-                :: !regressions)
+              if not lenient then begin
+                shape_error := true;
+                regressions :=
+                  { path = sub; rule = "shape: missing in fresh";
+                    base = "{...}"; fresh = "(absent)" }
+                  :: !regressions
+              end)
           bs
       else begin
         if List.length fs < List.length bs then
@@ -141,7 +175,7 @@ let rec compare_values ~factor ~skip ~path ~key regressions base fresh =
           (fun i bv ->
             match List.nth_opt fs i with
             | Some fv ->
-              compare_values ~factor ~skip
+              compare_values ~factor ~skip ~lenient
                 ~path:(Printf.sprintf "%s[%d]" path i)
                 ~key regressions bv fv
             | None -> ())
@@ -207,8 +241,13 @@ let () =
   let base = load "baseline" base_path in
   let fresh = load "fresh" fresh_path in
   let regressions = ref [] in
-  compare_values ~factor:!factor ~skip:!skip ~path:"" ~key:"" regressions
-    base fresh;
+  let lenient = cross_version base fresh in
+  if lenient then
+    Printf.eprintf
+      "bench_check: note: schema versions differ within one family; \
+       missing fields tolerated\n";
+  compare_values ~factor:!factor ~skip:!skip ~lenient ~path:"" ~key:""
+    regressions base fresh;
   let regs = List.rev !regressions in
   let ok = regs = [] in
   if !json then begin
